@@ -1,0 +1,45 @@
+"""Figure 1 — the layer-wise structure of a Llama-style model.
+
+Regenerates the paper's architecture sketch as a text tree: embeddings,
+N decoder layers (two norms, attention, SwiGLU), final norm, lm_head
+(weight-tied for the 1B model).
+"""
+
+from __future__ import annotations
+
+from _bench_common import emit
+
+from repro.nn import build_model, get_config
+
+
+def test_fig1_llama8b_structure(benchmark):
+    def build():
+        model = build_model("llama3.1-8b-sim", seed=0)
+        return model.structure_tree()
+
+    tree = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("fig1_model_structure", "Figure 1: layer-wise structure (Llama3.1-8B topology)\n" + tree)
+    assert "x32 DecoderLayer" in tree
+    assert "embed_tokens" in tree and "lm_head" in tree
+    assert "SwiGLU" in tree
+
+
+def test_fig1_tied_1b_notes_weight_tying(benchmark):
+    def build():
+        return build_model("llama3.2-1b-sim", seed=0).structure_tree()
+
+    tree = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("fig1_model_structure_1b", "Figure 1 (1B variant):\n" + tree)
+    assert "weight-tied" in tree
+    assert "x16 DecoderLayer" in tree
+
+
+def test_fig1_slot_count_matches_table7(benchmark):
+    def counts():
+        return (
+            get_config("llama3.2-1b").num_model_slots,
+            get_config("llama3.1-8b").num_model_slots,
+        )
+
+    one_b, eight_b = benchmark.pedantic(counts, rounds=1, iterations=1)
+    assert (one_b, eight_b) == (18, 35)

@@ -1,0 +1,55 @@
+"""Figure 3 — reconstructing parameter groups: 2 groups -> 2L+x.
+
+Regenerates the paper's diagram of LLMTailor's pre-training regrouping
+for a 16-layer model with lm_head: 35 groups in the canonical order
+[norm] [layer no-decay x16] [embed] [lm_head] [layer decay x16].
+"""
+
+from __future__ import annotations
+
+from _bench_common import emit
+
+from repro.core import group_layout_table, tailored_group_specs
+from repro.nn import get_config
+from repro.util.tables import Table
+
+
+def test_fig3_sixteen_layer_regrouping(benchmark):
+    # The paper's Fig. 3 example: 16 transformer layers + separate lm_head.
+    config = get_config("llama3.1-8b-sim").replace(name="fig3-example", num_hidden_layers=16)
+
+    rows = benchmark.pedantic(lambda: group_layout_table(config), rounds=1, iterations=1)
+    assert len(rows) == 35  # 2*16 + 3, as in the figure
+
+    table = Table(
+        ["Index", "Group", "Slot", "Weight decay", "#Tensors"],
+        title="Figure 3: reconstructed parameter groups (16-layer model, 2 -> 35 groups)",
+    )
+    for row in rows:
+        table.add_row([row["index"], row["group"], row["slot"],
+                       row["weight_decay"], row["num_params"]])
+    emit("fig3_param_groups", table.render())
+
+    specs = tailored_group_specs(config)
+    assert specs[0].name == "norm"
+    assert specs[17].name == "embed_tokens"
+    assert specs[18].name == "lm_head"
+    assert specs[19].name == "layer_0_decay"
+
+
+def test_fig3_group_count_formula_all_models(benchmark):
+    def counts():
+        return {
+            name: (get_config(name).num_param_groups_tailored,
+                   get_config(name).num_hidden_layers,
+                   get_config(name).tie_word_embeddings)
+            for name in ("llama3.2-1b", "llama3.1-8b", "qwen2.5-7b")
+        }
+
+    result = benchmark.pedantic(counts, rounds=1, iterations=1)
+    lines = ["2L+x group counts at published scale:"]
+    for name, (groups, layers, tied) in result.items():
+        x = 2 if tied else 3
+        lines.append(f"  {name:14s}: L={layers:2d}, tied={tied} -> {groups} groups (2L+{x})")
+        assert groups == 2 * layers + x
+    emit("fig3_group_count_formula", "\n".join(lines))

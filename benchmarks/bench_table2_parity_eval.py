@@ -1,0 +1,46 @@
+"""Table 2 — zero-shot benchmark scores after parity-merge recovery.
+
+Paper claim (§5.2): the Frankenstein model recovered by parity merging
+scores on par with the never-interrupted model across the five
+benchmarks (MMLU, MMLU-med, MedMCQA, MedQA, PubMedQA).  Chance is 25%
+(33% for PubMedQA); at sim scale the models sit modestly above chance,
+and the comparison between rows is the reproduced result.
+"""
+
+from __future__ import annotations
+
+from _bench_common import emit
+
+from repro.evalbench import suite_table
+
+
+def _rows(pipeline, label):
+    return {
+        f"{pipeline.model} ({pipeline.task.upper()})": pipeline.eval_baseline,
+        f"{label}-{pipeline.failure_step}": pipeline.eval_resumed,
+    }
+
+
+def test_table2_qwen_sft_parity_eval(benchmark, qwen_sft_parity):
+    result = benchmark.pedantic(lambda: qwen_sft_parity, rounds=1, iterations=1)
+    table = suite_table(
+        _rows(result, "parity"),
+        "Table 2 (SFT rows): zero-shot accuracy after parity recovery (higher is better)",
+    )
+    emit("table2_parity_eval_qwen", table.render())
+    # Quality preservation: mean accuracy within 10 points of baseline.
+    mean_base = sum(result.eval_baseline.values()) / len(result.eval_baseline)
+    mean_resumed = sum(result.eval_resumed.values()) / len(result.eval_resumed)
+    assert abs(mean_base - mean_resumed) < 10.0
+
+
+def test_table2_llama_cpt_parity_eval(benchmark, llama_cpt_parity):
+    result = benchmark.pedantic(lambda: llama_cpt_parity, rounds=1, iterations=1)
+    table = suite_table(
+        _rows(result, "parity"),
+        "Table 2 (CPT rows): zero-shot accuracy after parity recovery (higher is better)",
+    )
+    emit("table2_parity_eval_llama", table.render())
+    mean_base = sum(result.eval_baseline.values()) / len(result.eval_baseline)
+    mean_resumed = sum(result.eval_resumed.values()) / len(result.eval_resumed)
+    assert abs(mean_base - mean_resumed) < 10.0

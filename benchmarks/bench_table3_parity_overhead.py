@@ -1,0 +1,70 @@
+"""Table 3 — checkpoint size and time proportion: full vs parity.
+
+Paper numbers: Llama-3.1-8B 1799.52 GB -> 899.76 GB (4.99% -> 3.03%);
+Qwen-2.5-7B 1811.52 GB -> 905.76 GB (20.63% -> 12.76%).
+
+Two row groups are produced:
+* paper scale — analytic sizes/times from the published configs and the
+  documented storage/compute cost models (should land within a few
+  percent of the paper's GB column);
+* measured (sim scale) — real bytes on disk and simulated-clock time
+  fractions from the pipelines that actually ran.
+"""
+
+from __future__ import annotations
+
+from _bench_common import emit
+
+from repro.bench import paper_scale_overhead
+from repro.util.tables import Table
+
+
+def _paper_scale_table() -> tuple[str, dict]:
+    table = Table(
+        ["Model", "Type", "Total CKPT size (GB)", "Proportion of checkpoint time (%)"],
+        title="Table 3 (paper scale, analytic): complete vs parity checkpointing",
+    )
+    rows = {}
+    for setting, model in (("llama-cpt", "Llama3.1-8B"), ("qwen-sft", "Qwen2.5-7B")):
+        full = paper_scale_overhead(setting, "full")
+        parity = paper_scale_overhead(setting, "parity", initial_full=False)
+        rows[setting] = (full, parity)
+        table.add_row([model, "Total", round(full["total_gb"], 2),
+                       round(full["ckpt_fraction"] * 100, 2)])
+        table.add_row([model, "Parity", round(parity["total_gb"], 2),
+                       round(parity["ckpt_fraction"] * 100, 2)])
+    return table.render(), rows
+
+
+def test_table3_paper_scale(benchmark):
+    text, rows = benchmark.pedantic(_paper_scale_table, rounds=1, iterations=1)
+    emit("table3_parity_overhead_paper_scale", text)
+    for setting, (full, parity) in rows.items():
+        # Headline shapes: parity halves size, cuts time fraction ~40%.
+        assert 1.8 < full["total_bytes"] / parity["total_bytes"] < 2.2
+        assert parity["ckpt_fraction"] < 0.75 * full["ckpt_fraction"]
+    # Absolute paper-scale sizes in the right ballpark (GB, decimal).
+    llama_full = rows["llama-cpt"][0]
+    assert abs(llama_full["total_gb"] - 1799.52) < 60
+
+
+def test_table3_measured_sim_scale(benchmark, qwen_sft_parity, llama_cpt_parity):
+    def build():
+        table = Table(
+            ["Model", "Type", "Total CKPT bytes (measured)", "Ckpt time (%, sim clock)"],
+            title="Table 3 (measured, sim scale): complete vs parity checkpointing",
+        )
+        for p in (llama_cpt_parity, qwen_sft_parity):
+            table.add_row([p.model, "Total", p.baseline_ckpt_bytes,
+                           round(p.baseline_ckpt_fraction * 100, 3)])
+            table.add_row([p.model, "Parity", p.strategy_ckpt_bytes,
+                           round(p.strategy_ckpt_fraction * 100, 3)])
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("table3_parity_overhead_measured", table.render())
+    for p in (llama_cpt_parity, qwen_sft_parity):
+        ratio = p.baseline_ckpt_bytes / p.strategy_ckpt_bytes
+        # Short runs amortize the initial full snapshot less than the
+        # paper's 16-event epoch, so expect ~1.5-2.1x here.
+        assert 1.4 < ratio < 2.2, f"{p.model}: parity size ratio {ratio:.2f}"

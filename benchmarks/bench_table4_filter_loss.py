@@ -1,0 +1,76 @@
+"""Table 4 — filtered merge: losses degrade slightly (unlike parity).
+
+Paper claim (§5.3): recovering from the filtered strategy's merged
+checkpoint gives final losses slightly *worse* than the uninterrupted
+run (1.60/1.62 vs 1.58/1.60 for Qwen; 1.59/1.59 vs 1.58/1.58 for
+Llama), because stale middle layers are spliced in.
+"""
+
+from __future__ import annotations
+
+from _bench_common import emit
+
+from repro.util.tables import Table
+
+
+def _table(title: str, pipeline) -> str:
+    table = Table(["Model", "Final train loss", "Final eval loss"], title=title)
+    table.add_row(
+        [f"{pipeline.model} ({pipeline.task.upper()})",
+         round(pipeline.baseline.final_train_loss, 3),
+         round(pipeline.baseline.final_eval_loss, 3)]
+    )
+    table.add_row(
+        [f"Filtered layers (resume from {pipeline.failure_step})",
+         round(pipeline.resumed.final_train_loss, 3),
+         round(pipeline.resumed.final_eval_loss, 3)]
+    )
+    return table.render()
+
+
+def test_table4a_qwen_sft_filtered_loss(benchmark, qwen_sft_filtered):
+    result = benchmark.pedantic(lambda: qwen_sft_filtered, rounds=1, iterations=1)
+    emit(
+        "table4a_filter_loss_qwen",
+        _table("Table 4(a): Qwen2.5-7B-sim, SFT task — filtered merge", result),
+    )
+    # Losses stay close but may drift slightly (the paper's point).
+    assert abs(result.resumed.final_train_loss - result.baseline.final_train_loss) < 0.25
+    assert abs(result.resumed.final_eval_loss - result.baseline.final_eval_loss) < 0.6
+
+
+def test_table4b_llama_cpt_filtered_loss(benchmark, llama_cpt_filtered):
+    result = benchmark.pedantic(lambda: llama_cpt_filtered, rounds=1, iterations=1)
+    emit(
+        "table4b_filter_loss_llama",
+        _table("Table 4(b): Llama3.1-8B-sim, CPT task — filtered merge", result),
+    )
+    assert abs(result.resumed.final_train_loss - result.baseline.final_train_loss) < 0.25
+    assert abs(result.resumed.final_eval_loss - result.baseline.final_eval_loss) < 0.6
+
+
+def test_table4_filtered_at_least_as_stale_as_parity(
+    benchmark, qwen_sft_parity, qwen_sft_filtered
+):
+    """Cross-check: parity resumes closer to baseline than filtered."""
+
+    def gaps():
+        parity_gap = abs(
+            qwen_sft_parity.resumed.final_train_loss
+            - qwen_sft_parity.baseline.final_train_loss
+        )
+        filtered_gap = abs(
+            qwen_sft_filtered.resumed.final_train_loss
+            - qwen_sft_filtered.baseline.final_train_loss
+        )
+        return parity_gap, filtered_gap
+
+    parity_gap, filtered_gap = benchmark.pedantic(gaps, rounds=1, iterations=1)
+    emit(
+        "table4_staleness_comparison",
+        f"train-loss gap vs baseline:\n  parity   : {parity_gap:.4f}\n"
+        f"  filtered : {filtered_gap:.4f}\n"
+        "(paper: parity matches exactly; filtered drifts slightly)",
+    )
+    # Filtered should not be dramatically better than parity; allow noise.
+    assert filtered_gap + 0.05 >= parity_gap

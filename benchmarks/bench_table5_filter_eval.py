@@ -1,0 +1,44 @@
+"""Table 5 — zero-shot scores after filtered-merge recovery.
+
+Paper observation (§5.3): in the SFT task the filtered Frankenstein
+scores noticeably below the default checkpoint, while in the CPT task
+it is comparable or better — LLM robustness partially absorbs the stale
+layers.  We reproduce the comparison; at sim scale differences sit
+within a few points of baseline either way.
+"""
+
+from __future__ import annotations
+
+from _bench_common import emit
+
+from repro.evalbench import suite_table
+
+
+def test_table5_qwen_sft_filtered_eval(benchmark, qwen_sft_filtered):
+    result = benchmark.pedantic(lambda: qwen_sft_filtered, rounds=1, iterations=1)
+    rows = {
+        f"{result.model} (SFT)": result.eval_baseline,
+        f"filter-{result.failure_step}": result.eval_resumed,
+    }
+    table = suite_table(
+        rows, "Table 5 (SFT rows): zero-shot accuracy after filtered recovery"
+    )
+    emit("table5_filter_eval_qwen", table.render())
+    mean_base = sum(result.eval_baseline.values()) / 5
+    mean_resumed = sum(result.eval_resumed.values()) / 5
+    assert abs(mean_base - mean_resumed) < 12.0
+
+
+def test_table5_llama_cpt_filtered_eval(benchmark, llama_cpt_filtered):
+    result = benchmark.pedantic(lambda: llama_cpt_filtered, rounds=1, iterations=1)
+    rows = {
+        f"{result.model} (CPT)": result.eval_baseline,
+        f"filter-{result.failure_step}": result.eval_resumed,
+    }
+    table = suite_table(
+        rows, "Table 5 (CPT rows): zero-shot accuracy after filtered recovery"
+    )
+    emit("table5_filter_eval_llama", table.render())
+    mean_base = sum(result.eval_baseline.values()) / 5
+    mean_resumed = sum(result.eval_resumed.values()) / 5
+    assert abs(mean_base - mean_resumed) < 12.0

@@ -1,0 +1,205 @@
+"""Table 7 — checkpoint loading/merging time vs checkpoints included.
+
+Paper setup (§5.4): for Llama3-1B (18 layer slots) and Llama3-8B (35
+slots), measure the time to produce a resumable state from
+1 (plain resume), 2, parity(2, interleaved reload), 8, and N=slots
+checkpoints.  Key observations reproduced:
+
+* interleaved parity costs far more than the straightforward 2-ckpt
+  merge (it re-loads a full shard per layer — no lazy loading of
+  optimizer state);
+* many tiny checkpoints (one layer each) are comparatively cheap to
+  merge because each file is small;
+* overall overhead scales with bytes loaded x files loaded.
+
+Timings are real wall clock on real files at sim scale.
+"""
+
+from __future__ import annotations
+
+import itertools
+from pathlib import Path
+
+import pytest
+
+from _bench_common import emit
+
+from repro.core import LLMTailor, MergeOptions, MergeRecipe
+from repro.core.groups import tailored_param_groups
+from repro.dist import ZeroStage3Engine
+from repro.io import CheckpointPaths, Storage, load_checkpoint, save_checkpoint
+from repro.nn import build_model, get_config, model_slots
+from repro.util.tables import Table
+
+WORLD = 2
+_counter = itertools.count()
+_RESULTS: dict[tuple[str, str], dict] = {}
+
+
+def _build_trail(config_name: str, tmp_root: Path):
+    """One full checkpoint + slot-distributed partial trails."""
+    config = get_config(config_name)
+    model = build_model(config, seed=1)
+    engine = ZeroStage3Engine(
+        model, config, tailored_param_groups(model, config, 0.01), world_size=WORLD
+    )
+    storage = Storage(tmp_root)
+    slots = model_slots(config)
+
+    # Step 1000: full checkpoint (the plain-resume baseline).
+    save_checkpoint(storage, step=1000, model=model, config=config, engine=engine,
+                    trainer_state={"global_step": 1000}, strategy="full")
+
+    def split(n_parts: int, base_step: int):
+        """Distribute slots round-robin over n_parts checkpoints."""
+        for part in range(n_parts):
+            part_slots = [s for i, s in enumerate(slots) if i % n_parts == part]
+            save_checkpoint(
+                storage, step=base_step + part, model=model, config=config,
+                engine=engine, trainer_state={"global_step": base_step + part},
+                slots=part_slots, strategy=f"split{n_parts}",
+            )
+
+    split(2, 2000)
+    split(8, 3000)
+    split(len(slots), 4000)
+
+    # Parity halves (odd layers + embed / even layers + norm + lm_head).
+    L = config.num_hidden_layers
+    odd = [f"layers.{i}" for i in range(L) if i % 2 == 1] + ["embed_tokens"]
+    even = [s for s in slots if s not in odd]
+    save_checkpoint(storage, step=5000, model=model, config=config, engine=engine,
+                    trainer_state={"global_step": 5000}, slots=odd, strategy="parity")
+    save_checkpoint(storage, step=5001, model=model, config=config, engine=engine,
+                    trainer_state={"global_step": 5001}, slots=even, strategy="parity")
+
+    return config, model, engine, storage, slots
+
+
+def _recipe_for_split(storage: Storage, config, slots, n_parts: int, base_step: int,
+                      cache_mode: str = "per-checkpoint") -> MergeRecipe:
+    assignments = {}
+    for i, slot in enumerate(slots):
+        assignments[slot] = storage.root / f"checkpoint-{base_step + (i % n_parts)}"
+    base = storage.root / f"checkpoint-{base_step + 0}"
+    assignments = {s: p for s, p in assignments.items() if p != base}
+    return MergeRecipe(
+        base_checkpoint=base,
+        assignments=assignments,
+        options=MergeOptions(workers=1, cache_mode=cache_mode, verify=False),
+    )
+
+
+def _parity_recipe(storage: Storage, config, slots, cache_mode: str) -> MergeRecipe:
+    L = config.num_hidden_layers
+    odd = [f"layers.{i}" for i in range(L) if i % 2 == 1] + ["embed_tokens"]
+    assignments = {s: storage.root / "checkpoint-5000" for s in odd}
+    return MergeRecipe(
+        base_checkpoint=storage.root / "checkpoint-5001",
+        assignments=assignments,
+        options=MergeOptions(workers=1, cache_mode=cache_mode, verify=False),
+    )
+
+
+@pytest.fixture(scope="module")
+def trails(tmp_path_factory):
+    out = {}
+    for name in ("llama3.2-1b-sim", "llama3.1-8b-sim"):
+        out[name] = _build_trail(name, tmp_path_factory.mktemp(name))
+    return out
+
+
+def _run_case(trail, case: str, tmp_root: Path):
+    config, model, engine, storage, slots = trail
+    if case == "baseline-1":
+        m2 = build_model(config, seed=9)
+        e2 = ZeroStage3Engine(m2, config, tailored_param_groups(m2, config, 0.01),
+                              world_size=WORLD)
+        load_checkpoint(CheckpointPaths(storage.root / "checkpoint-1000"),
+                        model=m2, config=config, engine=e2)
+        return None
+    if case == "ckpts-2":
+        recipe = _recipe_for_split(storage, config, slots, 2, 2000)
+    elif case == "parity-2":
+        recipe = _parity_recipe(storage, config, slots, cache_mode="none")
+    elif case == "ckpts-8":
+        recipe = _recipe_for_split(storage, config, slots, 8, 3000)
+    elif case == "ckpts-N":
+        recipe = _recipe_for_split(storage, config, slots, len(slots), 4000)
+    else:  # pragma: no cover
+        raise ValueError(case)
+    out = tmp_root / f"merge-{case}-{next(_counter)}"
+    return LLMTailor(recipe).merge(output=out)
+
+
+CASES = ["baseline-1", "ckpts-2", "parity-2", "ckpts-8", "ckpts-N"]
+CKPTS_INCLUDED = {"baseline-1": 1, "ckpts-2": 2, "parity-2": 2, "ckpts-8": 8}
+
+
+@pytest.mark.parametrize("model_name", ["llama3.2-1b-sim", "llama3.1-8b-sim"])
+@pytest.mark.parametrize("case", CASES)
+def test_table7_loading_time(benchmark, trails, tmp_path, model_name, case):
+    trail = trails[model_name]
+    result_holder = {}
+
+    def run():
+        result_holder["result"] = _run_case(trail, case, tmp_path)
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+    merge_result = result_holder["result"]
+    slots = trail[4]
+    stats = {
+        "case": case,
+        "seconds": benchmark.stats["mean"],
+        "files_loaded": (
+            merge_result.optimizer_files_loaded if merge_result else WORLD
+        ),
+        "bytes_loaded": (
+            merge_result.optimizer_bytes_loaded if merge_result else 0
+        ),
+        "ckpts_included": CKPTS_INCLUDED.get(case, len(slots)),
+    }
+    _RESULTS[(model_name, case)] = stats
+
+    if case == "parity-2" and merge_result is not None:
+        # Interleaved parity loads one shard file per slot per rank.
+        assert merge_result.optimizer_files_loaded == len(slots) * WORLD
+    if case == "ckpts-2" and merge_result is not None:
+        assert merge_result.optimizer_files_loaded == 2 * WORLD
+
+
+def test_table7_render(benchmark, trails):
+    """Assemble the Table 7 rows measured above (run last in file order)."""
+
+    def build():
+        table = Table(
+            ["Model", "Total slots", "CKPTs included", "Files loaded", "Time (s)"],
+            title="Table 7: loading/merging time for different checkpoint layouts",
+        )
+        for model_name in ("llama3.2-1b-sim", "llama3.1-8b-sim"):
+            slots = trails[model_name][4]
+            for case in CASES:
+                stats = _RESULTS.get((model_name, case))
+                if stats is None:
+                    continue
+                label = {"baseline-1": "Baseline: 1", "ckpts-2": "2",
+                         "parity-2": "parity (2)", "ckpts-8": "8",
+                         "ckpts-N": str(len(slots))}[case]
+                table.add_row([model_name, len(slots), label,
+                               stats["files_loaded"], round(stats["seconds"], 4)])
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("table7_loading_time", table.render())
+
+    # Paper's §5.4 headline: interleaved parity is the most expensive
+    # merge mode for the same two checkpoints.
+    for model_name in ("llama3.2-1b-sim", "llama3.1-8b-sim"):
+        two = _RESULTS.get((model_name, "ckpts-2"))
+        parity = _RESULTS.get((model_name, "parity-2"))
+        if two and parity:
+            assert parity["seconds"] > two["seconds"], (
+                f"{model_name}: parity-interleave {parity['seconds']:.4f}s should "
+                f"exceed straightforward {two['seconds']:.4f}s"
+            )
+            assert parity["bytes_loaded"] > two["bytes_loaded"]

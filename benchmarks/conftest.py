@@ -1,0 +1,72 @@
+"""Shared fixtures for the paper-reproduction benchmark suite.
+
+Pipelines (train → crash → merge → resume → evaluate) are expensive, so
+they are computed once per session and shared across table benchmarks.
+Every table is printed to stdout *and* written to
+``benchmarks/results/<name>.txt`` so results survive pytest's capture.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _bench_common import RESULTS_DIR, SIM_FAILURE, SIM_INTERVAL, SIM_STEPS  # noqa: E402
+
+from repro.bench import run_use_case_pipeline  # noqa: E402
+from repro.util.logging import set_level  # noqa: E402
+
+_PIPELINES: dict[tuple, object] = {}
+
+
+def pytest_configure(config):
+    set_level("ERROR")
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+
+@pytest.fixture(scope="session")
+def pipeline_cache(tmp_path_factory):
+    """Lazily-computed use-case pipelines keyed by (model, task, strategy)."""
+
+    def get(model: str, task: str, strategy: str, **kwargs):
+        key = (model, task, strategy, tuple(sorted(kwargs.items())))
+        if key not in _PIPELINES:
+            out = tmp_path_factory.mktemp(f"{model}-{task}-{strategy}")
+            _PIPELINES[key] = run_use_case_pipeline(
+                model=model,
+                task=task,
+                strategy=strategy,
+                out_dir=out,
+                total_steps=SIM_STEPS,
+                interval=SIM_INTERVAL,
+                failure_step=SIM_FAILURE,
+                eval_items=24,
+                **kwargs,
+            )
+        return _PIPELINES[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def qwen_sft_parity(pipeline_cache):
+    return pipeline_cache("qwen2.5-7b-sim", "sft", "parity")
+
+
+@pytest.fixture(scope="session")
+def llama_cpt_parity(pipeline_cache):
+    return pipeline_cache("llama3.1-8b-sim", "cpt", "parity")
+
+
+@pytest.fixture(scope="session")
+def qwen_sft_filtered(pipeline_cache):
+    return pipeline_cache("qwen2.5-7b-sim", "sft", "filtered")
+
+
+@pytest.fixture(scope="session")
+def llama_cpt_filtered(pipeline_cache):
+    return pipeline_cache("llama3.1-8b-sim", "cpt", "filtered")

@@ -1,0 +1,10 @@
+"""Setup shim: enables editable installs on environments without `wheel`.
+
+`pip install -e .` (PEP 660) requires the `wheel` package to build an
+editable wheel; this offline environment lacks it, so `python setup.py
+develop` (classic egg-link editable install) is the supported path and is
+what `pip install -e .` falls back to in CI scripts.
+"""
+from setuptools import setup
+
+setup()

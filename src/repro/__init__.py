@@ -1,0 +1,57 @@
+"""LLMTailor reproduction: layer-wise tailoring for efficient LLM checkpointing.
+
+Reproduces "LLMTailor: A Layer-wise Tailoring Tool for Efficient
+Checkpointing of Large Language Models" (SC Workshops '25) end to end on
+a from-scratch NumPy substrate: a transformer LM with autograd, AdamW
+with PyTorch-style parameter groups, a simulated ZeRO-3 engine with
+per-rank optimizer shard files, selective checkpoint strategies, and the
+LLMTailor merge tool itself.
+
+Quick start::
+
+    from repro import TrainConfig, Trainer, LLMTailor
+
+    cfg = TrainConfig(model="tiny-untied", task="sft", total_steps=60,
+                      checkpoint_strategy="parity", checkpoint_interval=20,
+                      output_dir="runs/demo", failure_step=50)
+    trainer = Trainer(cfg)
+    result = trainer.train()          # crashes at step 50 (injected)
+    trainer.auto_recover(50)          # merge partials, resume
+    trainer.train()                   # continue to completion
+"""
+
+from .core import (
+    LLMTailor,
+    MergeRecipe,
+    MergeResult,
+    load_recipe,
+    tailored_group_specs,
+    tailored_param_groups,
+    verify_checkpoint,
+)
+from .nn import CausalLM, ModelConfig, build_model, get_config, list_configs
+from .strategies import build_strategy, plan_strategy
+from .train import TrainConfig, Trainer, TrainResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CausalLM",
+    "LLMTailor",
+    "MergeRecipe",
+    "MergeResult",
+    "ModelConfig",
+    "TrainConfig",
+    "TrainResult",
+    "Trainer",
+    "__version__",
+    "build_model",
+    "build_strategy",
+    "get_config",
+    "list_configs",
+    "load_recipe",
+    "plan_strategy",
+    "tailored_group_specs",
+    "tailored_param_groups",
+    "verify_checkpoint",
+]

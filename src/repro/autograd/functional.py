@@ -1,0 +1,255 @@
+"""Fused differentiable operations used by the transformer stack.
+
+These are implemented as single tape nodes (rather than compositions of
+primitives) for numerical stability and speed: softmax, log-softmax,
+cross-entropy, RMS norm, SiLU, embedding lookup, and rotary position
+embedding.  Each has a hand-derived backward verified by numerical
+gradient checking in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.errors import ShapeError
+from .tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "silu",
+    "gelu",
+    "relu",
+    "rms_norm",
+    "layer_norm",
+    "embedding",
+    "apply_rope",
+    "rope_cache",
+    "dropout",
+]
+
+IGNORE_INDEX = -100
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray) -> None:
+        # d softmax: s * (g - sum(g * s))
+        dot = (g * out_data).sum(axis=axis, keepdims=True)
+        x._accum(out_data * (g - dot))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - lse
+    probs = np.exp(out_data)
+
+    def backward(g: np.ndarray) -> None:
+        x._accum(g - probs * g.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, ignore_index: int = IGNORE_INDEX) -> Tensor:
+    """Mean token-level cross entropy.
+
+    ``logits``: float tensor of shape ``(..., V)``; ``targets``: integer
+    array of shape ``(...)``.  Positions equal to ``ignore_index`` are
+    excluded from both the loss and the gradient (used for padding and for
+    masking the prompt during SFT).
+    """
+    targets = np.asarray(targets)
+    if targets.shape != logits.shape[:-1]:
+        raise ShapeError(
+            f"targets shape {targets.shape} incompatible with logits {logits.shape}"
+        )
+    vocab = logits.shape[-1]
+    flat_logits = logits.data.reshape(-1, vocab)
+    flat_targets = targets.reshape(-1)
+    valid = flat_targets != ignore_index
+    count = int(valid.sum())
+    if count == 0:
+        raise ShapeError("cross_entropy: every target position is ignored")
+
+    shifted = flat_logits - flat_logits.max(axis=1, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - lse
+
+    safe_targets = np.where(valid, flat_targets, 0)
+    picked = log_probs[np.arange(flat_targets.size), safe_targets]
+    loss = -(picked * valid).sum() / count
+    out_data = np.asarray(loss, dtype=logits.data.dtype)
+
+    def backward(g: np.ndarray) -> None:
+        grad = np.exp(log_probs)
+        grad[np.arange(flat_targets.size), safe_targets] -= 1.0
+        grad *= (valid / count)[:, None]
+        grad *= np.asarray(g)  # scalar chain factor
+        logits._accum(grad.reshape(logits.shape))
+
+    return Tensor._make(out_data, (logits,), backward)
+
+
+def silu(x: Tensor) -> Tensor:
+    """SiLU / swish: ``x * sigmoid(x)`` (the Llama MLP activation)."""
+    sig = 0.5 * (np.tanh(0.5 * x.data) + 1.0)
+    out_data = x.data * sig
+
+    def backward(g: np.ndarray) -> None:
+        x._accum(g * (sig + x.data * sig * (1.0 - sig)))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    mask = x.data > 0
+    out_data = x.data * mask
+
+    def backward(g: np.ndarray) -> None:
+        x._accum(g * mask)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Tanh-approximated GELU (as used by GPT-style MLPs)."""
+    c = np.sqrt(2.0 / np.pi).astype(x.data.dtype) if hasattr(np.sqrt(2.0 / np.pi), "astype") else np.sqrt(2.0 / np.pi)
+    inner = c * (x.data + 0.044715 * x.data**3)
+    t = np.tanh(inner)
+    out_data = 0.5 * x.data * (1.0 + t)
+
+    def backward(g: np.ndarray) -> None:
+        d_inner = c * (1.0 + 3 * 0.044715 * x.data**2)
+        dt = (1.0 - t * t) * d_inner
+        x._accum(g * (0.5 * (1.0 + t) + 0.5 * x.data * dt))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def rms_norm(x: Tensor, weight: Tensor, eps: float = 1e-6) -> Tensor:
+    """Root-mean-square layer norm over the last axis (Llama-style).
+
+    ``y = x / sqrt(mean(x^2) + eps) * w``
+    """
+    if weight.data.shape != (x.shape[-1],):
+        raise ShapeError(f"rms_norm weight shape {weight.shape} != ({x.shape[-1]},)")
+    ms = (x.data * x.data).mean(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(ms + eps)
+    normed = x.data * inv
+    out_data = normed * weight.data
+
+    def backward(g: np.ndarray) -> None:
+        if weight.requires_grad:
+            weight._accum((g * normed).reshape(-1, x.shape[-1]).sum(axis=0))
+        if x.requires_grad:
+            gw = g * weight.data
+            n = x.shape[-1]
+            dot = (gw * x.data).sum(axis=-1, keepdims=True)
+            x._accum(inv * gw - (inv**3 / n) * dot * x.data)
+
+    return Tensor._make(out_data, (x, weight), backward)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Classic LayerNorm (kept for non-Llama architectures)."""
+    mu = x.data.mean(axis=-1, keepdims=True)
+    xc = x.data - mu
+    var = (xc * xc).mean(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(var + eps)
+    normed = xc * inv
+    out_data = normed * weight.data + bias.data
+
+    def backward(g: np.ndarray) -> None:
+        n = x.shape[-1]
+        if weight.requires_grad:
+            weight._accum((g * normed).reshape(-1, n).sum(axis=0))
+        if bias.requires_grad:
+            bias._accum(g.reshape(-1, n).sum(axis=0))
+        if x.requires_grad:
+            gw = g * weight.data
+            mean_g = gw.mean(axis=-1, keepdims=True)
+            mean_gx = (gw * normed).mean(axis=-1, keepdims=True)
+            x._accum(inv * (gw - mean_g - normed * mean_gx))
+
+    return Tensor._make(out_data, (x, weight, bias), backward)
+
+
+def embedding(weight: Tensor, ids: np.ndarray) -> Tensor:
+    """Row gather ``weight[ids]`` with scatter-add backward."""
+    ids = np.asarray(ids)
+    if ids.dtype.kind not in "iu":
+        raise ShapeError(f"embedding ids must be integers, got dtype {ids.dtype}")
+    out_data = weight.data[ids]
+
+    def backward(g: np.ndarray) -> None:
+        if not weight.requires_grad:
+            return
+        full = np.zeros_like(weight.data)
+        np.add.at(full, ids.reshape(-1), g.reshape(-1, weight.data.shape[1]))
+        weight._accum(full)
+
+    return Tensor._make(out_data, (weight,), backward)
+
+
+def rope_cache(seq_len: int, head_dim: int, base: float = 10000.0, dtype=np.float32):
+    """Precompute cos/sin tables for rotary position embedding.
+
+    Returns ``(cos, sin)`` each of shape ``(seq_len, head_dim)`` following
+    the Llama "rotate half" convention: frequencies repeat across the two
+    halves of the head dimension.
+    """
+    if head_dim % 2:
+        raise ShapeError(f"RoPE head_dim must be even, got {head_dim}")
+    inv_freq = 1.0 / (base ** (np.arange(0, head_dim, 2, dtype=np.float64) / head_dim))
+    positions = np.arange(seq_len, dtype=np.float64)
+    freqs = np.outer(positions, inv_freq)  # (T, D/2)
+    emb = np.concatenate([freqs, freqs], axis=-1)  # (T, D)
+    return np.cos(emb).astype(dtype), np.sin(emb).astype(dtype)
+
+
+def _rotate_half(x: np.ndarray) -> np.ndarray:
+    half = x.shape[-1] // 2
+    return np.concatenate([-x[..., half:], x[..., :half]], axis=-1)
+
+
+def _rotate_half_t(x: np.ndarray) -> np.ndarray:
+    """Transpose of the rotate-half linear map (for backward)."""
+    half = x.shape[-1] // 2
+    return np.concatenate([x[..., half:], -x[..., :half]], axis=-1)
+
+
+def apply_rope(x: Tensor, cos: np.ndarray, sin: np.ndarray) -> Tensor:
+    """Apply rotary position embedding to ``x`` of shape ``(..., T, D)``.
+
+    ``cos``/``sin`` broadcast over the leading dimensions; gradient is the
+    inverse rotation (the map is orthogonal).
+    """
+    out_data = x.data * cos + _rotate_half(x.data) * sin
+
+    def backward(g: np.ndarray) -> None:
+        x._accum(g * cos + _rotate_half_t(g * sin))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ShapeError(f"dropout probability must be < 1, got {p}")
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+    out_data = x.data * mask
+
+    def backward(g: np.ndarray) -> None:
+        x._accum(g * mask)
+
+    return Tensor._make(out_data, (x,), backward)

@@ -1,0 +1,70 @@
+"""Numerical gradient checking.
+
+Compares analytic gradients from the tape against central finite
+differences in float64.  Used extensively by the test suite to validate
+every primitive and fused op.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_grad", "check_gradients"]
+
+
+def numerical_grad(
+    fn: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of ``fn`` w.r.t. ``inputs[wrt]``.
+
+    ``fn`` must return a scalar Tensor.  Inputs should be float64 for
+    meaningful comparisons.
+    """
+    target = inputs[wrt]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        hi = float(fn(inputs).data)
+        flat[i] = original - eps
+        lo = float(fn(inputs).data)
+        flat[i] = original
+        grad_flat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+    eps: float = 1e-6,
+) -> None:
+    """Assert analytic and numerical gradients agree for all inputs.
+
+    Raises ``AssertionError`` with the worst offender on mismatch.
+    """
+    for t in inputs:
+        t.zero_grad()
+    out = fn(inputs)
+    out.backward()
+    for idx, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        expected = numerical_grad(fn, inputs, idx, eps=eps)
+        actual = t.grad if t.grad is not None else np.zeros_like(t.data)
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(actual - expected))
+            raise AssertionError(
+                f"gradient mismatch for input {idx} (shape {t.shape}): "
+                f"max abs err {worst:.3e}, atol={atol}, rtol={rtol}"
+            )

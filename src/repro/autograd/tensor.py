@@ -1,0 +1,486 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+A deliberately small tape-based autograd engine — the substrate standing
+in for PyTorch.  Tensors wrap ``numpy.ndarray`` data; every differentiable
+operation records a backward closure; :meth:`Tensor.backward` runs a
+topological sweep and accumulates gradients into ``.grad`` (plain NumPy
+arrays, never Tensors).
+
+Design choices (following the HPC guides: vectorise, avoid copies):
+
+* All math is NumPy-vectorised; no per-element Python loops anywhere.
+* Gradients accumulate with in-place ``+=`` where safe.
+* Graph retention is opt-in: with gradients globally disabled (see
+  :func:`no_grad`) ops degrade to pure NumPy with zero bookkeeping.
+* dtype follows the inputs (float32 for training, float64 for gradient
+  checking) — ops never silently downcast.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..util.errors import GradError, ShapeError
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "cat", "stack"]
+
+_grad_enabled: bool = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Disable graph construction within the block (inference / update)."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def is_grad_enabled() -> bool:
+    return _grad_enabled
+
+
+def _as_array(data, dtype=None) -> np.ndarray:
+    arr = np.asarray(data)
+    if arr.dtype.kind not in "f":
+        arr = arr.astype(np.float32)
+    if dtype is not None:
+        arr = arr.astype(dtype, copy=False)
+    return arr
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce a gradient back to the shape of a broadcast operand."""
+    if grad.shape == shape:
+        return grad
+    # Sum out leading dimensions added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over dimensions that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array plus an optional autograd tape node."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        *,
+        dtype=None,
+        name: str | None = None,
+    ) -> None:
+        self.data: np.ndarray = _as_array(data, dtype)
+        self.grad: np.ndarray | None = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._prev: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # -- basic introspection ------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else _item_err(self)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:
+        tag = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, dtype={self.data.dtype}{tag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # -- graph construction ---------------------------------------------------
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None] | None,
+    ) -> "Tensor":
+        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._prev = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accum(self, g: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        g = unbroadcast(np.asarray(g, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = g.copy()
+        else:
+            self.grad += g
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise GradError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise GradError(
+                    f"backward() without an explicit gradient requires a scalar; got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            raise ShapeError(f"gradient shape {grad.shape} != tensor shape {self.shape}")
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+                # Release the closure so intermediate buffers can be freed.
+                node._backward = None
+                node._prev = ()
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def _coerce(self, other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(
+            np.asarray(other, dtype=self.data.dtype)
+        )
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(g: np.ndarray) -> None:
+            self._accum(g)
+            other._accum(g)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g: np.ndarray) -> None:
+            self._accum(-g)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data - other.data
+
+        def backward(g: np.ndarray) -> None:
+            self._accum(g)
+            other._accum(-g)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(g: np.ndarray) -> None:
+            self._accum(g * other.data)
+            other._accum(g * self.data)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(g: np.ndarray) -> None:
+            self._accum(g / other.data)
+            other._accum(-g * self.data / (other.data * other.data))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise GradError("tensor exponents are not supported; use exp/log")
+        out_data = self.data**exponent
+
+        def backward(g: np.ndarray) -> None:
+            self._accum(g * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data @ other.data
+        a, b = self, other
+
+        def backward(g: np.ndarray) -> None:
+            if a.requires_grad:
+                if b.data.ndim == 1:
+                    ga = np.multiply.outer(g, b.data) if g.ndim else g * b.data
+                else:
+                    ga = g @ np.swapaxes(b.data, -1, -2)
+                a._accum(ga)
+            if b.requires_grad:
+                if a.data.ndim == 1:
+                    gb = np.multiply.outer(a.data, g)
+                else:
+                    gb = np.swapaxes(a.data, -1, -2) @ g
+                b._accum(gb)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # -- elementwise functions --------------------------------------------------
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self._accum(g * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self._accum(g / self.data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self._accum(g * 0.5 / out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self._accum(g * (1.0 - out_data * out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic via tanh.
+        out_data = 0.5 * (np.tanh(0.5 * self.data) + 1.0)
+
+        def backward(g: np.ndarray) -> None:
+            self._accum(g * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self._accum(g * np.sign(self.data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # -- reductions ---------------------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            grad = np.asarray(g)
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+            self._accum(np.broadcast_to(grad, self.data.shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else _axis_count(self.data.shape, axis)
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        sq = (self - mu) * (self - mu)
+        return sq.mean(axis=axis, keepdims=keepdims)
+
+    # -- shape manipulation ----------------------------------------------------------
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(g: np.ndarray) -> None:
+            self._accum(g.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        inverse = np.argsort(axes)
+        out_data = self.data.transpose(axes)
+
+        def backward(g: np.ndarray) -> None:
+            self._accum(g.transpose(inverse))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        out_data = np.swapaxes(self.data, a, b)
+
+        def backward(g: np.ndarray) -> None:
+            self._accum(np.swapaxes(g, a, b))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, idx) -> "Tensor":
+        out_data = self.data[idx]
+        uses_fancy = _is_fancy(idx)
+
+        def backward(g: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            full = np.zeros_like(self.data)
+            if uses_fancy:
+                np.add.at(full, idx, g)
+            else:
+                full[idx] = g
+            self._accum(full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # -- misc ------------------------------------------------------------------------
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(g: np.ndarray) -> None:
+            self._accum(g * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def maximum(self, other: float) -> "Tensor":
+        out_data = np.maximum(self.data, other)
+        mask = self.data > other
+
+        def backward(g: np.ndarray) -> None:
+            self._accum(g * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+
+def _item_err(t: Tensor):
+    raise ShapeError(f"item() requires a single-element tensor, got shape {t.shape}")
+
+
+def _axis_count(shape: tuple[int, ...], axis) -> int:
+    if isinstance(axis, int):
+        axis = (axis,)
+    count = 1
+    for a in axis:
+        count *= shape[a]
+    return count
+
+
+def _is_fancy(idx) -> bool:
+    if isinstance(idx, (np.ndarray, list)):
+        return True
+    if isinstance(idx, tuple):
+        return any(isinstance(i, (np.ndarray, list)) for i in idx)
+    return False
+
+
+def cat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along an axis (differentiable)."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ShapeError("cat() of an empty sequence")
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray) -> None:
+        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * g.ndim
+            slicer[axis] = slice(lo, hi)
+            t._accum(g[tuple(slicer)])
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis (differentiable)."""
+    tensors = list(tensors)
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray) -> None:
+        parts = np.split(g, len(tensors), axis=axis)
+        for t, part in zip(tensors, parts):
+            t._accum(np.squeeze(part, axis=axis))
+
+    return Tensor._make(out_data, tensors, backward)

@@ -1,0 +1,15 @@
+"""Benchmark harness shared by the ``benchmarks/`` suite."""
+
+from .experiments import (
+    PAPER_SETTINGS,
+    PipelineResult,
+    paper_scale_overhead,
+    run_use_case_pipeline,
+)
+
+__all__ = [
+    "PAPER_SETTINGS",
+    "PipelineResult",
+    "paper_scale_overhead",
+    "run_use_case_pipeline",
+]

@@ -1,0 +1,193 @@
+"""Shared experiment runner for the paper-reproduction benchmarks.
+
+Each of the paper's use cases is one *pipeline*:
+
+1. train a baseline run to completion with full checkpointing;
+2. train an identically-seeded run with a selective strategy, crashing
+   at the failure step;
+3. auto-merge the partial trail with LLMTailor and resume to completion;
+4. evaluate both final models on the five zero-shot benchmarks;
+5. account checkpoint bytes (measured on disk) and simulated time.
+
+The sim-scale models keep the published layer counts, so strategy
+behaviour, merge arithmetic, and size *ratios* match the paper; absolute
+GBs for the paper-scale rows come from the analytic planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..core.tailor import LLMTailor
+from ..evalbench import evaluate_suite
+from ..io.layout import list_checkpoint_steps, checkpoint_dir
+from ..strategies import build_strategy, plan_strategy
+from ..nn.config import get_config
+from ..train import TrainConfig, TrainResult, Trainer
+from ..util.logging import get_logger
+
+__all__ = ["PipelineResult", "run_use_case_pipeline", "paper_scale_overhead", "PAPER_SETTINGS"]
+
+log = get_logger("bench")
+
+# Paper experimental settings (§5.1): Qwen SFT saves every 50 steps,
+# Llama CPT every 100; one epoch each.
+PAPER_SETTINGS = {
+    "qwen-sft": dict(model="qwen2.5-7b", interval=50, total_steps=850,
+                     tokens_per_step_per_gpu=8192.0),
+    "llama-cpt": dict(model="llama3.1-8b", interval=100, total_steps=1600,
+                      tokens_per_step_per_gpu=16384.0),
+}
+
+
+@dataclass
+class PipelineResult:
+    """Everything the table builders need from one use-case pipeline."""
+
+    model: str
+    task: str
+    strategy: str
+    failure_step: int
+    baseline: TrainResult
+    interrupted: TrainResult
+    resumed: TrainResult
+    merge_summary: dict[str, Any]
+    eval_baseline: dict[str, float]
+    eval_resumed: dict[str, float]
+    baseline_ckpt_bytes: int
+    strategy_ckpt_bytes: int
+    baseline_ckpt_fraction: float
+    strategy_ckpt_fraction: float
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+def _measure_run_bytes(root: Path) -> int:
+    """Actual bytes on disk across every checkpoint of a run."""
+    total = 0
+    for step in list_checkpoint_steps(root):
+        total += checkpoint_dir(root, step).nbytes()
+    return total
+
+
+def run_use_case_pipeline(
+    *,
+    model: str,
+    task: str,
+    strategy: str,
+    out_dir: str | Path,
+    total_steps: int = 120,
+    interval: int = 20,
+    failure_step: int = 110,
+    strategy_kwargs: dict | None = None,
+    world_size: int = 2,
+    seq_len: int = 48,
+    eval_items: int = 30,
+    workers: int = 2,
+    seed: int = 0,
+) -> PipelineResult:
+    """Run one full use-case pipeline (paper §5.2 / §5.3)."""
+    out_dir = Path(out_dir)
+
+    def config_for(sub: str, strat: str, fail: int | None) -> TrainConfig:
+        return TrainConfig(
+            model=model,
+            task=task,
+            total_steps=total_steps,
+            checkpoint_strategy=strat,
+            checkpoint_interval=interval,
+            strategy_kwargs=strategy_kwargs or {} if strat == strategy else {},
+            output_dir=str(out_dir / sub),
+            failure_step=fail,
+            world_size=world_size,
+            micro_batch_size=2,
+            grad_accum_steps=2 if task == "cpt" else 1,
+            seq_len=seq_len,
+            seed=seed,
+            log_every=interval,
+        )
+
+    # 1. Baseline: uninterrupted, full checkpointing.
+    log.info("pipeline[%s/%s/%s]: baseline run", model, task, strategy)
+    baseline_trainer = Trainer(config_for("baseline", "full", None))
+    baseline_result = baseline_trainer.train()
+
+    # 2. Selective run, crashing at the failure step.
+    log.info("pipeline: selective run with failure at %d", failure_step)
+    selective_trainer = Trainer(config_for("selective", strategy, failure_step))
+    interrupted = selective_trainer.train()
+    assert interrupted.interrupted_at == failure_step
+
+    # 3. Auto-merge and resume to completion.
+    tailor = LLMTailor.from_checkpoints(
+        selective_trainer.storage.root, failure_step=failure_step, workers=workers
+    )
+    base_step = max(
+        s for s in list_checkpoint_steps(selective_trainer.storage.root) if s <= failure_step
+    )
+    merge_result = tailor.merge(
+        output=Path(selective_trainer.storage.root) / f"merged-{base_step}"
+    )
+    selective_trainer.resume_from(merge_result.output)
+    resumed = selective_trainer.train()
+
+    # 4. Quality evaluation on the shared knowledge base.
+    eval_baseline = evaluate_suite(
+        baseline_trainer.model, baseline_trainer.tokenizer, baseline_trainer.kb,
+        items_per_benchmark=eval_items,
+    )
+    eval_resumed = evaluate_suite(
+        selective_trainer.model, selective_trainer.tokenizer, selective_trainer.kb,
+        items_per_benchmark=eval_items,
+    )
+
+    # 5. Size / simulated-time accounting (merged dirs excluded by
+    #    construction: only checkpoint-* dirs are counted).
+    return PipelineResult(
+        model=model,
+        task=task,
+        strategy=strategy,
+        failure_step=failure_step,
+        baseline=baseline_result,
+        interrupted=interrupted,
+        resumed=resumed,
+        merge_summary={
+            "checkpoints_included": merge_result.checkpoints_included,
+            "optimizer_files_loaded": merge_result.optimizer_files_loaded,
+            "optimizer_bytes_loaded": merge_result.optimizer_bytes_loaded,
+            "total_seconds": merge_result.total_seconds,
+        },
+        eval_baseline=eval_baseline,
+        eval_resumed=eval_resumed,
+        baseline_ckpt_bytes=_measure_run_bytes(baseline_trainer.storage.root),
+        strategy_ckpt_bytes=_measure_run_bytes(selective_trainer.storage.root),
+        baseline_ckpt_fraction=baseline_result.checkpoint_time_fraction,
+        strategy_ckpt_fraction=resumed.checkpoint_time_fraction,
+    )
+
+
+def paper_scale_overhead(setting: str, strategy: str, **strategy_kwargs) -> dict[str, Any]:
+    """Analytic paper-scale size/time for Tables 3 and 6.
+
+    ``setting`` is one of :data:`PAPER_SETTINGS`; returns total bytes and
+    checkpoint-time fraction over the published run shape.
+    """
+    params = PAPER_SETTINGS[setting]
+    config = get_config(params["model"])
+    strat = build_strategy(strategy, config, params["interval"], **strategy_kwargs)
+    plan = plan_strategy(
+        config,
+        strat,
+        total_steps=params["total_steps"],
+        world_size=8,
+        tokens_per_step_per_gpu=params["tokens_per_step_per_gpu"],
+    )
+    return {
+        "model": params["model"],
+        "strategy": strategy,
+        "events": plan.num_events,
+        "total_bytes": plan.total_bytes,
+        "total_gb": plan.total_bytes / 1e9,
+        "ckpt_fraction": plan.checkpoint_time_fraction,
+    }

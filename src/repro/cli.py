@@ -1,0 +1,201 @@
+"""``llmtailor`` command-line interface.
+
+Mirrors the paper artifact's workflow:
+
+* ``llmtailor merge -r recipe.yaml [-o OUT]`` — assemble a Frankenstein
+  checkpoint from a YAML recipe;
+* ``llmtailor auto-merge RUN_DIR --failure-step N -o OUT`` — scan a
+  partial-checkpoint trail and merge automatically (workflow T2);
+* ``llmtailor verify CKPT_DIR`` — structural verification;
+* ``llmtailor describe CKPT_DIR`` — sizes and slot coverage;
+* ``llmtailor groups MODEL`` — print the tailored 2L+x group layout
+  (paper Fig. 3);
+* ``llmtailor plan MODEL STRATEGY`` — analytic size/time plan for a
+  strategy (paper Tables 3/6 methodology).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from . import __version__
+from .core import LLMTailor, group_layout_table, verify_checkpoint
+from .core.autorecipe import recipe_from_run
+from .io.reader import describe_checkpoint
+from .nn.config import get_config, list_configs
+from .strategies import build_strategy, plan_strategy
+from .util.humanize import format_bytes, format_pct
+from .util.tables import Table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="llmtailor",
+        description="Layer-wise checkpoint tailoring (LLMTailor reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"llmtailor {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_merge = sub.add_parser("merge", help="merge checkpoints from a YAML recipe")
+    p_merge.add_argument("-r", "--recipe", required=True, help="recipe YAML path")
+    p_merge.add_argument("-o", "--output", help="output checkpoint directory")
+
+    p_auto = sub.add_parser("auto-merge", help="auto-merge a partial checkpoint trail")
+    p_auto.add_argument("run_dir", help="training run directory with checkpoint-*/")
+    p_auto.add_argument("--failure-step", type=int, default=None)
+    p_auto.add_argument("-o", "--output", required=True)
+    p_auto.add_argument("--workers", type=int, default=1)
+    p_auto.add_argument(
+        "--cache-mode", choices=("per-checkpoint", "none"), default="per-checkpoint"
+    )
+
+    p_verify = sub.add_parser("verify", help="verify a checkpoint structurally")
+    p_verify.add_argument("checkpoint", help="checkpoint directory")
+
+    p_desc = sub.add_parser("describe", help="describe a checkpoint")
+    p_desc.add_argument("checkpoint", help="checkpoint directory")
+
+    p_groups = sub.add_parser("groups", help="print the tailored parameter-group layout")
+    p_groups.add_argument("model", help=f"model config ({', '.join(list_configs())})")
+
+    p_plan = sub.add_parser("plan", help="analytic strategy overhead plan")
+    p_plan.add_argument("model")
+    p_plan.add_argument("strategy", choices=("full", "parity", "filtered", "magnitude"))
+    p_plan.add_argument("--interval", type=int, default=100)
+    p_plan.add_argument("--steps", type=int, default=1600)
+    p_plan.add_argument("--world-size", type=int, default=8)
+    p_plan.add_argument("--async-writer", action="store_true",
+                        help="model an overlapped (CheckFreq-style) writer")
+
+    p_diff = sub.add_parser("diff", help="layer-wise drift between two checkpoints")
+    p_diff.add_argument("checkpoint_a")
+    p_diff.add_argument("checkpoint_b")
+    p_diff.add_argument("--momentum", action="store_true",
+                        help="also compare optimizer first moments")
+
+    p_prune = sub.add_parser("prune", help="coverage-aware checkpoint retention")
+    p_prune.add_argument("run_dir")
+    p_prune.add_argument("--keep-last", type=int, required=True)
+    p_prune.add_argument("--dry-run", action="store_true")
+    return parser
+
+
+def _cmd_merge(args) -> int:
+    tailor = LLMTailor.from_yaml(args.recipe)
+    result = tailor.merge(output=args.output)
+    print(result.summary())
+    return 0
+
+
+def _cmd_auto_merge(args) -> int:
+    recipe = recipe_from_run(
+        args.run_dir,
+        failure_step=args.failure_step,
+        workers=args.workers,
+        cache_mode=args.cache_mode,
+    )
+    result = LLMTailor(recipe).merge(output=args.output)
+    print(result.summary())
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    report = verify_checkpoint(args.checkpoint)
+    print(report)
+    for issue in report.issues:
+        print(f"  ISSUE: {issue}")
+    return 0 if report.ok else 1
+
+
+def _cmd_describe(args) -> int:
+    info = describe_checkpoint(args.checkpoint)
+    info["weight_nbytes_h"] = format_bytes(info["weight_nbytes"])
+    info["shard_nbytes_h"] = format_bytes(info["shard_nbytes"])
+    info["total_nbytes_h"] = format_bytes(info["total_nbytes"])
+    print(json.dumps(info, indent=2, default=str))
+    return 0
+
+
+def _cmd_groups(args) -> int:
+    config = get_config(args.model)
+    table = Table(
+        ["Index", "Group", "Slot", "Weight decay", "#Params"],
+        title=f"Tailored parameter groups for {config.name} "
+        f"(2L+x = {config.num_param_groups_tailored})",
+    )
+    for row in group_layout_table(config):
+        table.add_row(
+            [row["index"], row["group"], row["slot"], row["weight_decay"], row["num_params"]]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    config = get_config(args.model)
+    strategy = build_strategy(args.strategy, config, args.interval)
+    if args.async_writer:
+        from .strategies import plan_strategy_async
+
+        plan = plan_strategy_async(
+            config, strategy, total_steps=args.steps, world_size=args.world_size
+        )
+    else:
+        plan = plan_strategy(
+            config, strategy, total_steps=args.steps, world_size=args.world_size
+        )
+    print(f"model {config.name}, strategy {plan.strategy}, interval {args.interval}")
+    print(f"  checkpoint events      : {plan.num_events}")
+    print(f"  total checkpoint bytes : {format_bytes(plan.total_bytes)}")
+    print(f"  checkpoint time        : {plan.checkpoint_seconds:.1f}s simulated")
+    print(f"  ckpt time proportion   : {format_pct(plan.checkpoint_time_fraction)}%")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from .core.diffstat import diff_checkpoints, nonuniformity_index
+
+    drifts = diff_checkpoints(args.checkpoint_a, args.checkpoint_b,
+                              include_momentum=args.momentum)
+    table = Table(
+        ["Slot", "Weight drift (rel L2)", "Max |dw|", "Momentum drift", "#Params"],
+        title=f"Layer-wise drift: {args.checkpoint_a} -> {args.checkpoint_b}",
+    )
+    for d in drifts:
+        table.add_row([d.slot, round(d.weight_l2, 6), round(d.weight_max, 6),
+                       round(d.momentum_l2, 6), d.params])
+    print(table.render())
+    print(f"non-uniformity index (max/median drift): {nonuniformity_index(drifts):.2f}")
+    return 0
+
+
+def _cmd_prune(args) -> int:
+    from .io.retention import prune_checkpoints
+
+    removed = prune_checkpoints(args.run_dir, args.keep_last, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"{verb} {len(removed)} checkpoint(s): {removed}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "merge": _cmd_merge,
+        "auto-merge": _cmd_auto_merge,
+        "verify": _cmd_verify,
+        "describe": _cmd_describe,
+        "groups": _cmd_groups,
+        "plan": _cmd_plan,
+        "diff": _cmd_diff,
+        "prune": _cmd_prune,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

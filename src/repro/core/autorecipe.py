@@ -1,0 +1,130 @@
+"""Automatic recipe generation from partial-checkpoint runs.
+
+A partial-checkpointing run leaves a trail of ``checkpoint-<step>``
+directories, each saving only some slots (recorded in its manifest and
+in the strategy's JSON decision log).  To recover from a failure at step
+``F``, each slot must come from the most recent checkpoint at or before
+``F`` that saved it.  This module builds that recipe automatically —
+either from the manifests on disk or from a decision-log JSON file (the
+paper's T2 workflow: "our tool will automatically generate a
+corresponding YAML file").
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from ..io.layout import CheckpointPaths, checkpoint_dir, list_checkpoint_steps
+from ..nn.config import ModelConfig
+from ..nn.slots import model_slots
+from ..util.errors import MergeError
+from ..util.jsonio import read_json
+from .recipe import MergeOptions, MergeRecipe
+
+__all__ = ["recipe_from_run", "recipe_from_decision_log", "latest_slot_coverage"]
+
+
+def latest_slot_coverage(
+    run_root: str | Path, failure_step: int | None = None
+) -> tuple[dict[str, int], ModelConfig]:
+    """Map each slot to the newest checkpoint step (<= failure) carrying it."""
+    run_root = Path(run_root)
+    steps = list_checkpoint_steps(run_root)
+    if failure_step is not None:
+        steps = [s for s in steps if s <= failure_step]
+    if not steps:
+        raise MergeError(
+            f"no usable checkpoints under {run_root}"
+            + (f" at or before step {failure_step}" if failure_step is not None else "")
+        )
+
+    config: ModelConfig | None = None
+    coverage: dict[str, int] = {}
+    for step in steps:  # ascending: later checkpoints overwrite earlier
+        paths = checkpoint_dir(run_root, step)
+        manifest = paths.read_manifest()
+        if config is None:
+            config = ModelConfig.from_dict(read_json(paths.config))
+        for slot in manifest.get("slots", []):
+            coverage[slot] = step
+    assert config is not None
+    missing = [s for s in model_slots(config) if s not in coverage]
+    if missing:
+        raise MergeError(
+            f"slots {missing[:6]} were never checkpointed before step "
+            f"{failure_step}; recovery is impossible — checkpoint strategy bug?"
+        )
+    return coverage, config
+
+
+def recipe_from_run(
+    run_root: str | Path,
+    failure_step: int | None = None,
+    *,
+    workers: int = 1,
+    cache_mode: str = "per-checkpoint",
+    verify: bool = True,
+) -> MergeRecipe:
+    """Build a merge recipe by scanning checkpoint manifests on disk."""
+    run_root = Path(run_root)
+    coverage, config = latest_slot_coverage(run_root, failure_step)
+    base_step = max(coverage.values())
+    base = checkpoint_dir(run_root, base_step)
+    assignments = {
+        slot: checkpoint_dir(run_root, step).dir
+        for slot, step in coverage.items()
+        if step != base_step
+    }
+    return MergeRecipe(
+        base_checkpoint=base.dir,
+        assignments=assignments,
+        options=MergeOptions(workers=workers, cache_mode=cache_mode, verify=verify),
+    )
+
+
+def recipe_from_decision_log(
+    log_path: str | Path,
+    run_root: str | Path,
+    failure_step: int | None = None,
+    *,
+    workers: int = 1,
+    cache_mode: str = "per-checkpoint",
+) -> MergeRecipe:
+    """Build a recipe from a strategy's JSON decision log.
+
+    The log format is produced by :class:`repro.strategies.base
+    .CheckpointStrategy`: ``{"records": [{"step": int, "slots": [...]},
+    ...]}``.  Only steps with an existing checkpoint directory count.
+    """
+    log = read_json(log_path)
+    records: list[dict[str, Any]] = log.get("records", [])
+    if not records:
+        raise MergeError(f"decision log {log_path} has no records")
+    run_root = Path(run_root)
+
+    coverage: dict[str, int] = {}
+    for record in sorted(records, key=lambda r: int(r["step"])):
+        step = int(record["step"])
+        if failure_step is not None and step > failure_step:
+            break
+        if not checkpoint_dir(run_root, step).exists():
+            continue  # the log may mention steps whose files were pruned
+        for slot in record.get("slots", []):
+            coverage[slot] = step
+    if not coverage:
+        raise MergeError(
+            f"decision log {log_path} covers no existing checkpoints under {run_root}"
+        )
+    base_step = max(coverage.values())
+    base = checkpoint_dir(run_root, base_step)
+    assignments = {
+        slot: checkpoint_dir(run_root, step).dir
+        for slot, step in coverage.items()
+        if step != base_step
+    }
+    return MergeRecipe(
+        base_checkpoint=base.dir,
+        assignments=assignments,
+        options=MergeOptions(workers=workers, cache_mode=cache_mode),
+    )

@@ -1,0 +1,59 @@
+"""Configuration/metadata handling for merged checkpoints (paper §4.4).
+
+Metadata files (training args, trainer state with step and learning
+rate, scheduler state, RNG provenance) are copied verbatim from the most
+recent source checkpoint so the Frankenstein checkpoint resumes with the
+correct schedule position.  A fresh manifest marks the output complete
+and records full merge provenance.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+from ..io.layout import CheckpointPaths
+from ..nn.slots import model_slots
+from ..util.errors import MergeError
+from .plan import MergePlan
+
+__all__ = ["copy_config_files", "write_merged_manifest"]
+
+
+def copy_config_files(plan: MergePlan) -> list[str]:
+    """Copy the metadata files from ``plan.config_source`` to the output.
+
+    Returns the list of files copied.  Missing optional files are
+    tolerated (older checkpoints); a missing ``config.json`` or
+    ``trainer_state.json`` is an error because resume cannot work.
+    """
+    plan.output.mkdir(parents=True, exist_ok=True)
+    copied: list[str] = []
+    required = {"config.json", "trainer_state.json"}
+    for name in CheckpointPaths.CONFIG_FILES:
+        src = plan.config_source.dir / name
+        if not src.exists():
+            if name in required:
+                raise MergeError(
+                    f"config source {plan.config_source.dir} is missing required {name}"
+                )
+            continue
+        shutil.copy2(src, plan.output / name)
+        copied.append(name)
+    return copied
+
+
+def write_merged_manifest(plan: MergePlan) -> dict:
+    """Manifest for the merged (complete) checkpoint, with provenance."""
+    manifest = {
+        "format_version": 1,
+        "step": plan.config_source.step,
+        "model_config": plan.config.name,
+        "strategy": "llmtailor-merge",
+        "world_size": plan.world_size,
+        "slots": model_slots(plan.config),
+        "all_slots": model_slots(plan.config),
+        "complete": True,
+        "merge_provenance": plan.describe(),
+    }
+    CheckpointPaths(plan.output).write_manifest(manifest)
+    return manifest

@@ -1,0 +1,156 @@
+"""Mini-MergeKit: the weights-only merging baseline (paper §3).
+
+Reproduces what MergeKit can and — crucially — cannot do, so the paper's
+comparison is testable:
+
+* merges **model weight files only**: ``passthrough`` (layer slicing),
+  ``linear`` (weighted average) and ``slerp`` (spherical interpolation);
+* manipulates **transformer layers only** — embeddings, the final norm
+  and the lm_head are always taken from the base model;
+* **ignores optimizer shards and config files entirely**, so its output
+  is *not* resumable: it is a weights directory, not a checkpoint.
+
+LLMTailor adopts the same recipe style and extends it to full
+checkpoints.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..io.layout import CheckpointPaths, WEIGHTS_NAME
+from ..io.tensorfile import TensorFile, write_tensorfile
+from ..nn.config import ModelConfig
+from ..nn.slots import EMBED, LM_HEAD, NORM, slot_parameter_shapes, transformer_slots
+from ..util import miniyaml
+from ..util.errors import MergeError, RecipeError
+from ..util.jsonio import read_json
+
+__all__ = ["mergekit_merge", "mergekit_merge_from_yaml", "MERGE_METHODS"]
+
+MERGE_METHODS = ("passthrough", "linear", "slerp")
+
+
+def _slerp(a: np.ndarray, b: np.ndarray, t: float) -> np.ndarray:
+    """Spherical linear interpolation between two flattened tensors."""
+    a_flat = a.ravel().astype(np.float64)
+    b_flat = b.ravel().astype(np.float64)
+    na, nb = np.linalg.norm(a_flat), np.linalg.norm(b_flat)
+    if na == 0 or nb == 0:
+        return ((1 - t) * a + t * b).astype(np.float32)
+    cos = float(np.clip(a_flat @ b_flat / (na * nb), -1.0, 1.0))
+    omega = np.arccos(cos)
+    if omega < 1e-7:  # nearly parallel: fall back to lerp
+        return ((1 - t) * a + t * b).astype(np.float32)
+    sin = np.sin(omega)
+    out = (np.sin((1 - t) * omega) / sin) * a_flat + (np.sin(t * omega) / sin) * b_flat
+    return out.reshape(a.shape).astype(np.float32)
+
+
+def mergekit_merge(
+    *,
+    base: str | Path,
+    output: str | Path,
+    method: str = "passthrough",
+    layer_sources: dict[int, str | Path] | None = None,
+    blend: float = 0.5,
+    other: str | Path | None = None,
+) -> Path:
+    """Weights-only merge, MergeKit style.
+
+    ``passthrough``: take transformer layer ``i`` from
+    ``layer_sources[i]`` (default: base).  ``linear``/``slerp``: combine
+    every transformer layer of ``base`` with ``other`` at ratio
+    ``blend``.  Auxiliary layers always come from ``base`` (§3 limitation
+    2); nothing but ``model.tsr`` is written (limitations 1 and 3).
+    """
+    if method not in MERGE_METHODS:
+        raise RecipeError(f"unknown merge method {method!r}; expected one of {MERGE_METHODS}")
+    base_cp = CheckpointPaths(base)
+    if not base_cp.weights.exists():
+        raise MergeError(f"base model weights not found: {base_cp.weights}")
+    config = ModelConfig.from_dict(read_json(base_cp.config))
+    base_reader = TensorFile(base_cp.weights)
+    by_slot = slot_parameter_shapes(config)
+
+    merged: dict[str, np.ndarray] = {}
+
+    # Auxiliary layers: always the base model (MergeKit limitation).
+    for slot in (EMBED, NORM, LM_HEAD):
+        for name in by_slot.get(slot, {}):
+            merged[name] = base_reader.read(name)
+
+    if method == "passthrough":
+        sources = {int(k): Path(v) for k, v in (layer_sources or {}).items()}
+        readers: dict[Path, TensorFile] = {}
+        for i, slot in enumerate(transformer_slots(config)):
+            src = sources.get(i)
+            if src is None:
+                reader = base_reader
+            else:
+                reader = readers.get(src)
+                if reader is None:
+                    reader = TensorFile(CheckpointPaths(src).weights)
+                    readers[src] = reader
+            for name in by_slot[slot]:
+                if name not in reader:
+                    raise MergeError(f"source for layer {i} lacks tensor {name!r}")
+                merged[name] = reader.read(name)
+    else:
+        if other is None:
+            raise RecipeError(f"method {method!r} requires 'other' model")
+        other_reader = TensorFile(CheckpointPaths(other).weights)
+        for slot in transformer_slots(config):
+            for name in by_slot[slot]:
+                a = base_reader.read(name)
+                b = other_reader.read(name)
+                if a.shape != b.shape:
+                    raise MergeError(f"shape mismatch for {name}: {a.shape} vs {b.shape}")
+                if method == "linear":
+                    merged[name] = (1.0 - blend) * a + blend * b
+                else:
+                    merged[name] = _slerp(a, b, blend)
+
+    output = Path(output)
+    output.mkdir(parents=True, exist_ok=True)
+    write_tensorfile(
+        output / WEIGHTS_NAME,
+        merged,
+        dtype=config.storage_dtype,
+        metadata={"model": config.name, "merged_by": "mini-mergekit", "method": method},
+    )
+    # NOTE: deliberately NO optimizer shards, NO trainer_state.json, NO
+    # manifest — this output cannot resume training (the gap LLMTailor
+    # fills).  Only config.json is emitted so the weights are loadable.
+    import shutil
+
+    shutil.copy2(base_cp.config, output / "config.json")
+    return output
+
+
+def mergekit_merge_from_yaml(path: str | Path) -> Path:
+    """Run a weights-only merge from a MergeKit-style YAML document.
+
+    Schema::
+
+        method: passthrough | linear | slerp
+        base: <model dir>
+        output: <dir>
+        layers: {0: <dir>, 1: <dir>, ...}   # passthrough
+        other: <dir>                        # linear / slerp
+        blend: 0.5
+    """
+    doc: Any = miniyaml.load_file(path)
+    if not isinstance(doc, dict):
+        raise RecipeError("mergekit recipe must be a mapping")
+    return mergekit_merge(
+        base=doc["base"],
+        output=doc["output"],
+        method=doc.get("method", "passthrough"),
+        layer_sources=doc.get("layers"),
+        blend=float(doc.get("blend", 0.5)),
+        other=doc.get("other"),
+    )

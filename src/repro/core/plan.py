@@ -1,0 +1,160 @@
+"""Merge plans: a recipe resolved against real checkpoints on disk.
+
+Resolution validates everything the merge will rely on:
+
+* every referenced checkpoint exists and has a manifest,
+* all checkpoints were written by the same model config and world size,
+* every slot's designated source actually *contains* that slot (partial
+  checkpoints only carry some slots),
+* every slot of the model is covered (falling back to the base).
+
+The plan also fixes the group → slot arithmetic (via
+:mod:`repro.core.groups`) and the per-rank load order, including the
+"interleaved parity" order of paper §5.4 where each layer forces a
+reload of its source checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..io.layout import CheckpointPaths
+from ..nn.config import ModelConfig
+from ..nn.slots import model_slots
+from ..util.errors import MergeError, RecipeError
+from ..util.jsonio import read_json
+from .groups import slot_of_group
+from .recipe import MergeOptions, MergeRecipe
+
+__all__ = ["MergePlan", "resolve_plan"]
+
+
+@dataclass
+class MergePlan:
+    """Everything the merge engine needs, fully validated."""
+
+    config: ModelConfig
+    world_size: int
+    base: CheckpointPaths
+    slot_sources: dict[str, CheckpointPaths]
+    options: MergeOptions
+    output: Path
+    config_source: CheckpointPaths
+
+    # Derived below.
+    num_groups: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.num_groups = self.config.num_param_groups_tailored
+
+    def group_source(self, group_index: int) -> CheckpointPaths:
+        """Checkpoint providing a given optimizer group."""
+        return self.slot_sources[slot_of_group(self.config, group_index)]
+
+    def distinct_sources(self) -> list[CheckpointPaths]:
+        seen: dict[Path, CheckpointPaths] = {}
+        for cp in [self.base, *self.slot_sources.values()]:
+            seen.setdefault(cp.dir, cp)
+        return list(seen.values())
+
+    def group_load_order(self) -> list[int]:
+        """Group indices in on-disk (canonical) order — the write order."""
+        return list(range(self.num_groups))
+
+    def describe(self) -> dict:
+        """JSON-serializable plan summary (recorded in the output manifest)."""
+        return {
+            "model_config": self.config.name,
+            "world_size": self.world_size,
+            "base": str(self.base.dir),
+            "output": str(self.output),
+            "slot_sources": {s: str(cp.dir) for s, cp in self.slot_sources.items()},
+            "options": {
+                "workers": self.options.workers,
+                "cache_mode": self.options.cache_mode,
+            },
+        }
+
+    def to_worker_spec(self) -> dict:
+        """Picklable description for ProcessPoolExecutor workers."""
+        return {
+            "config": self.config.to_dict(),
+            "world_size": self.world_size,
+            "slot_sources": {s: str(cp.dir) for s, cp in self.slot_sources.items()},
+            "cache_mode": self.options.cache_mode,
+            "output": str(self.output),
+        }
+
+
+def _checkpoint(path: Path, role: str) -> CheckpointPaths:
+    cp = CheckpointPaths(path)
+    if not cp.exists():
+        raise MergeError(f"{role} checkpoint not found: {path}")
+    if not cp.manifest.exists():
+        raise MergeError(f"{role} checkpoint {path} has no tailor_manifest.json")
+    return cp
+
+
+def resolve_plan(recipe: MergeRecipe, output: str | Path | None = None) -> MergePlan:
+    """Validate a recipe against the filesystem and build the plan."""
+    base = _checkpoint(recipe.base_checkpoint, "base")
+    base_manifest = base.read_manifest()
+    config = ModelConfig.from_dict(read_json(base.config))
+    world_size = int(base_manifest["world_size"])
+
+    out = output or recipe.output
+    if out is None:
+        raise RecipeError("no output directory given (recipe 'output' or merge(output=...))")
+    out = Path(out)
+    if out.resolve() == base.dir.resolve():
+        raise MergeError("output directory must differ from the base checkpoint")
+
+    slots = model_slots(config)
+    unknown = set(recipe.assignments) - set(slots)
+    if unknown:
+        raise MergeError(
+            f"recipe assigns slots {sorted(unknown)} not present in model "
+            f"{config.name!r} (tied lm_head?)"
+        )
+
+    slot_sources: dict[str, CheckpointPaths] = {}
+    manifests: dict[Path, dict] = {base.dir: base_manifest}
+    for slot in slots:
+        source_path = recipe.source_for(slot)
+        cp = _checkpoint(Path(source_path), f"slot {slot!r}")
+        manifest = manifests.get(cp.dir)
+        if manifest is None:
+            manifest = cp.read_manifest()
+            manifests[cp.dir] = manifest
+        if manifest.get("model_config") != config.name:
+            raise MergeError(
+                f"checkpoint {cp.dir} was written by model "
+                f"{manifest.get('model_config')!r}, base is {config.name!r}"
+            )
+        if int(manifest.get("world_size", -1)) != world_size:
+            raise MergeError(
+                f"checkpoint {cp.dir} has world_size {manifest.get('world_size')}, "
+                f"base has {world_size} — shard layouts are incompatible"
+            )
+        if slot not in manifest.get("slots", []):
+            raise MergeError(
+                f"checkpoint {cp.dir} does not contain slot {slot!r} "
+                f"(it saved {manifest.get('slots', [])[:6]}...)"
+            )
+        slot_sources[slot] = cp
+
+    if recipe.options.copy_configs_from == "base":
+        config_source = base
+    else:
+        config_source = _checkpoint(Path(recipe.options.copy_configs_from), "config-source")
+
+    return MergePlan(
+        config=config,
+        world_size=world_size,
+        base=base,
+        slot_sources=slot_sources,
+        options=recipe.options,
+        output=out,
+        config_source=config_source,
+    )

@@ -1,0 +1,180 @@
+"""Structural verification of (merged) checkpoints.
+
+After assembling a Frankenstein checkpoint, LLMTailor verifies that the
+result is a well-formed *complete* checkpoint: the weight file covers
+the exact parameter set, every rank shard carries all 2L+x groups with
+the right sizes and decay settings, and — when sources are available —
+every slot is bit-identical to the checkpoint it was taken from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..io.blobfile import read_blob
+from ..io.layout import CheckpointPaths
+from ..io.tensorfile import TensorFile
+from ..nn.config import ModelConfig
+from ..nn.slots import parameter_shapes, slot_parameter_shapes
+from ..util.errors import MergeError
+from ..util.jsonio import read_json
+from .groups import groups_for_slot, tailored_group_specs
+
+__all__ = ["VerifyReport", "verify_checkpoint"]
+
+
+@dataclass
+class VerifyReport:
+    path: Path
+    issues: list[str] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def note(self, ok: bool, message: str) -> None:
+        self.checks_run += 1
+        if not ok:
+            self.issues.append(message)
+
+    def raise_if_failed(self) -> None:
+        if self.issues:
+            summary = "; ".join(self.issues[:5])
+            raise MergeError(f"checkpoint verification failed for {self.path}: {summary}")
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else f"{len(self.issues)} issue(s)"
+        return f"VerifyReport({self.path}: {self.checks_run} checks, {status})"
+
+
+def verify_checkpoint(
+    directory: str | Path,
+    *,
+    sources: dict[str, CheckpointPaths] | None = None,
+    weight_decay: float = 0.01,
+) -> VerifyReport:
+    """Run structural checks; returns a report (never raises directly)."""
+    paths = CheckpointPaths(directory)
+    report = VerifyReport(path=Path(directory))
+
+    if not paths.exists():
+        report.note(False, "directory does not exist")
+        return report
+    if not paths.manifest.exists():
+        report.note(False, "missing tailor_manifest.json")
+        return report
+
+    manifest = paths.read_manifest()
+    report.note(manifest.get("complete", False) is True, "manifest not marked complete")
+
+    try:
+        config = ModelConfig.from_dict(read_json(paths.config))
+    except Exception as exc:  # noqa: BLE001 - reported, not raised
+        report.note(False, f"config.json unreadable: {exc}")
+        return report
+
+    # 1. Weight file covers the exact parameter set with exact shapes.
+    try:
+        weights = TensorFile(paths.weights)
+        expected = parameter_shapes(config)
+        missing = [n for n in expected if n not in weights]
+        extra = [n for n in weights.names if n not in expected]
+        report.note(not missing, f"weight file missing tensors: {missing[:4]}")
+        report.note(not extra, f"weight file has unexpected tensors: {extra[:4]}")
+        for name, shape in expected.items():
+            if name in weights and weights.shape(name) != tuple(shape):
+                report.note(
+                    False, f"tensor {name} shape {weights.shape(name)} != {tuple(shape)}"
+                )
+        report.note(True, "")
+    except Exception as exc:  # noqa: BLE001
+        report.note(False, f"weight file unreadable: {exc}")
+        return report
+
+    # 2. Every rank shard: all groups present, sizes and decay correct.
+    world_size = int(manifest.get("world_size", 0))
+    report.note(world_size >= 1, f"bad world_size {world_size} in manifest")
+    specs = tailored_group_specs(config, weight_decay)
+    expected_numel = {}
+    shapes_by_name = parameter_shapes(config)
+    for spec in specs:
+        expected_numel[spec.index] = sum(
+            int(np.prod(shapes_by_name[n])) for n in spec.param_names
+        )
+    for rank in range(world_size):
+        shard_path = paths.shard(rank)
+        if not shard_path.exists():
+            report.note(False, f"missing shard for rank {rank}")
+            continue
+        try:
+            shard = read_blob(shard_path)
+        except Exception as exc:  # noqa: BLE001
+            report.note(False, f"rank {rank} shard unreadable: {exc}")
+            continue
+        got = {h["index"] for h in shard["groups"]}
+        want = set(range(config.num_param_groups_tailored))
+        report.note(
+            got == want,
+            f"rank {rank} shard groups {sorted(want - got)[:4]} missing",
+        )
+        for header in shard["groups"]:
+            g = header["index"]
+            spec = specs[g] if g < len(specs) else None
+            if spec is None:
+                continue
+            if header["numel"] != expected_numel[g]:
+                report.note(
+                    False,
+                    f"rank {rank} group {g} numel {header['numel']} != {expected_numel[g]}",
+                )
+            decayed = float(header.get("weight_decay", 0.0)) != 0.0
+            if decayed != spec.is_decay:
+                report.note(
+                    False,
+                    f"rank {rank} group {g} decay setting inverted vs canonical layout",
+                )
+            fp32 = shard["fp32_flat_groups"].get(g)
+            st = shard["state"].get(g, {})
+            shard_len = header["padded_numel"] // world_size
+            if fp32 is None or fp32.shape != (shard_len,):
+                report.note(False, f"rank {rank} group {g} fp32 shard malformed")
+            for key in ("exp_avg", "exp_avg_sq"):
+                arr = st.get(key)
+                if arr is None or np.asarray(arr).shape != (shard_len,):
+                    report.note(False, f"rank {rank} group {g} missing/odd {key}")
+
+    # 3. Optional provenance check: slots bitwise equal to their sources.
+    if sources:
+        by_slot = slot_parameter_shapes(config)
+        for slot, source in sources.items():
+            try:
+                src_weights = TensorFile(source.weights)
+                for name in by_slot[slot]:
+                    a, _ = weights.read_raw(name)
+                    b, _ = src_weights.read_raw(name)
+                    report.note(
+                        a == b, f"slot {slot} tensor {name} differs from source {source.dir}"
+                    )
+            except Exception as exc:  # noqa: BLE001
+                report.note(False, f"source comparison failed for slot {slot}: {exc}")
+            for rank in range(world_size):
+                try:
+                    merged_shard = read_blob(paths.shard(rank))
+                    src_shard = read_blob(source.shard(rank))
+                    src_fp32 = src_shard["fp32_flat_groups"]
+                    for g in groups_for_slot(config, slot):
+                        ok = g in src_fp32 and np.array_equal(
+                            merged_shard["fp32_flat_groups"][g], src_fp32[g]
+                        )
+                        report.note(
+                            ok,
+                            f"rank {rank} group {g} (slot {slot}) fp32 differs from source",
+                        )
+                except Exception as exc:  # noqa: BLE001
+                    report.note(False, f"rank {rank} shard comparison failed: {exc}")
+                    break
+    return report

@@ -1,0 +1,20 @@
+"""Synthetic data substrate: tokenizer, knowledge base, datasets."""
+
+from .datasets import Batch, CPTDataset, SFTDataset
+from .facts import Disease, GeneralFact, MedicalKB
+from .synthetic import QAPair, general_fact_sentences, medqa_like_pairs, pubmed_like_corpus
+from .tokenizer import WordTokenizer
+
+__all__ = [
+    "Batch",
+    "CPTDataset",
+    "Disease",
+    "GeneralFact",
+    "MedicalKB",
+    "QAPair",
+    "SFTDataset",
+    "WordTokenizer",
+    "general_fact_sentences",
+    "medqa_like_pairs",
+    "pubmed_like_corpus",
+]

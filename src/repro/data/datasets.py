@@ -1,0 +1,165 @@
+"""Tokenized training datasets with *stateless* step-indexed batching.
+
+The batch drawn at global step ``t`` is a pure function of
+``(seed, t)`` — no iterator state.  This is what makes recovery exact:
+resuming from a checkpoint at step ``t`` replays precisely the batches
+an uninterrupted run would have seen, so the identity-merge recovery
+trajectory overlays the original one bit-for-bit (paper §5.2, Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd.functional import IGNORE_INDEX
+from ..util.errors import ConfigError
+from ..util.rng import RngTree
+from .synthetic import QAPair
+from .tokenizer import WordTokenizer
+
+__all__ = ["Batch", "CPTDataset", "SFTDataset"]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One micro-batch: inputs and next-token labels (both ``(B, T)``)."""
+
+    input_ids: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.input_ids.shape != self.labels.shape:
+            raise ConfigError(
+                f"batch shapes differ: inputs {self.input_ids.shape} vs labels {self.labels.shape}"
+            )
+
+    @property
+    def num_target_tokens(self) -> int:
+        return int((self.labels != IGNORE_INDEX).sum())
+
+
+class CPTDataset:
+    """Continual-pre-training dataset: documents packed into blocks.
+
+    Documents are concatenated (with EOS separators) into one token
+    stream, then cut into ``seq_len + 1`` windows; inputs are the first
+    ``seq_len`` tokens and labels the last ``seq_len`` (next-token).
+    """
+
+    def __init__(
+        self, docs: list[str], tokenizer: WordTokenizer, *, seq_len: int, seed: int = 0
+    ) -> None:
+        if seq_len < 2:
+            raise ConfigError(f"seq_len must be >= 2, got {seq_len}")
+        self.tokenizer = tokenizer
+        self.seq_len = seq_len
+        self.seed = seed
+        stream: list[int] = []
+        for doc in docs:
+            stream.extend(tokenizer.encode(doc, add_bos=True, add_eos=True))
+        n_blocks = (len(stream) - 1) // seq_len
+        if n_blocks < 1:
+            raise ConfigError(
+                f"corpus too small: {len(stream)} tokens < one block of {seq_len + 1}"
+            )
+        self._stream = np.asarray(stream[: n_blocks * seq_len + 1], dtype=np.int64)
+        self.num_blocks = n_blocks
+        self._tree = RngTree(seed, "cpt-batches")
+
+    def __len__(self) -> int:
+        return self.num_blocks
+
+    def block(self, index: int) -> Batch:
+        lo = index * self.seq_len
+        window = self._stream[lo : lo + self.seq_len + 1]
+        return Batch(input_ids=window[:-1][None, :], labels=window[1:][None, :])
+
+    def batch_at_step(self, step: int, batch_size: int, *, tag: str = "train") -> Batch:
+        """The deterministic micro-batch for a global step (stateless)."""
+        rng = self._tree.generator(tag, step)
+        picks = rng.integers(0, self.num_blocks, size=batch_size)
+        inputs = np.stack([self._stream[p * self.seq_len : p * self.seq_len + self.seq_len] for p in picks])
+        labels = np.stack(
+            [self._stream[p * self.seq_len + 1 : p * self.seq_len + self.seq_len + 1] for p in picks]
+        )
+        return Batch(input_ids=inputs, labels=labels)
+
+    def eval_batches(self, batch_size: int, max_batches: int = 8) -> list[Batch]:
+        """Fixed held-out-ish evaluation batches (deterministic)."""
+        rng = self._tree.generator("eval")
+        out = []
+        for _ in range(max_batches):
+            picks = rng.integers(0, self.num_blocks, size=batch_size)
+            inputs = np.stack(
+                [self._stream[p * self.seq_len : p * self.seq_len + self.seq_len] for p in picks]
+            )
+            labels = np.stack(
+                [self._stream[p * self.seq_len + 1 : p * self.seq_len + self.seq_len + 1] for p in picks]
+            )
+            out.append(Batch(input_ids=inputs, labels=labels))
+        return out
+
+
+class SFTDataset:
+    """Supervised fine-tuning dataset: prompt masked, answer supervised."""
+
+    def __init__(
+        self,
+        pairs: list[QAPair],
+        tokenizer: WordTokenizer,
+        *,
+        seq_len: int,
+        seed: int = 0,
+    ) -> None:
+        if not pairs:
+            raise ConfigError("SFT dataset needs at least one pair")
+        self.tokenizer = tokenizer
+        self.seq_len = seq_len
+        self.seed = seed
+        self._examples: list[tuple[np.ndarray, np.ndarray]] = []
+        for pair in pairs:
+            q = tokenizer.encode(pair.question, add_bos=True)
+            a = tokenizer.encode(pair.answer, add_eos=True)
+            ids = (q + [tokenizer.sep_id] + a)[: seq_len + 1]
+            tokens = np.asarray(ids, dtype=np.int64)
+            inputs = tokens[:-1]
+            labels = tokens[1:].copy()
+            # Mask the prompt (everything up to and including <sep>).
+            prompt_len = min(len(q), len(labels))
+            labels[:prompt_len] = IGNORE_INDEX
+            if (labels != IGNORE_INDEX).sum() == 0:
+                continue  # truncated answer entirely; skip
+            pad = seq_len - len(inputs)
+            if pad > 0:
+                inputs = np.concatenate([inputs, np.full(pad, tokenizer.pad_id, dtype=np.int64)])
+                labels = np.concatenate([labels, np.full(pad, IGNORE_INDEX, dtype=np.int64)])
+            self._examples.append((inputs, labels))
+        if not self._examples:
+            raise ConfigError("every SFT pair was truncated away; raise seq_len")
+        self._tree = RngTree(seed, "sft-batches")
+
+    def __len__(self) -> int:
+        return len(self._examples)
+
+    def example(self, index: int) -> Batch:
+        inputs, labels = self._examples[index]
+        return Batch(input_ids=inputs[None, :], labels=labels[None, :])
+
+    def batch_at_step(self, step: int, batch_size: int, *, tag: str = "train") -> Batch:
+        rng = self._tree.generator(tag, step)
+        picks = rng.integers(0, len(self._examples), size=batch_size)
+        inputs = np.stack([self._examples[p][0] for p in picks])
+        labels = np.stack([self._examples[p][1] for p in picks])
+        return Batch(input_ids=inputs, labels=labels)
+
+    def eval_batches(self, batch_size: int, max_batches: int = 8) -> list[Batch]:
+        rng = self._tree.generator("eval")
+        out = []
+        for _ in range(max_batches):
+            picks = rng.integers(0, len(self._examples), size=batch_size)
+            inputs = np.stack([self._examples[p][0] for p in picks])
+            labels = np.stack([self._examples[p][1] for p in picks])
+            out.append(Batch(input_ids=inputs, labels=labels))
+        return out

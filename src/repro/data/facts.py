@@ -1,0 +1,120 @@
+"""A deterministic synthetic medical knowledge base.
+
+Substitute for PubMed-Summarization / MedQA (unavailable offline): a
+closed world of invented diseases, drugs, symptoms and organs with
+functional relations between them.  The same KB underlies the CPT
+corpus, the SFT pairs, and the evaluation benchmarks, so a model trained
+on the corpora genuinely *knows* the answers the benchmarks probe —
+which is what makes the quality-preservation comparison (paper Tables
+2/5) meaningful at toy scale.
+
+Everything derives from one seed; names are pronounceable
+syllable-concatenations so the word-level tokenizer stays compact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..util.rng import RngTree
+
+__all__ = ["Disease", "GeneralFact", "MedicalKB"]
+
+_ONSETS = ["b", "br", "c", "cl", "d", "dr", "f", "g", "gl", "k", "l", "m", "n", "p", "pr", "s", "st", "t", "tr", "v", "z"]
+_VOWELS = ["a", "e", "i", "o", "u", "ia", "eo"]
+_CODAS = ["", "n", "r", "l", "x", "s", "m"]
+
+
+def _make_name(rng: np.random.Generator, syllables: int, suffix: str = "") -> str:
+    parts = []
+    for _ in range(syllables):
+        parts.append(rng.choice(_ONSETS) + rng.choice(_VOWELS) + rng.choice(_CODAS))
+    return "".join(parts) + suffix
+
+
+@dataclass(frozen=True)
+class Disease:
+    name: str
+    treatment: str  # drug
+    symptom: str
+    organ: str
+    risk_factor: str
+
+
+@dataclass(frozen=True)
+class GeneralFact:
+    subject: str
+    relation: str  # "capital" | "element" | "inventor"
+    value: str
+
+
+@dataclass
+class MedicalKB:
+    seed: int
+    diseases: list[Disease] = field(default_factory=list)
+    general: list[GeneralFact] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, seed: int = 1234, *, n_diseases: int = 24, n_general: int = 18) -> "MedicalKB":
+        tree = RngTree(seed, "medical-kb")
+        rng = tree.generator("entities")
+
+        drugs = sorted({_make_name(rng, 2, "ol") for _ in range(n_diseases * 2)})[:n_diseases]
+        symptoms = sorted({_make_name(rng, 2, "ia") for _ in range(n_diseases * 2)})[:n_diseases]
+        organs = ["heart", "liver", "lung", "kidney", "spleen", "brain", "stomach", "pancreas"]
+        risks = ["smoking", "obesity", "age", "stress", "toxins", "infection"]
+
+        diseases: list[Disease] = []
+        used_names: set[str] = set()
+        while len(diseases) < n_diseases:
+            name = _make_name(rng, 2, "osis")
+            if name in used_names:
+                continue
+            used_names.add(name)
+            i = len(diseases)
+            diseases.append(
+                Disease(
+                    name=name,
+                    treatment=drugs[i % len(drugs)],
+                    symptom=symptoms[i % len(symptoms)],
+                    organ=organs[int(rng.integers(len(organs)))],
+                    risk_factor=risks[int(rng.integers(len(risks)))],
+                )
+            )
+
+        grng = tree.generator("general")
+        general: list[GeneralFact] = []
+        used = set()
+        relations = ["capital", "element", "inventor"]
+        while len(general) < n_general:
+            subject = _make_name(grng, 2, "land" if len(general) % 3 == 0 else "ium")
+            if subject in used:
+                continue
+            used.add(subject)
+            value = _make_name(grng, 2)
+            general.append(
+                GeneralFact(subject=subject, relation=relations[len(general) % 3], value=value)
+            )
+        return cls(seed=seed, diseases=diseases, general=general)
+
+    # -- vocabulary ---------------------------------------------------------------
+
+    def entity_words(self) -> list[str]:
+        """Every invented word (for tokenizer coverage checks)."""
+        words: set[str] = set()
+        for d in self.diseases:
+            words.update([d.name, d.treatment, d.symptom, d.organ, d.risk_factor])
+        for f in self.general:
+            words.update([f.subject, f.value])
+        return sorted(words)
+
+    def treatments(self) -> list[str]:
+        return sorted({d.treatment for d in self.diseases})
+
+    def symptoms(self) -> list[str]:
+        return sorted({d.symptom for d in self.diseases})
+
+    def organs(self) -> list[str]:
+        return sorted({d.organ for d in self.diseases})

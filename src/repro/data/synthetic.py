@@ -1,0 +1,119 @@
+"""Synthetic corpora: a PubMed-like CPT corpus and MedQA-like SFT pairs.
+
+Both are generated deterministically from a :class:`MedicalKB`, using
+sentence templates with filler variation so the corpus has learnable
+statistical structure beyond the raw facts (word order, collocations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.rng import RngTree
+from .facts import Disease, GeneralFact, MedicalKB
+
+__all__ = ["QAPair", "pubmed_like_corpus", "medqa_like_pairs", "general_fact_sentences"]
+
+_FILLERS = [
+    "recent studies indicate that",
+    "clinical evidence shows that",
+    "it is well established that",
+    "researchers report that",
+    "according to current guidelines ,",
+]
+
+_DISEASE_TEMPLATES = [
+    "{filler} the recommended treatment for {name} is {treatment} .",
+    "{filler} patients with {name} typically present with {symptom} .",
+    "{filler} {name} primarily affects the {organ} .",
+    "{filler} a major risk factor for {name} is {risk} .",
+    "treatment of {name} with {treatment} improves outcomes .",
+    "{name} is characterized by {symptom} and involvement of the {organ} .",
+]
+
+_GENERAL_TEMPLATES = {
+    "capital": "the capital of {subject} is {value} .",
+    "element": "the compound {subject} is composed mainly of {value} .",
+    "inventor": "the device {subject} was invented by {value} .",
+}
+
+
+@dataclass(frozen=True)
+class QAPair:
+    """One supervised fine-tuning example."""
+
+    question: str
+    answer: str
+
+
+def _disease_sentences(d: Disease, rng: np.random.Generator, n: int) -> list[str]:
+    out = []
+    for _ in range(n):
+        template = _DISEASE_TEMPLATES[int(rng.integers(len(_DISEASE_TEMPLATES)))]
+        filler = _FILLERS[int(rng.integers(len(_FILLERS)))]
+        out.append(
+            template.format(
+                filler=filler,
+                name=d.name,
+                treatment=d.treatment,
+                symptom=d.symptom,
+                organ=d.organ,
+                risk=d.risk_factor,
+            )
+        )
+    return out
+
+
+def general_fact_sentences(kb: MedicalKB) -> list[str]:
+    return [
+        _GENERAL_TEMPLATES[f.relation].format(subject=f.subject, value=f.value)
+        for f in kb.general
+    ]
+
+
+def pubmed_like_corpus(kb: MedicalKB, *, n_docs: int = 200, seed: int = 7) -> list[str]:
+    """Abstract-like documents, each discussing a few diseases.
+
+    Facts recur across documents (as in a real domain corpus), so
+    continual pre-training can absorb them.
+    """
+    tree = RngTree(seed, "pubmed-corpus")
+    docs: list[str] = []
+    general = general_fact_sentences(kb)
+    for doc_idx in range(n_docs):
+        rng = tree.generator("doc", doc_idx)
+        k = int(rng.integers(2, 5))
+        picks = rng.choice(len(kb.diseases), size=k, replace=False)
+        sentences: list[str] = []
+        for pi in picks:
+            sentences.extend(_disease_sentences(kb.diseases[int(pi)], rng, int(rng.integers(2, 4))))
+        if rng.random() < 0.5 and general:
+            sentences.append(general[int(rng.integers(len(general)))])
+        order = rng.permutation(len(sentences))
+        docs.append(" ".join(sentences[i] for i in order))
+    return docs
+
+
+_QA_TEMPLATES = [
+    ("what is the recommended treatment for {name} ?", "the recommended treatment for {name} is {treatment} ."),
+    ("which symptom is typical for {name} ?", "patients with {name} typically present with {symptom} ."),
+    ("which organ does {name} primarily affect ?", "{name} primarily affects the {organ} ."),
+    ("what is a major risk factor for {name} ?", "a major risk factor for {name} is {risk} ."),
+]
+
+
+def medqa_like_pairs(kb: MedicalKB, *, n_pairs: int = 400, seed: int = 11) -> list[QAPair]:
+    """Structured question-answer pairs over the same knowledge base."""
+    tree = RngTree(seed, "medqa-pairs")
+    pairs: list[QAPair] = []
+    for idx in range(n_pairs):
+        rng = tree.generator("pair", idx)
+        d = kb.diseases[int(rng.integers(len(kb.diseases)))]
+        q_t, a_t = _QA_TEMPLATES[int(rng.integers(len(_QA_TEMPLATES)))]
+        fields = dict(
+            name=d.name, treatment=d.treatment, symptom=d.symptom, organ=d.organ, risk=d.risk_factor
+        )
+        pairs.append(QAPair(question=q_t.format(**fields), answer=a_t.format(**fields)))
+    return pairs

@@ -1,0 +1,116 @@
+"""A deterministic word-level tokenizer built from scratch.
+
+Stands in for the HF tokenizers: vocabulary is built from a corpus
+(frequency-ordered, ties broken alphabetically, so identical corpora
+give identical vocabularies), with special tokens for padding, sequence
+boundaries, and unknowns.  Word-level is sufficient because the
+synthetic corpora draw from a closed vocabulary.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterable
+
+import numpy as np
+
+from ..util.errors import ConfigError
+
+__all__ = ["WordTokenizer"]
+
+_WORD_RE = re.compile(r"[a-z0-9]+|[.,;:?!]")
+
+
+class WordTokenizer:
+    PAD = "<pad>"
+    BOS = "<bos>"
+    EOS = "<eos>"
+    UNK = "<unk>"
+    SEP = "<sep>"
+    SPECIALS = (PAD, BOS, EOS, UNK, SEP)
+
+    def __init__(self, vocab: list[str]) -> None:
+        for i, special in enumerate(self.SPECIALS):
+            if i >= len(vocab) or vocab[i] != special:
+                raise ConfigError("tokenizer vocab must start with the special tokens")
+        self.vocab = list(vocab)
+        self.token_to_id = {tok: i for i, tok in enumerate(self.vocab)}
+        if len(self.token_to_id) != len(self.vocab):
+            raise ConfigError("tokenizer vocab contains duplicates")
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def train(cls, texts: Iterable[str], vocab_size: int = 512) -> "WordTokenizer":
+        """Build a vocabulary from raw texts (frequency-ordered)."""
+        if vocab_size <= len(cls.SPECIALS):
+            raise ConfigError(f"vocab_size must exceed {len(cls.SPECIALS)}")
+        counts: Counter[str] = Counter()
+        for text in texts:
+            counts.update(cls.tokenize_text(text))
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        words = [w for w, _ in ranked[: vocab_size - len(cls.SPECIALS)]]
+        return cls(list(cls.SPECIALS) + words)
+
+    @staticmethod
+    def tokenize_text(text: str) -> list[str]:
+        return _WORD_RE.findall(text.lower())
+
+    # -- codec ---------------------------------------------------------------------
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    @property
+    def pad_id(self) -> int:
+        return self.token_to_id[self.PAD]
+
+    @property
+    def bos_id(self) -> int:
+        return self.token_to_id[self.BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self.token_to_id[self.EOS]
+
+    @property
+    def unk_id(self) -> int:
+        return self.token_to_id[self.UNK]
+
+    @property
+    def sep_id(self) -> int:
+        return self.token_to_id[self.SEP]
+
+    def encode(self, text: str, *, add_bos: bool = False, add_eos: bool = False) -> list[int]:
+        ids = [self.token_to_id.get(tok, self.unk_id) for tok in self.tokenize_text(text)]
+        if add_bos:
+            ids.insert(0, self.bos_id)
+        if add_eos:
+            ids.append(self.eos_id)
+        return ids
+
+    def encode_array(self, text: str, **kwargs) -> np.ndarray:
+        return np.asarray(self.encode(text, **kwargs), dtype=np.int64)
+
+    def decode(self, ids: Iterable[int], *, skip_special: bool = True) -> str:
+        words = []
+        for i in ids:
+            tok = self.vocab[int(i)] if 0 <= int(i) < len(self.vocab) else self.UNK
+            if skip_special and tok in self.SPECIALS:
+                continue
+            words.append(tok)
+        return " ".join(words)
+
+    # -- persistence ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"vocab": self.vocab}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WordTokenizer":
+        return cls(list(data["vocab"]))
+
+    def __repr__(self) -> str:
+        return f"WordTokenizer(vocab_size={self.vocab_size})"

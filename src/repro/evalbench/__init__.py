@@ -1,0 +1,22 @@
+"""Zero-shot evaluation benchmarks (lm-evaluation-harness substitute)."""
+
+from .generate import generate, generate_text, greedy_continuations
+from .benchmarks import BENCHMARK_NAMES, Benchmark, MCQItem, build_benchmarks
+from .harness import evaluate_suite, suite_table
+from .scorer import choice_logprobs, evaluate_benchmark, perplexity, score_item
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "Benchmark",
+    "MCQItem",
+    "build_benchmarks",
+    "choice_logprobs",
+    "evaluate_benchmark",
+    "evaluate_suite",
+    "generate",
+    "generate_text",
+    "greedy_continuations",
+    "perplexity",
+    "score_item",
+    "suite_table",
+]

@@ -1,0 +1,144 @@
+"""Five synthetic zero-shot benchmarks (the paper's evaluation suite).
+
+Mirrors the paper's benchmark mix — general knowledge (MMLU), medical
+expertise (MMLU-med, MedMCQA, MedQA), and reading-style yes/no judgment
+(PubMedQA) — over the same knowledge base the training corpora teach.
+Every item is a multiple-choice question; distractors are drawn from
+other entities of the same type so chance accuracy is ``1/num_choices``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..util.errors import ConfigError
+from ..util.rng import RngTree
+from ..data.facts import MedicalKB
+
+__all__ = ["MCQItem", "Benchmark", "build_benchmarks", "BENCHMARK_NAMES"]
+
+BENCHMARK_NAMES = ("mmlu", "mmlu_med", "medmcqa", "medqa", "pubmedqa")
+
+
+@dataclass(frozen=True)
+class MCQItem:
+    question: str
+    choices: tuple[str, ...]
+    answer_index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.answer_index < len(self.choices):
+            raise ConfigError("answer_index out of range")
+
+
+@dataclass
+class Benchmark:
+    name: str
+    items: list[MCQItem] = field(default_factory=list)
+
+    @property
+    def chance_accuracy(self) -> float:
+        if not self.items:
+            return 0.0
+        return float(np.mean([1.0 / len(it.choices) for it in self.items]))
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def _mcq(
+    rng: np.random.Generator,
+    question: str,
+    correct: str,
+    pool: list[str],
+    n_choices: int = 4,
+) -> MCQItem:
+    distractors = [p for p in pool if p != correct]
+    k = min(n_choices - 1, len(distractors))
+    picks = list(rng.choice(distractors, size=k, replace=False))
+    choices = picks + [correct]
+    order = rng.permutation(len(choices))
+    choices = [choices[i] for i in order]
+    return MCQItem(question=question, choices=tuple(choices), answer_index=choices.index(correct))
+
+
+def build_benchmarks(
+    kb: MedicalKB, *, seed: int = 99, items_per_benchmark: int = 40
+) -> dict[str, Benchmark]:
+    """Deterministic benchmark suite over a knowledge base."""
+    tree = RngTree(seed, "benchmarks")
+    suites: dict[str, Benchmark] = {}
+
+    # MMLU-like: general (non-medical) facts.
+    rng = tree.generator("mmlu")
+    items = []
+    values = sorted({f.value for f in kb.general})
+    for i in range(items_per_benchmark):
+        fact = kb.general[i % len(kb.general)]
+        question = {
+            "capital": f"the capital of {fact.subject} is",
+            "element": f"the compound {fact.subject} is composed mainly of",
+            "inventor": f"the device {fact.subject} was invented by",
+        }[fact.relation]
+        items.append(_mcq(rng, question, fact.value, values))
+    suites["mmlu"] = Benchmark("mmlu", items)
+
+    # MMLU-med-like: medical knowledge in completion style.
+    rng = tree.generator("mmlu_med")
+    items = []
+    organs = kb.organs()
+    for i in range(items_per_benchmark):
+        d = kb.diseases[i % len(kb.diseases)]
+        items.append(_mcq(rng, f"{d.name} primarily affects the", d.organ, organs))
+    suites["mmlu_med"] = Benchmark("mmlu_med", items)
+
+    # MedMCQA-like: symptom association questions.
+    rng = tree.generator("medmcqa")
+    items = []
+    symptoms = kb.symptoms()
+    for i in range(items_per_benchmark):
+        d = kb.diseases[i % len(kb.diseases)]
+        items.append(
+            _mcq(rng, f"patients with {d.name} typically present with", d.symptom, symptoms)
+        )
+    suites["medmcqa"] = Benchmark("medmcqa", items)
+
+    # MedQA-like: treatment selection (the SFT task's own phrasing).
+    rng = tree.generator("medqa")
+    items = []
+    treatments = kb.treatments()
+    for i in range(items_per_benchmark):
+        d = kb.diseases[i % len(kb.diseases)]
+        items.append(
+            _mcq(
+                rng,
+                f"the recommended treatment for {d.name} is",
+                d.treatment,
+                treatments,
+            )
+        )
+    suites["medqa"] = Benchmark("medqa", items)
+
+    # PubMedQA-like: yes/no/maybe verification of stated facts.
+    rng = tree.generator("pubmedqa")
+    items = []
+    for i in range(items_per_benchmark):
+        d = kb.diseases[i % len(kb.diseases)]
+        truthy = bool(rng.random() < 0.5)
+        if truthy:
+            claim = f"is {d.treatment} the recommended treatment for {d.name} ? the answer is"
+            correct = "yes"
+        else:
+            wrong = kb.diseases[(i + 1) % len(kb.diseases)].treatment
+            if wrong == d.treatment:
+                wrong = kb.diseases[(i + 2) % len(kb.diseases)].treatment
+            claim = f"is {wrong} the recommended treatment for {d.name} ? the answer is"
+            correct = "no"
+        choices = ["yes", "no", "maybe"]
+        items.append(
+            MCQItem(question=claim, choices=tuple(choices), answer_index=choices.index(correct))
+        )
+    suites["pubmedqa"] = Benchmark("pubmedqa", items)
+    return suites

@@ -1,0 +1,45 @@
+"""Evaluation harness: run the full benchmark suite on a model.
+
+The in-repo analogue of lm-evaluation-harness: builds the benchmark
+suite from the knowledge base and reports per-benchmark zero-shot
+accuracy, formatted like the paper's Tables 2 and 5.
+"""
+
+from __future__ import annotations
+
+from ..data.facts import MedicalKB
+from ..data.tokenizer import WordTokenizer
+from ..nn.model import CausalLM
+from ..util.tables import Table
+from .benchmarks import BENCHMARK_NAMES, build_benchmarks
+from .scorer import evaluate_benchmark
+
+__all__ = ["evaluate_suite", "suite_table"]
+
+
+def evaluate_suite(
+    model: CausalLM,
+    tokenizer: WordTokenizer,
+    kb: MedicalKB,
+    *,
+    seed: int = 99,
+    items_per_benchmark: int = 40,
+    max_items: int | None = None,
+) -> dict[str, float]:
+    """Accuracy (percent) per benchmark, keys in paper column order."""
+    suites = build_benchmarks(kb, seed=seed, items_per_benchmark=items_per_benchmark)
+    return {
+        name: evaluate_benchmark(model, tokenizer, suites[name], max_items=max_items)
+        for name in BENCHMARK_NAMES
+    }
+
+
+def suite_table(rows: dict[str, dict[str, float]], title: str) -> Table:
+    """Render {model label -> {benchmark -> accuracy}} as a paper table."""
+    headers = ["Model"] + [n.upper() for n in BENCHMARK_NAMES]
+    table = Table(headers, title=title)
+    for label, scores in rows.items():
+        table.add_row([label] + [round(scores.get(n, 0.0), 2) for n in BENCHMARK_NAMES])
+    for col in range(1, len(headers)):
+        table.highlight_best(col, best=max)
+    return table

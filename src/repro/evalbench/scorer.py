@@ -1,0 +1,80 @@
+"""Likelihood-based scoring of multiple-choice items.
+
+The standard lm-evaluation-harness protocol: for each candidate answer,
+compute the model's total log-probability of the answer tokens given the
+question tokens; predict the argmax.  Also provides perplexity for loss
+tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import functional as F
+from ..autograd.tensor import no_grad
+from ..data.tokenizer import WordTokenizer
+from ..nn.model import CausalLM
+from .benchmarks import Benchmark, MCQItem
+
+__all__ = ["choice_logprobs", "score_item", "evaluate_benchmark", "perplexity"]
+
+
+def _logprobs(model: CausalLM, ids: np.ndarray) -> np.ndarray:
+    """Token-level log P(ids[t+1] | ids[:t+1]) for one sequence."""
+    with no_grad():
+        logits = model(ids[None, :]).data[0]
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=-1))
+    targets = ids[1:]
+    return shifted[np.arange(len(targets)), targets] - log_z[: len(targets)]
+
+
+def choice_logprobs(model: CausalLM, tokenizer: WordTokenizer, item: MCQItem) -> list[float]:
+    """Total answer-token log-likelihood per choice."""
+    prompt = tokenizer.encode(item.question, add_bos=True)
+    scores: list[float] = []
+    max_len = model.config.max_position_embeddings
+    for choice in item.choices:
+        answer = tokenizer.encode(choice)
+        ids = np.asarray((prompt + answer)[:max_len], dtype=np.int64)
+        n_answer = min(len(answer), len(ids) - 1)
+        if n_answer <= 0:
+            scores.append(-np.inf)
+            continue
+        lp = _logprobs(model, ids)
+        scores.append(float(lp[-n_answer:].sum()))
+    return scores
+
+
+def score_item(model: CausalLM, tokenizer: WordTokenizer, item: MCQItem) -> bool:
+    scores = choice_logprobs(model, tokenizer, item)
+    return int(np.argmax(scores)) == item.answer_index
+
+
+def evaluate_benchmark(
+    model: CausalLM,
+    tokenizer: WordTokenizer,
+    benchmark: Benchmark,
+    *,
+    max_items: int | None = None,
+) -> float:
+    """Zero-shot accuracy (percent, as the paper reports)."""
+    items = benchmark.items[:max_items] if max_items else benchmark.items
+    if not items:
+        return 0.0
+    correct = sum(score_item(model, tokenizer, item) for item in items)
+    return 100.0 * correct / len(items)
+
+
+def perplexity(model: CausalLM, ids_batches: list[np.ndarray]) -> float:
+    """Corpus perplexity over pre-tokenized (B, T) batches."""
+    total_nll = 0.0
+    total_tokens = 0
+    with no_grad():
+        for ids in ids_batches:
+            logits = model(ids[:, :-1])
+            nll = F.cross_entropy(logits, ids[:, 1:])
+            n = ids[:, 1:].size
+            total_nll += float(nll.data) * n
+            total_tokens += n
+    return float(np.exp(total_nll / max(1, total_tokens)))

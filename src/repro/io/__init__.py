@@ -1,0 +1,40 @@
+"""Checkpoint I/O substrate: formats, layout, storage cost model."""
+
+from .blobfile import BLOB_VERSION, read_blob, write_blob
+from .layout import (
+    CheckpointPaths,
+    checkpoint_dir,
+    list_checkpoint_steps,
+    read_latest,
+    write_latest,
+)
+from .reader import LoadedCheckpoint, describe_checkpoint, load_checkpoint
+from .retention import coverage_map, prunable_steps, prune_checkpoints
+from .storage import LUSTRE_DEFAULT, IOStats, Storage, StorageCostModel
+from .tensorfile import TENSORFILE_VERSION, TensorFile, write_tensorfile
+from .writer import save_checkpoint
+
+__all__ = [
+    "BLOB_VERSION",
+    "CheckpointPaths",
+    "IOStats",
+    "LUSTRE_DEFAULT",
+    "LoadedCheckpoint",
+    "Storage",
+    "StorageCostModel",
+    "TENSORFILE_VERSION",
+    "TensorFile",
+    "checkpoint_dir",
+    "coverage_map",
+    "describe_checkpoint",
+    "prunable_steps",
+    "prune_checkpoints",
+    "list_checkpoint_steps",
+    "load_checkpoint",
+    "read_blob",
+    "read_latest",
+    "save_checkpoint",
+    "write_blob",
+    "write_latest",
+    "write_tensorfile",
+]

@@ -1,0 +1,174 @@
+"""On-disk checkpoint layout (HF transformers + DeepSpeed conventions).
+
+::
+
+    <run_root>/
+      latest                                   # text: "checkpoint-<step>"
+      checkpoint-<step>/
+        config.json                            # model config
+        model.tsr                              # consolidated bf16 weights (lazy)
+        trainer_state.json                     # step, log history, LR
+        training_args.json                     # run hyper-parameters
+        scheduler.json                         # LR scheduler state
+        rng_state.json                         # data-order RNG provenance
+        tailor_manifest.json                   # slots saved in this ckpt
+        global_step<step>/
+          zero_pp_rank_<r>_mp_rank_00_optim_states.blob   # per-rank shard
+
+Partial checkpoints simply omit slots from ``model.tsr`` and groups from
+the shard blobs; ``tailor_manifest.json`` records exactly what is
+present.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any
+
+from ..util.errors import CheckpointError
+from ..util.jsonio import read_json, write_json_atomic
+
+__all__ = [
+    "CheckpointPaths",
+    "checkpoint_dir",
+    "list_checkpoint_steps",
+    "read_latest",
+    "write_latest",
+    "MANIFEST_NAME",
+    "WEIGHTS_NAME",
+]
+
+WEIGHTS_NAME = "model.tsr"
+CONFIG_NAME = "config.json"
+TRAINER_STATE_NAME = "trainer_state.json"
+TRAINING_ARGS_NAME = "training_args.json"
+SCHEDULER_NAME = "scheduler.json"
+RNG_STATE_NAME = "rng_state.json"
+MANIFEST_NAME = "tailor_manifest.json"
+LATEST_NAME = "latest"
+
+_CKPT_RE = re.compile(r"^checkpoint-(\d+)$")
+
+
+class CheckpointPaths:
+    """Path bundle for one ``checkpoint-<step>`` directory."""
+
+    # Config files copied verbatim when assembling a Frankenstein
+    # checkpoint (paper §4.4).
+    CONFIG_FILES = (
+        CONFIG_NAME,
+        TRAINER_STATE_NAME,
+        TRAINING_ARGS_NAME,
+        SCHEDULER_NAME,
+        RNG_STATE_NAME,
+    )
+
+    def __init__(self, directory: "str | Path | CheckpointPaths") -> None:
+        if isinstance(directory, CheckpointPaths):
+            directory = directory.dir
+        self.dir = Path(directory)
+
+    @property
+    def step(self) -> int:
+        """Training step of this checkpoint.
+
+        Normally parsed from the ``checkpoint-<step>`` directory name;
+        merged outputs may use arbitrary names, in which case the step
+        comes from the manifest.
+        """
+        m = _CKPT_RE.match(self.dir.name)
+        if m:
+            return int(m.group(1))
+        if self.manifest.exists():
+            return int(self.read_manifest()["step"])
+        raise CheckpointError(
+            f"{self.dir} is neither a checkpoint-<step> directory nor has a manifest"
+        )
+
+    @property
+    def weights(self) -> Path:
+        return self.dir / WEIGHTS_NAME
+
+    @property
+    def config(self) -> Path:
+        return self.dir / CONFIG_NAME
+
+    @property
+    def trainer_state(self) -> Path:
+        return self.dir / TRAINER_STATE_NAME
+
+    @property
+    def training_args(self) -> Path:
+        return self.dir / TRAINING_ARGS_NAME
+
+    @property
+    def scheduler(self) -> Path:
+        return self.dir / SCHEDULER_NAME
+
+    @property
+    def rng_state(self) -> Path:
+        return self.dir / RNG_STATE_NAME
+
+    @property
+    def manifest(self) -> Path:
+        return self.dir / MANIFEST_NAME
+
+    @property
+    def optim_dir(self) -> Path:
+        return self.dir / f"global_step{self.step}"
+
+    def shard(self, rank: int) -> Path:
+        return self.optim_dir / f"zero_pp_rank_{rank}_mp_rank_00_optim_states.blob"
+
+    def shard_paths(self, world_size: int) -> list[Path]:
+        return [self.shard(r) for r in range(world_size)]
+
+    def exists(self) -> bool:
+        return self.dir.is_dir()
+
+    def read_manifest(self) -> dict[str, Any]:
+        return read_json(self.manifest)
+
+    def write_manifest(self, manifest: dict[str, Any]) -> None:
+        write_json_atomic(self.manifest, manifest)
+
+    def nbytes(self) -> int:
+        """Total bytes on disk in this checkpoint."""
+        return sum(p.stat().st_size for p in self.dir.rglob("*") if p.is_file())
+
+    def __repr__(self) -> str:
+        return f"CheckpointPaths({self.dir})"
+
+
+def checkpoint_dir(root: str | Path, step: int) -> CheckpointPaths:
+    return CheckpointPaths(Path(root) / f"checkpoint-{step}")
+
+
+def list_checkpoint_steps(root: str | Path) -> list[int]:
+    """Steps of all checkpoint directories under ``root``, ascending."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    steps = []
+    for child in root.iterdir():
+        m = _CKPT_RE.match(child.name)
+        if m and child.is_dir():
+            steps.append(int(m.group(1)))
+    return sorted(steps)
+
+
+def read_latest(root: str | Path) -> CheckpointPaths | None:
+    """Resolve the ``latest`` pointer, if present and valid."""
+    latest = Path(root) / LATEST_NAME
+    if not latest.exists():
+        return None
+    name = latest.read_text(encoding="utf-8").strip()
+    candidate = Path(root) / name
+    if not candidate.is_dir():
+        raise CheckpointError(f"latest points at missing checkpoint {name!r}")
+    return CheckpointPaths(candidate)
+
+
+def write_latest(root: str | Path, step: int) -> None:
+    (Path(root) / LATEST_NAME).write_text(f"checkpoint-{step}\n", encoding="utf-8")

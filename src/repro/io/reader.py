@@ -1,0 +1,121 @@
+"""Checkpoint reader: restore model + optimizer + trainer metadata.
+
+Only *complete* checkpoints are resumable — a partial checkpoint must
+first be merged into a Frankenstein checkpoint by LLMTailor.  The reader
+enforces this via the manifest and gives an actionable error otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from ..dist.zero import ZeroStage3Engine
+from ..nn.config import ModelConfig
+from ..nn.module import Module
+from ..util.errors import CheckpointError
+from ..util.jsonio import read_json
+from .blobfile import read_blob
+from .layout import CheckpointPaths
+from .storage import Storage
+from .tensorfile import TensorFile
+
+__all__ = ["LoadedCheckpoint", "load_checkpoint", "describe_checkpoint"]
+
+
+@dataclass
+class LoadedCheckpoint:
+    """Metadata recovered alongside the weights/optimizer state."""
+
+    step: int
+    trainer_state: dict[str, Any]
+    training_args: dict[str, Any]
+    scheduler_state: dict[str, Any]
+    rng_state: dict[str, Any]
+    manifest: dict[str, Any]
+
+
+def load_checkpoint(
+    paths: CheckpointPaths,
+    *,
+    model: Module,
+    config: ModelConfig,
+    engine: ZeroStage3Engine,
+    storage: Storage | None = None,
+) -> LoadedCheckpoint:
+    """Restore a complete checkpoint into ``model`` and ``engine``."""
+    if not paths.exists():
+        raise CheckpointError(f"checkpoint directory not found: {paths.dir}")
+    manifest = paths.read_manifest()
+    if not manifest.get("complete", False):
+        missing = sorted(set(manifest.get("all_slots", [])) - set(manifest.get("slots", [])))
+        raise CheckpointError(
+            f"{paths.dir} is a partial checkpoint (missing slots {missing[:6]}"
+            f"{'...' if len(missing) > 6 else ''}); assemble a complete one with "
+            "LLMTailor.merge() before resuming"
+        )
+    if manifest.get("model_config") != config.name:
+        raise CheckpointError(
+            f"checkpoint was written for model {manifest.get('model_config')!r}, "
+            f"attempting to load into {config.name!r}"
+        )
+    if manifest.get("world_size") != engine.world_size:
+        raise CheckpointError(
+            f"checkpoint world_size {manifest.get('world_size')} != engine "
+            f"world_size {engine.world_size}"
+        )
+
+    # Model weights (informational only for training — the fp32 masters in
+    # the shards are authoritative — but loaded for inference parity).
+    weights = TensorFile(paths.weights)
+    model.load_state_dict(weights.read_all(), strict=True)
+    if storage is not None:
+        storage.charge_read(weights.total_nbytes(), files=1, category="checkpoint_read.weights")
+
+    # Optimizer shards: full files, one per rank (no lazy load).
+    shard_bytes = 0
+    for rank in range(engine.world_size):
+        shard_path = paths.shard(rank)
+        shard = read_blob(shard_path)
+        engine.load_rank_state_dict(rank, shard, require_full=True)
+        shard_bytes += shard_path.stat().st_size
+    if storage is not None:
+        storage.charge_read(
+            shard_bytes,
+            files=engine.world_size,
+            parallel=engine.world_size,
+            decompress=True,
+            category="checkpoint_read.optimizer",
+        )
+
+    return LoadedCheckpoint(
+        step=manifest["step"],
+        trainer_state=read_json(paths.trainer_state),
+        training_args=read_json(paths.training_args),
+        scheduler_state=read_json(paths.scheduler),
+        rng_state=read_json(paths.rng_state),
+        manifest=manifest,
+    )
+
+
+def describe_checkpoint(directory: str | Path) -> dict[str, Any]:
+    """Summarize a checkpoint directory (sizes, coverage) for tooling."""
+    paths = CheckpointPaths(directory)
+    if not paths.exists():
+        raise CheckpointError(f"no checkpoint at {directory}")
+    manifest = paths.read_manifest()
+    weights = TensorFile(paths.weights)
+    shards = sorted(paths.optim_dir.glob("zero_pp_rank_*_optim_states.blob"))
+    return {
+        "step": manifest["step"],
+        "model_config": manifest.get("model_config"),
+        "strategy": manifest.get("strategy"),
+        "complete": manifest.get("complete"),
+        "slots": manifest.get("slots", []),
+        "num_weight_tensors": len(weights),
+        "weight_nbytes": weights.total_nbytes(),
+        "num_shards": len(shards),
+        "shard_nbytes": sum(p.stat().st_size for p in shards),
+        "total_nbytes": paths.nbytes(),
+    }

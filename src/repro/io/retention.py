@@ -1,0 +1,86 @@
+"""Coverage-aware checkpoint retention.
+
+Partial checkpointing complicates the usual "keep the last N
+checkpoints" policy: deleting an old checkpoint may remove the *only*
+copy of a layer slot and make recovery impossible.  This module prunes
+old checkpoints while guaranteeing that every slot of the model remains
+recoverable from the surviving set — the retention policy a production
+deployment of layer-wise checkpointing needs (an extension beyond the
+paper's prototype, which "can only manipulate local checkpoints", §7).
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+from ..util.errors import CheckpointError
+from ..util.logging import get_logger
+from .layout import checkpoint_dir, list_checkpoint_steps, read_latest
+
+__all__ = ["coverage_map", "prunable_steps", "prune_checkpoints"]
+
+log = get_logger("io.retention")
+
+
+def coverage_map(root: str | Path) -> dict[int, list[str]]:
+    """Step -> slots saved, for every checkpoint under ``root``."""
+    out: dict[int, list[str]] = {}
+    for step in list_checkpoint_steps(root):
+        manifest = checkpoint_dir(root, step).read_manifest()
+        out[step] = list(manifest.get("slots", []))
+    return out
+
+
+def _covered(coverage: dict[int, list[str]], keep: set[int]) -> set[str]:
+    slots: set[str] = set()
+    for step in keep:
+        slots.update(coverage[step])
+    return slots
+
+
+def prunable_steps(root: str | Path, keep_last: int) -> list[int]:
+    """Steps safe to delete while keeping ``keep_last`` newest and full
+    slot coverage.
+
+    Walks candidates oldest-first; a checkpoint is prunable if the
+    remaining set still covers every slot any checkpoint ever saved
+    (the union is the model's slot set for any sane strategy).
+    """
+    if keep_last < 1:
+        raise CheckpointError(f"keep_last must be >= 1, got {keep_last}")
+    coverage = coverage_map(root)
+    steps = sorted(coverage)
+    if len(steps) <= keep_last:
+        return []
+    all_slots = _covered(coverage, set(steps))
+    protected = set(steps[-keep_last:])
+    keep = set(steps)
+    prunable: list[int] = []
+    for step in steps:  # oldest first
+        if step in protected:
+            continue
+        candidate = keep - {step}
+        if _covered(coverage, candidate) == all_slots:
+            keep = candidate
+            prunable.append(step)
+    return prunable
+
+
+def prune_checkpoints(root: str | Path, keep_last: int, *, dry_run: bool = False) -> list[int]:
+    """Delete prunable checkpoints; returns the steps removed.
+
+    Never deletes the checkpoint the ``latest`` pointer references.
+    """
+    root = Path(root)
+    latest = read_latest(root)
+    latest_step = latest.step if latest is not None else None
+    removed: list[int] = []
+    for step in prunable_steps(root, keep_last):
+        if step == latest_step:
+            continue
+        if not dry_run:
+            shutil.rmtree(checkpoint_dir(root, step).dir)
+            log.info("pruned checkpoint-%d", step)
+        removed.append(step)
+    return removed

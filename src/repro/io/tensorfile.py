@@ -1,0 +1,191 @@
+"""A safetensors-like container with lazy per-tensor reads.
+
+Consolidated model-weight files are stored in this format so individual
+layers can be copied between checkpoints *without loading the whole
+file* — the property the paper exploits for weight merging (and which
+optimizer blobs deliberately lack, see :mod:`repro.io.blobfile`).
+
+Layout::
+
+    8 bytes   magic  b"REPROTSR"
+    4 bytes   format version (little-endian u32)
+    8 bytes   header length H (little-endian u64)
+    H bytes   JSON header (utf-8)
+    ...       raw tensor buffers, 64-byte aligned
+
+Header schema::
+
+    {"tensors": {name: {"dtype": "bf16", "shape": [...],
+                        "offset": int, "nbytes": int, "crc32": int}},
+     "metadata": {...}}
+
+Offsets are relative to the start of the data section.  Every tensor
+carries a CRC-32 so corruption is detected at read time.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..numerics.dtypes import DType, pack_bits, unpack_bits
+from ..util.errors import CheckpointFormatError
+
+__all__ = ["write_tensorfile", "TensorFile", "TENSORFILE_VERSION"]
+
+MAGIC = b"REPROTSR"
+TENSORFILE_VERSION = 1
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def write_tensorfile(
+    path: str | Path,
+    tensors: Mapping[str, np.ndarray],
+    *,
+    dtype: DType | Mapping[str, DType] = DType.BF16,
+    metadata: dict[str, Any] | None = None,
+) -> int:
+    """Serialize float32 tensors at the given storage precision.
+
+    ``dtype`` may be a single :class:`DType` for every tensor or a
+    per-name mapping.  Returns the total bytes written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    def dtype_for(name: str) -> DType:
+        if isinstance(dtype, DType):
+            return dtype
+        return dtype[name]
+
+    entries: dict[str, dict[str, Any]] = {}
+    buffers: list[bytes] = []
+    offset = 0
+    for name, array in tensors.items():
+        dt = dtype_for(name)
+        packed = pack_bits(np.asarray(array, dtype=np.float32), dt)
+        raw = packed.tobytes()
+        aligned_offset = _aligned(offset)
+        if aligned_offset != offset:
+            buffers.append(b"\x00" * (aligned_offset - offset))
+            offset = aligned_offset
+        entries[name] = {
+            "dtype": dt.value,
+            "shape": list(array.shape),
+            "offset": offset,
+            "nbytes": len(raw),
+            "crc32": zlib.crc32(raw),
+        }
+        buffers.append(raw)
+        offset += len(raw)
+
+    header = json.dumps(
+        {"tensors": entries, "metadata": metadata or {}}, sort_keys=True
+    ).encode("utf-8")
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with tmp.open("wb") as fh:
+        fh.write(MAGIC)
+        fh.write(struct.pack("<I", TENSORFILE_VERSION))
+        fh.write(struct.pack("<Q", len(header)))
+        fh.write(header)
+        for buf in buffers:
+            fh.write(buf)
+        fh.flush()
+    tmp.replace(path)
+    return path.stat().st_size
+
+
+class TensorFile:
+    """Lazy reader: the header is parsed eagerly, data only on demand."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if not self.path.exists():
+            raise CheckpointFormatError(f"tensor file not found: {self.path}")
+        with self.path.open("rb") as fh:
+            magic = fh.read(len(MAGIC))
+            if magic != MAGIC:
+                raise CheckpointFormatError(
+                    f"{self.path}: bad magic {magic!r} (not a repro tensor file)"
+                )
+            (version,) = struct.unpack("<I", fh.read(4))
+            if version != TENSORFILE_VERSION:
+                raise CheckpointFormatError(
+                    f"{self.path}: unsupported tensor file version {version}"
+                )
+            (header_len,) = struct.unpack("<Q", fh.read(8))
+            try:
+                header = json.loads(fh.read(header_len).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise CheckpointFormatError(f"{self.path}: corrupt header: {exc}") from exc
+            self._data_start = len(MAGIC) + 4 + 8 + header_len
+        self._entries: dict[str, dict[str, Any]] = header.get("tensors", {})
+        self.metadata: dict[str, Any] = header.get("metadata", {})
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def shape(self, name: str) -> tuple[int, ...]:
+        return tuple(self._entry(name)["shape"])
+
+    def dtype(self, name: str) -> DType:
+        return DType.parse(self._entry(name)["dtype"])
+
+    def nbytes(self, name: str) -> int:
+        return int(self._entry(name)["nbytes"])
+
+    def total_nbytes(self) -> int:
+        return sum(int(e["nbytes"]) for e in self._entries.values())
+
+    def _entry(self, name: str) -> dict[str, Any]:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise CheckpointFormatError(f"{self.path}: no tensor named {name!r}") from None
+
+    # -- reads -------------------------------------------------------------------
+
+    def read(self, name: str) -> np.ndarray:
+        """Read one tensor (seek + read of just its bytes) as float32."""
+        entry = self._entry(name)
+        with self.path.open("rb") as fh:
+            fh.seek(self._data_start + entry["offset"])
+            raw = fh.read(entry["nbytes"])
+        if len(raw) != entry["nbytes"]:
+            raise CheckpointFormatError(f"{self.path}: truncated tensor {name!r}")
+        if zlib.crc32(raw) != entry["crc32"]:
+            raise CheckpointFormatError(f"{self.path}: CRC mismatch for tensor {name!r}")
+        dt = DType.parse(entry["dtype"])
+        buffer = np.frombuffer(raw, dtype=dt.packed_numpy)
+        return unpack_bits(buffer, dt).reshape(entry["shape"])
+
+    def read_raw(self, name: str) -> tuple[bytes, dict[str, Any]]:
+        """Read a tensor's serialized bytes without decoding (for copies)."""
+        entry = self._entry(name)
+        with self.path.open("rb") as fh:
+            fh.seek(self._data_start + entry["offset"])
+            raw = fh.read(entry["nbytes"])
+        if zlib.crc32(raw) != entry["crc32"]:
+            raise CheckpointFormatError(f"{self.path}: CRC mismatch for tensor {name!r}")
+        return raw, dict(entry)
+
+    def read_all(self) -> dict[str, np.ndarray]:
+        return {name: self.read(name) for name in self._entries}

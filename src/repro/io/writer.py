@@ -1,0 +1,128 @@
+"""Checkpoint writer: full or partial (layer-selective) snapshots.
+
+A *full* checkpoint stores every slot; a *partial* one stores only the
+slots a :class:`repro.strategies` policy selected for this step.  Both
+use the identical layout; ``tailor_manifest.json`` records coverage.
+
+Write costs are charged to the storage's simulated clock:
+* consolidated weight file — one serial writer (rank 0), as in §2.3;
+* optimizer shards — one file per rank, written in parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..dist.zero import ZeroStage3Engine
+from ..nn.config import ModelConfig
+from ..nn.module import Module
+from ..nn.slots import model_slots, slot_of_param
+from ..util.errors import CheckpointError
+from ..util.jsonio import write_json_atomic
+from .blobfile import write_blob
+from .layout import CheckpointPaths, checkpoint_dir, write_latest
+from .storage import Storage
+from .tensorfile import write_tensorfile
+
+__all__ = ["save_checkpoint"]
+
+
+def save_checkpoint(
+    storage: Storage,
+    *,
+    step: int,
+    model: Module,
+    config: ModelConfig,
+    engine: ZeroStage3Engine,
+    trainer_state: dict[str, Any],
+    training_args: dict[str, Any] | None = None,
+    scheduler_state: dict[str, Any] | None = None,
+    rng_state: dict[str, Any] | None = None,
+    slots: Iterable[str] | None = None,
+    strategy: str = "full",
+    update_latest: bool = True,
+) -> CheckpointPaths:
+    """Write ``checkpoint-<step>`` under the storage root.
+
+    ``slots=None`` saves everything; otherwise only the named slots'
+    weights and optimizer groups are written.  Returns the path bundle.
+    """
+    all_slots = model_slots(config)
+    if slots is None:
+        saved_slots = list(all_slots)
+    else:
+        saved_slots = [s for s in all_slots if s in set(slots)]
+        unknown = set(slots) - set(all_slots)
+        if unknown:
+            raise CheckpointError(f"unknown slots for {config.name}: {sorted(unknown)}")
+        if not saved_slots:
+            raise CheckpointError("refusing to write a checkpoint with zero slots")
+
+    paths = checkpoint_dir(storage.root, step)
+    paths.dir.mkdir(parents=True, exist_ok=True)
+    slot_set = set(saved_slots)
+
+    # 1. Consolidated model weights (bf16, lazy container), rank-0 serial.
+    tensors = {
+        name: value
+        for name, value in model.state_dict().items()
+        if slot_of_param(name) in slot_set
+    }
+    weight_bytes = write_tensorfile(
+        paths.weights,
+        tensors,
+        dtype=config.storage_dtype,
+        metadata={
+            "model": config.name,
+            "step": step,
+            "slots": saved_slots,
+            "strategy": strategy,
+        },
+    )
+    storage.charge_write(weight_bytes, files=1, parallel=1, category="checkpoint_write.weights")
+
+    # 2. Per-rank optimizer shard blobs, written in parallel across ranks.
+    paths.optim_dir.mkdir(parents=True, exist_ok=True)
+    shard_bytes = 0
+    for rank in range(engine.world_size):
+        shard = engine.rank_state_dict(rank, slots=slot_set)
+        shard["global_step"] = step
+        shard_bytes += write_blob(paths.shard(rank), shard)
+    storage.charge_write(
+        shard_bytes,
+        files=engine.world_size,
+        parallel=engine.world_size,
+        category="checkpoint_write.optimizer",
+    )
+
+    # 3. Config / metadata files (paper §4.4).
+    write_json_atomic(paths.config, config.to_dict())
+    write_json_atomic(paths.trainer_state, trainer_state)
+    write_json_atomic(paths.training_args, training_args or {})
+    write_json_atomic(paths.scheduler, scheduler_state or {})
+    write_json_atomic(paths.rng_state, rng_state or {})
+    paths.write_manifest(
+        {
+            "format_version": 1,
+            "step": step,
+            "model_config": config.name,
+            "strategy": strategy,
+            "world_size": engine.world_size,
+            "slots": saved_slots,
+            "all_slots": all_slots,
+            "complete": slot_set == set(all_slots),
+        }
+    )
+    config_bytes = sum(
+        (paths.dir / name).stat().st_size for name in CheckpointPaths.CONFIG_FILES
+    ) + paths.manifest.stat().st_size
+    storage.charge_write(
+        config_bytes,
+        files=len(CheckpointPaths.CONFIG_FILES) + 1,
+        parallel=1,
+        category="checkpoint_write.config",
+    )
+
+    if update_latest:
+        write_latest(storage.root, step)
+    return paths

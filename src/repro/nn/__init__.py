@@ -1,0 +1,59 @@
+"""Neural-network substrate: modules, layers, and the causal LM."""
+
+from .attention import CausalSelfAttention, causal_mask
+from .block import DecoderLayer
+from .config import ModelConfig, get_config, list_configs, register_config
+from .layers import Embedding, Linear, RMSNorm
+from .mlp import SwiGLUMLP
+from .model import CausalLM, DecoderModel, build_model
+from .module import Module, ModuleList, Parameter
+from .slots import (
+    AUX_SLOTS,
+    EMBED,
+    LM_HEAD,
+    NORM,
+    aux_slots,
+    layer_slot,
+    model_nbytes,
+    model_slots,
+    parameter_shapes,
+    slot_nbytes,
+    slot_of_param,
+    slot_param_counts,
+    slot_parameter_shapes,
+    transformer_slots,
+)
+
+__all__ = [
+    "AUX_SLOTS",
+    "EMBED",
+    "LM_HEAD",
+    "NORM",
+    "CausalLM",
+    "CausalSelfAttention",
+    "DecoderLayer",
+    "DecoderModel",
+    "Embedding",
+    "Linear",
+    "ModelConfig",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "RMSNorm",
+    "SwiGLUMLP",
+    "aux_slots",
+    "build_model",
+    "causal_mask",
+    "get_config",
+    "layer_slot",
+    "list_configs",
+    "model_nbytes",
+    "model_slots",
+    "parameter_shapes",
+    "register_config",
+    "slot_nbytes",
+    "slot_of_param",
+    "slot_param_counts",
+    "slot_parameter_shapes",
+    "transformer_slots",
+]

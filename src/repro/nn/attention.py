@@ -1,0 +1,88 @@
+"""Causal self-attention with rotary position embeddings and GQA.
+
+Mirrors the Llama/Qwen attention block: separate q/k/v/o projections
+(optional biases for Qwen), grouped-query attention when
+``num_key_value_heads < num_attention_heads``, RoPE applied to q and k,
+and a causal mask realised as an additive ``-1e9`` upper triangle (kept
+finite so gradients stay NaN-free).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import functional as F
+from ..autograd.tensor import Tensor
+from ..util.errors import ShapeError
+from .config import ModelConfig
+from .layers import Linear
+from .module import Module
+
+__all__ = ["CausalSelfAttention", "causal_mask"]
+
+_MASK_VALUE = -1e9
+
+
+def causal_mask(seq_len: int, dtype=np.float32) -> np.ndarray:
+    """Additive causal mask of shape (1, 1, T, T)."""
+    mask = np.triu(np.full((seq_len, seq_len), _MASK_VALUE, dtype=dtype), k=1)
+    return mask[None, None, :, :]
+
+
+class CausalSelfAttention(Module):
+    def __init__(self, config: ModelConfig, *, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.num_heads = config.num_attention_heads
+        self.num_kv_heads = config.num_key_value_heads
+        self.head_dim = config.head_dim
+        self.hidden_size = config.hidden_size
+        self.n_rep = self.num_heads // self.num_kv_heads
+        rng = rng or np.random.default_rng(0)
+        std = config.initializer_range
+        bias = config.attention_bias
+        kv_dim = self.num_kv_heads * self.head_dim
+        self.q_proj = Linear(self.hidden_size, self.hidden_size, bias=bias, rng=rng, init_std=std)
+        self.k_proj = Linear(self.hidden_size, kv_dim, bias=bias, rng=rng, init_std=std)
+        self.v_proj = Linear(self.hidden_size, kv_dim, bias=bias, rng=rng, init_std=std)
+        self.o_proj = Linear(self.hidden_size, self.hidden_size, bias=False, rng=rng, init_std=std)
+
+    def _split_heads(self, x: Tensor, num_heads: int) -> Tensor:
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _repeat_kv(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        """Expand KV heads for grouped-query attention.
+
+        Implemented as broadcast-add of a zero tensor so the backward pass
+        (sum over the repeat axis) falls out of the standard unbroadcast
+        rule — no bespoke gradient needed.
+        """
+        if self.n_rep == 1:
+            return x
+        expanded = x.reshape(batch, self.num_kv_heads, 1, seq, self.head_dim) + Tensor(
+            np.zeros((1, 1, self.n_rep, 1, 1), dtype=x.data.dtype)
+        )
+        return expanded.reshape(batch, self.num_heads, seq, self.head_dim)
+
+    def forward(self, x: Tensor, cos: np.ndarray, sin: np.ndarray, mask: np.ndarray) -> Tensor:
+        batch, seq, hidden = x.shape
+        if hidden != self.hidden_size:
+            raise ShapeError(f"attention expected hidden {self.hidden_size}, got {hidden}")
+
+        q = self._split_heads(self.q_proj(x), self.num_heads)  # (B, h, T, d)
+        k = self._split_heads(self.k_proj(x), self.num_kv_heads)  # (B, kv, T, d)
+        v = self._split_heads(self.v_proj(x), self.num_kv_heads)
+
+        # RoPE broadcast over batch/head dims: cos/sin are (T, d).
+        q = F.apply_rope(q, cos[None, None, :seq, :], sin[None, None, :seq, :])
+        k = F.apply_rope(k, cos[None, None, :seq, :], sin[None, None, :seq, :])
+
+        k = self._repeat_kv(k, batch, seq)
+        v = self._repeat_kv(v, batch, seq)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.swapaxes(-1, -2)) * scale + Tensor(mask[..., :seq, :seq])
+        attn = F.softmax(scores, axis=-1)
+        context = attn @ v  # (B, h, T, d)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.hidden_size)
+        return self.o_proj(merged)

@@ -1,0 +1,32 @@
+"""A transformer decoder layer: two RMSNorms, attention, SwiGLU MLP.
+
+Pre-norm residual structure (paper Fig. 1): each sub-module normalises
+its input, and its output is added back to the residual stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd.tensor import Tensor
+from .attention import CausalSelfAttention
+from .config import ModelConfig
+from .layers import RMSNorm
+from .mlp import SwiGLUMLP
+from .module import Module
+
+__all__ = ["DecoderLayer"]
+
+
+class DecoderLayer(Module):
+    def __init__(self, config: ModelConfig, *, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.input_layernorm = RMSNorm(config.hidden_size, eps=config.rms_norm_eps)
+        self.self_attn = CausalSelfAttention(config, rng=rng)
+        self.post_attention_layernorm = RMSNorm(config.hidden_size, eps=config.rms_norm_eps)
+        self.mlp = SwiGLUMLP(config, rng=rng)
+
+    def forward(self, x: Tensor, cos: np.ndarray, sin: np.ndarray, mask: np.ndarray) -> Tensor:
+        x = x + self.self_attn(self.input_layernorm(x), cos, sin, mask)
+        x = x + self.mlp(self.post_attention_layernorm(x))
+        return x

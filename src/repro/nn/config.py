@@ -1,0 +1,272 @@
+"""Model configuration and registry.
+
+Two scales of config exist for each evaluated model:
+
+* ``*-sim`` — real layer count and tying, small hidden dimensions; these
+  train in seconds and drive every end-to-end experiment.
+* full-scale entries (``llama3.2-1b``, ``llama3.1-8b``, ``qwen2.5-7b``) —
+  the published hyper-parameters; never instantiated as arrays, used only
+  by the analytic size calculators for the paper-scale rows of
+  Tables 3/6/7.
+
+The group arithmetic LLMTailor depends on (``2L + x`` parameter groups)
+is a function of ``num_hidden_layers`` and ``tie_word_embeddings`` only,
+so both scales exercise identical merge logic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..numerics.dtypes import DType
+from ..util.errors import ConfigError
+
+__all__ = ["ModelConfig", "register_config", "get_config", "list_configs"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Llama/Qwen-style decoder-only transformer configuration."""
+
+    name: str
+    vocab_size: int
+    hidden_size: int
+    intermediate_size: int
+    num_hidden_layers: int
+    num_attention_heads: int
+    num_key_value_heads: int
+    max_position_embeddings: int = 2048
+    rope_base: float = 10000.0
+    rms_norm_eps: float = 1e-6
+    tie_word_embeddings: bool = False
+    attention_bias: bool = False
+    initializer_range: float = 0.02
+    torch_dtype: str = "bf16"
+    architecture: str = "LlamaForCausalLM"
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.num_attention_heads:
+            raise ConfigError(
+                f"{self.name}: hidden_size {self.hidden_size} not divisible by "
+                f"num_attention_heads {self.num_attention_heads}"
+            )
+        if self.num_attention_heads % self.num_key_value_heads:
+            raise ConfigError(
+                f"{self.name}: attention heads {self.num_attention_heads} not divisible by "
+                f"key/value heads {self.num_key_value_heads}"
+            )
+        if self.num_hidden_layers < 1:
+            raise ConfigError(f"{self.name}: need at least one transformer layer")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_attention_heads
+
+    @property
+    def storage_dtype(self) -> DType:
+        return DType.parse(self.torch_dtype)
+
+    @property
+    def num_model_slots(self) -> int:
+        """Layer slots as counted by the paper's Table 7 "Total layers".
+
+        Transformer layers + embed_tokens + final norm + (lm_head if untied):
+        Llama-3.2-1B → 18, Llama-3.1-8B → 35.
+        """
+        return self.num_hidden_layers + 2 + (0 if self.tie_word_embeddings else 1)
+
+    @property
+    def num_param_groups_tailored(self) -> int:
+        """Parameter groups after LLMTailor's regrouping (paper §4.1): 2L + x."""
+        return 2 * self.num_hidden_layers + 2 + (0 if self.tie_word_embeddings else 1)
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ModelConfig":
+        known = {f.name for f in dataclasses.fields(cls)}
+        filtered = {k: v for k, v in data.items() if k in known}
+        extra = set(data) - known
+        if extra:
+            raise ConfigError(f"unknown model config keys: {sorted(extra)}")
+        return cls(**filtered)
+
+    def replace(self, **kwargs) -> "ModelConfig":
+        return dataclasses.replace(self, **kwargs)
+
+
+_REGISTRY: dict[str, ModelConfig] = {}
+
+
+def register_config(config: ModelConfig) -> ModelConfig:
+    if config.name in _REGISTRY:
+        raise ConfigError(f"config {config.name!r} already registered")
+    _REGISTRY[config.name] = config
+    return config
+
+
+def get_config(name: str) -> ModelConfig:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        available = ", ".join(sorted(_REGISTRY))
+        raise ConfigError(f"unknown model config {name!r}; available: {available}") from None
+
+
+def list_configs() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Full-scale published configurations (for analytic size computations only).
+# ---------------------------------------------------------------------------
+
+register_config(
+    ModelConfig(
+        name="llama3.2-1b",
+        vocab_size=128_256,
+        hidden_size=2048,
+        intermediate_size=8192,
+        num_hidden_layers=16,
+        num_attention_heads=32,
+        num_key_value_heads=8,
+        max_position_embeddings=131_072,
+        rope_base=500_000.0,
+        rms_norm_eps=1e-5,
+        tie_word_embeddings=True,
+    )
+)
+
+register_config(
+    ModelConfig(
+        name="llama3.1-8b",
+        vocab_size=128_256,
+        hidden_size=4096,
+        intermediate_size=14_336,
+        num_hidden_layers=32,
+        num_attention_heads=32,
+        num_key_value_heads=8,
+        max_position_embeddings=131_072,
+        rope_base=500_000.0,
+        rms_norm_eps=1e-5,
+        tie_word_embeddings=False,
+    )
+)
+
+register_config(
+    ModelConfig(
+        name="qwen2.5-7b",
+        vocab_size=152_064,
+        hidden_size=3584,
+        intermediate_size=18_944,
+        num_hidden_layers=28,
+        num_attention_heads=28,
+        num_key_value_heads=4,
+        max_position_embeddings=131_072,
+        rope_base=1_000_000.0,
+        rms_norm_eps=1e-6,
+        tie_word_embeddings=False,
+        attention_bias=True,
+        architecture="Qwen2ForCausalLM",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Simulation-scale configurations: identical topology, small width.
+# These are the models the experiments actually train.
+# ---------------------------------------------------------------------------
+
+register_config(
+    ModelConfig(
+        name="llama3.2-1b-sim",
+        vocab_size=512,
+        hidden_size=64,
+        intermediate_size=176,
+        num_hidden_layers=16,
+        num_attention_heads=4,
+        num_key_value_heads=2,
+        max_position_embeddings=256,
+        tie_word_embeddings=True,
+    )
+)
+
+register_config(
+    ModelConfig(
+        name="llama3.1-8b-sim",
+        vocab_size=512,
+        hidden_size=64,
+        intermediate_size=176,
+        num_hidden_layers=32,
+        num_attention_heads=4,
+        num_key_value_heads=2,
+        max_position_embeddings=256,
+        tie_word_embeddings=False,
+    )
+)
+
+register_config(
+    ModelConfig(
+        name="qwen2.5-7b-sim",
+        vocab_size=512,
+        hidden_size=64,
+        intermediate_size=176,
+        num_hidden_layers=28,
+        num_attention_heads=4,
+        num_key_value_heads=2,
+        max_position_embeddings=256,
+        tie_word_embeddings=False,
+        attention_bias=True,
+        architecture="Qwen2ForCausalLM",
+    )
+)
+
+
+# Tiny configs for unit tests: a handful of layers, very small width.
+
+register_config(
+    ModelConfig(
+        name="tiny-untied",
+        vocab_size=128,
+        hidden_size=32,
+        intermediate_size=64,
+        num_hidden_layers=4,
+        num_attention_heads=2,
+        num_key_value_heads=2,
+        max_position_embeddings=64,
+        tie_word_embeddings=False,
+    )
+)
+
+register_config(
+    ModelConfig(
+        name="tiny-tied",
+        vocab_size=128,
+        hidden_size=32,
+        intermediate_size=64,
+        num_hidden_layers=4,
+        num_attention_heads=2,
+        num_key_value_heads=1,
+        max_position_embeddings=64,
+        tie_word_embeddings=True,
+    )
+)
+
+register_config(
+    ModelConfig(
+        name="tiny-qwen",
+        vocab_size=128,
+        hidden_size=32,
+        intermediate_size=64,
+        num_hidden_layers=3,
+        num_attention_heads=2,
+        num_key_value_heads=1,
+        max_position_embeddings=64,
+        tie_word_embeddings=False,
+        attention_bias=True,
+        architecture="Qwen2ForCausalLM",
+    )
+)

@@ -1,0 +1,31 @@
+"""SwiGLU feed-forward network (Llama/Qwen MLP block).
+
+``down_proj(silu(gate_proj(x)) * up_proj(x))`` — expands the hidden
+dimension, gates it with SiLU, and projects back (paper §2.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import functional as F
+from ..autograd.tensor import Tensor
+from .config import ModelConfig
+from .layers import Linear
+from .module import Module
+
+__all__ = ["SwiGLUMLP"]
+
+
+class SwiGLUMLP(Module):
+    def __init__(self, config: ModelConfig, *, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        std = config.initializer_range
+        hidden, inter = config.hidden_size, config.intermediate_size
+        self.gate_proj = Linear(hidden, inter, bias=False, rng=rng, init_std=std)
+        self.up_proj = Linear(hidden, inter, bias=False, rng=rng, init_std=std)
+        self.down_proj = Linear(inter, hidden, bias=False, rng=rng, init_std=std)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.down_proj(F.silu(self.gate_proj(x)) * self.up_proj(x))

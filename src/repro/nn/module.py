@@ -1,0 +1,160 @@
+"""Module / Parameter hierarchy (the ``torch.nn`` substitute).
+
+Modules own named :class:`Parameter` leaves and named submodules;
+``state_dict``/``load_state_dict`` use dotted names identical to the
+HuggingFace transformers convention (``model.layers.3.self_attn.q_proj.weight``)
+because LLMTailor's whole job is manipulating those names.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..autograd.tensor import Tensor
+from ..util.errors import ConfigError, ShapeError
+
+__all__ = ["Parameter", "Module", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A trainable tensor; always requires grad."""
+
+    def __init__(self, data, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class with parameter registration and state-dict plumbing."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    # -- registration -------------------------------------------------------
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        else:
+            # Re-assigning a former parameter/module slot to a plain value
+            # must unregister it (e.g. ``self.lm_head = None`` when tied).
+            self._parameters.pop(name, None)
+            self._modules.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    # -- traversal ------------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, p in self.named_parameters():
+            yield p
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- train/eval mode ----------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for m in self._modules.values():
+            m.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # -- gradient helpers ------------------------------------------------------------
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- state dict -------------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter's fp32 data, keyed by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray], strict: bool = True) -> list[str]:
+        """Load parameter values in place; returns the list of missing keys.
+
+        With ``strict=True`` (default) missing or unexpected keys raise
+        :class:`ConfigError`.  Shape mismatches always raise.
+        """
+        own = dict(self.named_parameters())
+        missing = [k for k in own if k not in state]
+        unexpected = [k for k in state if k not in own]
+        if strict and (missing or unexpected):
+            raise ConfigError(
+                f"state dict mismatch: missing={missing[:5]}{'...' if len(missing) > 5 else ''} "
+                f"unexpected={unexpected[:5]}{'...' if len(unexpected) > 5 else ''}"
+            )
+        for key, value in state.items():
+            if key not in own:
+                continue
+            param = own[key]
+            value = np.asarray(value, dtype=np.float32)
+            if value.shape != param.data.shape:
+                raise ShapeError(
+                    f"shape mismatch for {key}: checkpoint {value.shape} vs model {param.data.shape}"
+                )
+            param.data[...] = value
+        return missing
+
+    # -- call protocol -----------------------------------------------------------------
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        lines = [self.__class__.__name__ + "("]
+        for name, module in self._modules.items():
+            sub = repr(module).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {sub}")
+        for name, p in self._parameters.items():
+            lines.append(f"  ({name}): Parameter{p.shape}")
+        lines.append(")")
+        return "\n".join(lines)
+
+
+class ModuleList(Module):
+    """Indexed container of submodules, named ``0``, ``1``, ... like PyTorch."""
+
+    def __init__(self, modules=()) -> None:
+        super().__init__()
+        self._items: list[Module] = []
+        for m in modules:
+            self.append(m)
+
+    def append(self, module: Module) -> "ModuleList":
+        index = len(self._items)
+        self._items.append(module)
+        self._modules[str(index)] = module
+        return self
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)

@@ -1,0 +1,162 @@
+"""Layer slots: the unit of layer-wise checkpointing.
+
+A *slot* is what the paper calls a "layer" when tailoring checkpoints:
+each transformer block plus the auxiliary layers (token embedding, final
+norm, and the untied lm_head).  Slots are the vocabulary shared by
+checkpoint manifests, selective strategies, and merge recipes.
+
+Slot names: ``embed_tokens``, ``layers.0`` ... ``layers.{L-1}``,
+``norm``, ``lm_head``.
+"""
+
+from __future__ import annotations
+
+from ..numerics.dtypes import DType
+from ..util.errors import ConfigError
+from .config import ModelConfig
+
+__all__ = [
+    "EMBED",
+    "NORM",
+    "LM_HEAD",
+    "AUX_SLOTS",
+    "layer_slot",
+    "model_slots",
+    "aux_slots",
+    "transformer_slots",
+    "slot_of_param",
+    "parameter_shapes",
+    "slot_parameter_shapes",
+    "slot_param_counts",
+    "slot_nbytes",
+    "model_nbytes",
+]
+
+EMBED = "embed_tokens"
+NORM = "norm"
+LM_HEAD = "lm_head"
+AUX_SLOTS = (EMBED, NORM, LM_HEAD)
+
+
+def layer_slot(index: int) -> str:
+    return f"layers.{index}"
+
+
+def transformer_slots(config: ModelConfig) -> list[str]:
+    return [layer_slot(i) for i in range(config.num_hidden_layers)]
+
+
+def aux_slots(config: ModelConfig) -> list[str]:
+    """Auxiliary slots present in this model (lm_head only when untied)."""
+    slots = [EMBED, NORM]
+    if not config.tie_word_embeddings:
+        slots.append(LM_HEAD)
+    return slots
+
+
+def model_slots(config: ModelConfig) -> list[str]:
+    """All slots in canonical (model traversal) order.
+
+    Length equals the paper's Table 7 "Total layers" column
+    (18 for Llama-3.2-1B, 35 for Llama-3.1-8B).
+    """
+    slots = [EMBED]
+    slots.extend(transformer_slots(config))
+    slots.append(NORM)
+    if not config.tie_word_embeddings:
+        slots.append(LM_HEAD)
+    return slots
+
+
+def slot_of_param(param_name: str) -> str:
+    """Map a dotted parameter name to its slot.
+
+    >>> slot_of_param("model.layers.3.self_attn.q_proj.weight")
+    'layers.3'
+    """
+    if param_name.startswith("model.layers."):
+        index = param_name.split(".")[2]
+        if not index.isdigit():
+            raise ConfigError(f"malformed layer parameter name: {param_name}")
+        return f"layers.{index}"
+    if param_name.startswith("model.embed_tokens."):
+        return EMBED
+    if param_name.startswith("model.norm."):
+        return NORM
+    if param_name.startswith("lm_head."):
+        return LM_HEAD
+    raise ConfigError(f"parameter {param_name!r} does not belong to any slot")
+
+
+def _layer_param_shapes(config: ModelConfig, index: int) -> dict[str, tuple[int, ...]]:
+    h = config.hidden_size
+    kv = config.num_key_value_heads * config.head_dim
+    inter = config.intermediate_size
+    prefix = f"model.layers.{index}"
+    shapes: dict[str, tuple[int, ...]] = {}
+    shapes[f"{prefix}.input_layernorm.weight"] = (h,)
+    shapes[f"{prefix}.self_attn.q_proj.weight"] = (h, h)
+    if config.attention_bias:
+        shapes[f"{prefix}.self_attn.q_proj.bias"] = (h,)
+    shapes[f"{prefix}.self_attn.k_proj.weight"] = (kv, h)
+    if config.attention_bias:
+        shapes[f"{prefix}.self_attn.k_proj.bias"] = (kv,)
+    shapes[f"{prefix}.self_attn.v_proj.weight"] = (kv, h)
+    if config.attention_bias:
+        shapes[f"{prefix}.self_attn.v_proj.bias"] = (kv,)
+    shapes[f"{prefix}.self_attn.o_proj.weight"] = (h, h)
+    shapes[f"{prefix}.post_attention_layernorm.weight"] = (h,)
+    shapes[f"{prefix}.mlp.gate_proj.weight"] = (inter, h)
+    shapes[f"{prefix}.mlp.up_proj.weight"] = (inter, h)
+    shapes[f"{prefix}.mlp.down_proj.weight"] = (h, inter)
+    return shapes
+
+
+def parameter_shapes(config: ModelConfig) -> dict[str, tuple[int, ...]]:
+    """Analytic parameter table for a config, in model traversal order.
+
+    Matches ``CausalLM(config).state_dict()`` key-for-key and
+    shape-for-shape (asserted by the test suite); usable for full-scale
+    configs that are never instantiated.
+    """
+    shapes: dict[str, tuple[int, ...]] = {}
+    shapes["model.embed_tokens.weight"] = (config.vocab_size, config.hidden_size)
+    for i in range(config.num_hidden_layers):
+        shapes.update(_layer_param_shapes(config, i))
+    shapes["model.norm.weight"] = (config.hidden_size,)
+    if not config.tie_word_embeddings:
+        shapes["lm_head.weight"] = (config.vocab_size, config.hidden_size)
+    return shapes
+
+
+def slot_parameter_shapes(config: ModelConfig) -> dict[str, dict[str, tuple[int, ...]]]:
+    """Parameter shapes grouped by slot."""
+    by_slot: dict[str, dict[str, tuple[int, ...]]] = {s: {} for s in model_slots(config)}
+    for name, shape in parameter_shapes(config).items():
+        by_slot[slot_of_param(name)][name] = shape
+    return by_slot
+
+
+def slot_param_counts(config: ModelConfig) -> dict[str, int]:
+    """Number of scalar parameters per slot."""
+    counts: dict[str, int] = {}
+    for slot, shapes in slot_parameter_shapes(config).items():
+        total = 0
+        for shape in shapes.values():
+            n = 1
+            for dim in shape:
+                n *= dim
+            total += n
+        counts[slot] = total
+    return counts
+
+
+def slot_nbytes(config: ModelConfig, dtype: DType | None = None) -> dict[str, int]:
+    """Serialized weight bytes per slot at the given storage precision."""
+    dtype = dtype or config.storage_dtype
+    return {slot: n * dtype.itemsize for slot, n in slot_param_counts(config).items()}
+
+
+def model_nbytes(config: ModelConfig, dtype: DType | None = None) -> int:
+    """Total serialized weight bytes of the model."""
+    return sum(slot_nbytes(config, dtype).values())

@@ -1,0 +1,5 @@
+"""Numeric precision simulation (fp32 / bf16 / fp16)."""
+
+from .dtypes import DType, bf16_rne, pack_bits, quantize, unpack_bits
+
+__all__ = ["DType", "bf16_rne", "pack_bits", "quantize", "unpack_bits"]

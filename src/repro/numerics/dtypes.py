@@ -1,0 +1,122 @@
+"""Simulated low-precision dtypes on top of NumPy float32.
+
+Mixed-precision LLM training (paper §2.2) keeps bf16/fp16 compute weights
+plus fp32 master weights and fp32 Adam moments; a checkpoint is therefore
+at least 7x the bf16 model size (2 B/param weights + 4+4+4 B/param
+optimizer state).  NumPy has no bfloat16, so we simulate it bit-exactly:
+
+* ``BF16`` values are float32 numbers whose low 16 mantissa bits are zero.
+  :func:`quantize` rounds to nearest-even exactly as hardware bf16 does,
+  and :func:`pack_bits`/:func:`unpack_bits` store only the upper 16 bits,
+  so serialized tensors genuinely occupy 2 bytes per element.
+* ``FP16`` uses NumPy's native float16 for quantization and packing.
+* ``FP32`` is a passthrough.
+
+All arithmetic in the library happens in float32; dtypes only control
+quantization points (after optimizer steps) and serialized width.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["DType", "quantize", "pack_bits", "unpack_bits", "bf16_rne"]
+
+
+class DType(enum.Enum):
+    """Serialized/storage precision of a tensor."""
+
+    FP32 = "fp32"
+    BF16 = "bf16"
+    FP16 = "fp16"
+
+    @property
+    def itemsize(self) -> int:
+        return {DType.FP32: 4, DType.BF16: 2, DType.FP16: 2}[self]
+
+    @property
+    def packed_numpy(self) -> np.dtype:
+        """The dtype of the serialized buffer."""
+        return {
+            DType.FP32: np.dtype("<f4"),
+            DType.BF16: np.dtype("<u2"),
+            DType.FP16: np.dtype("<f2"),
+        }[self]
+
+    @classmethod
+    def parse(cls, value: "DType | str") -> "DType":
+        if isinstance(value, DType):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError as exc:
+            valid = ", ".join(d.value for d in cls)
+            raise ValueError(f"unknown dtype {value!r}; expected one of: {valid}") from exc
+
+
+def bf16_rne(x: np.ndarray) -> np.ndarray:
+    """Round float32 to bfloat16 (round-to-nearest-even), as float32.
+
+    Works on the raw bit pattern: bf16 keeps the top 16 bits of the fp32
+    representation.  RNE adds ``0x7FFF + lsb`` before truncation, which is
+    exactly the rounding hardware performs.  NaNs are preserved (quiet).
+    """
+    x = np.ascontiguousarray(x, dtype=np.float32)
+    bits = x.view(np.uint32)
+    nan_mask = np.isnan(x)
+    lsb = (bits >> np.uint32(16)) & np.uint32(1)
+    rounded = bits + np.uint32(0x7FFF) + lsb
+    rounded &= np.uint32(0xFFFF0000)
+    out = rounded.view(np.float32).copy()
+    if nan_mask.any():
+        out[nan_mask] = np.float32(np.nan)
+    return out.reshape(x.shape)
+
+
+def quantize(x: np.ndarray, dtype: DType) -> np.ndarray:
+    """Quantize a float32 array to the storage dtype, returned as float32.
+
+    The result is the value that would survive a serialize/deserialize
+    round trip at the given precision.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    if dtype is DType.FP32:
+        return x.copy()
+    if dtype is DType.BF16:
+        return bf16_rne(x)
+    if dtype is DType.FP16:
+        return x.astype(np.float16).astype(np.float32)
+    raise AssertionError(f"unhandled dtype {dtype}")
+
+
+def pack_bits(x: np.ndarray, dtype: DType) -> np.ndarray:
+    """Convert float32 values into their serialized buffer representation.
+
+    For BF16 the result is a uint16 array of the upper halves of the fp32
+    bit patterns (after RNE rounding), i.e. a real 2-byte encoding.
+    """
+    x = np.ascontiguousarray(x, dtype=np.float32)
+    if dtype is DType.FP32:
+        return x.astype("<f4", copy=True)
+    if dtype is DType.FP16:
+        with np.errstate(over="ignore"):  # overflow to inf is fp16 semantics
+            return x.astype("<f2")
+    if dtype is DType.BF16:
+        rounded = bf16_rne(x)
+        return (rounded.view(np.uint32) >> np.uint32(16)).astype("<u2")
+    raise AssertionError(f"unhandled dtype {dtype}")
+
+
+def unpack_bits(buffer: np.ndarray, dtype: DType) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; always returns float32."""
+    if dtype is DType.FP32:
+        return np.asarray(buffer, dtype="<f4").astype(np.float32)
+    if dtype is DType.FP16:
+        return np.asarray(buffer, dtype="<f2").astype(np.float32)
+    if dtype is DType.BF16:
+        as_u16 = np.ascontiguousarray(buffer, dtype="<u2")
+        expanded = as_u16.astype(np.uint32) << np.uint32(16)
+        return expanded.view(np.float32).copy()
+    raise AssertionError(f"unhandled dtype {dtype}")

@@ -1,0 +1,30 @@
+"""Optimizers with PyTorch-style param groups and packed state dicts."""
+
+from .adam import Adam, AdamW
+from .grouping import default_param_groups, is_no_decay_param, named_decay_split
+from .lr_scheduler import (
+    ConstantLR,
+    LRScheduler,
+    WarmupCosine,
+    WarmupLinear,
+    build_scheduler,
+)
+from .optimizer import Optimizer, ParamGroup, clip_grad_norm_
+from .sgd import SGD
+
+__all__ = [
+    "Adam",
+    "AdamW",
+    "ConstantLR",
+    "LRScheduler",
+    "Optimizer",
+    "ParamGroup",
+    "SGD",
+    "WarmupCosine",
+    "WarmupLinear",
+    "build_scheduler",
+    "clip_grad_norm_",
+    "default_param_groups",
+    "is_no_decay_param",
+    "named_decay_split",
+]

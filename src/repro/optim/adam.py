@@ -1,0 +1,100 @@
+"""Adam and AdamW (decoupled weight decay) optimizers.
+
+AdamW is the paper's default (via DeepSpeed); it keeps two fp32 moment
+tensors per parameter (``exp_avg``, ``exp_avg_sq``) plus a step counter —
+the state that makes optimizer files dominate checkpoint size (§2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..autograd.tensor import Tensor
+from ..util.errors import ConfigError
+from .optimizer import Optimizer
+
+__all__ = ["Adam", "AdamW"]
+
+
+class Adam(Optimizer):
+    """Classic Adam: L2 penalty folded into the gradient."""
+
+    DECOUPLED_DECAY = False
+
+    def __init__(
+        self,
+        params: Iterable,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr < 0:
+            raise ConfigError(f"invalid learning rate {lr}")
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ConfigError(f"invalid betas {betas}")
+        if eps <= 0:
+            raise ConfigError(f"invalid eps {eps}")
+        defaults = dict(lr=lr, betas=tuple(betas), eps=eps, weight_decay=weight_decay)
+        super().__init__(params, defaults)
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            beta1, beta2 = group["betas"]
+            eps = group["eps"]
+            wd = group["weight_decay"]
+            for p in group["params"]:
+                if p.grad is None:
+                    continue
+                grad = p.grad
+                state = self._get_state(p)
+                if not state:
+                    state["step"] = 0
+                    state["exp_avg"] = np.zeros_like(p.data)
+                    state["exp_avg_sq"] = np.zeros_like(p.data)
+                state["step"] += 1
+                step = state["step"]
+                m, v = state["exp_avg"], state["exp_avg_sq"]
+
+                if wd != 0 and not self.DECOUPLED_DECAY:
+                    grad = grad + wd * p.data
+
+                # In-place exponential moving averages (guide: avoid copies).
+                m *= beta1
+                m += (1.0 - beta1) * grad
+                v *= beta2
+                v += (1.0 - beta2) * grad * grad
+
+                bias1 = 1.0 - beta1**step
+                bias2 = 1.0 - beta2**step
+                denom = np.sqrt(v / bias2) + eps
+
+                if wd != 0 and self.DECOUPLED_DECAY:
+                    p.data *= 1.0 - lr * wd
+
+                p.data -= lr * (m / bias1) / denom
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter).
+
+    Decay multiplies the weights directly instead of entering the moment
+    estimates — which is why biases/norms are placed in a zero-decay
+    parameter group (§2.2) and why LLMTailor must preserve per-group decay
+    settings when regrouping.
+    """
+
+    DECOUPLED_DECAY = True
+
+    def __init__(
+        self,
+        params: Iterable,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ) -> None:
+        super().__init__(params, lr=lr, betas=betas, eps=eps, weight_decay=weight_decay)

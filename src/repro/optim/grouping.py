@@ -1,0 +1,66 @@
+"""The default 2-group weight-decay split (paper §2.2, Fig. 2).
+
+Standard AdamW practice: one parameter group for everything that should
+*not* be decayed (biases and normalization scales — shrinking them harms
+stability without regularizing), one group for the remaining weights.
+LLMTailor's regrouping (``repro.core.groups``) refines this split
+layer-by-layer while preserving the decay assignment.
+"""
+
+from __future__ import annotations
+
+from ..nn.module import Module, Parameter
+from .optimizer import ParamGroup
+
+__all__ = ["is_no_decay_param", "default_param_groups", "named_decay_split"]
+
+DECAY_GROUP = "decay"
+NO_DECAY_GROUP = "no_decay"
+
+
+def is_no_decay_param(name: str) -> bool:
+    """True for parameters exempt from weight decay.
+
+    Biases and every normalization scale (``input_layernorm``,
+    ``post_attention_layernorm``, the final ``model.norm``).
+    """
+    if name.endswith(".bias"):
+        return True
+    last_module = name.rsplit(".", 2)
+    if len(last_module) >= 2 and "norm" in last_module[-2]:
+        return True
+    return False
+
+
+def named_decay_split(model: Module) -> tuple[list[tuple[str, Parameter]], list[tuple[str, Parameter]]]:
+    """Partition named parameters into (no_decay, decay) lists."""
+    no_decay: list[tuple[str, Parameter]] = []
+    decay: list[tuple[str, Parameter]] = []
+    for name, param in model.named_parameters():
+        (no_decay if is_no_decay_param(name) else decay).append((name, param))
+    return no_decay, decay
+
+
+def default_param_groups(model: Module, weight_decay: float) -> list[ParamGroup]:
+    """The stock 2-group layout used before LLMTailor's regrouping.
+
+    Group 0: biases + norms, ``weight_decay=0``.
+    Group 1: remaining weights, ``weight_decay=weight_decay``.
+    Each group carries ``name`` and the ordered ``param_names`` so the
+    checkpoint layer can serialize a self-describing optimizer file.
+    """
+    no_decay, decay = named_decay_split(model)
+    return [
+        {
+            "params": [p for _, p in no_decay],
+            "param_names": [n for n, _ in no_decay],
+            "weight_decay": 0.0,
+            "name": NO_DECAY_GROUP,
+        },
+        {
+            "params": [p for _, p in decay],
+            "param_names": [n for n, _ in decay],
+            "weight_decay": weight_decay,
+            "name": DECAY_GROUP,
+        },
+    ]

@@ -1,0 +1,135 @@
+"""Learning-rate schedules with checkpointable state.
+
+The trainer records the current learning rate in ``trainer_state.json``
+and ``scheduler.json`` (paper §4.4: config files carry the current LR so
+resuming preserves the schedule).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from ..util.errors import ConfigError
+from .optimizer import Optimizer
+
+__all__ = ["LRScheduler", "ConstantLR", "WarmupLinear", "WarmupCosine", "build_scheduler"]
+
+
+class LRScheduler:
+    """Base: multiplies each group's base LR by a step-dependent factor."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lrs = [group["lr"] for group in optimizer.param_groups]
+        self.last_step = 0
+        self._apply()
+
+    def factor(self, step: int) -> float:
+        raise NotImplementedError
+
+    def _apply(self) -> None:
+        f = self.factor(self.last_step)
+        for group, base in zip(self.optimizer.param_groups, self.base_lrs):
+            group["lr"] = base * f
+
+    def step(self) -> None:
+        self.last_step += 1
+        self._apply()
+
+    def get_last_lr(self) -> list[float]:
+        return [group["lr"] for group in self.optimizer.param_groups]
+
+    def state_dict(self) -> dict[str, Any]:
+        return {
+            "type": self.__class__.__name__,
+            "last_step": self.last_step,
+            "base_lrs": list(self.base_lrs),
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        if state.get("type") != self.__class__.__name__:
+            raise ConfigError(
+                f"scheduler type mismatch: checkpoint {state.get('type')!r} "
+                f"vs current {self.__class__.__name__!r}"
+            )
+        self.last_step = int(state["last_step"])
+        self.base_lrs = [float(x) for x in state["base_lrs"]]
+        self._apply()
+
+
+class ConstantLR(LRScheduler):
+    def factor(self, step: int) -> float:
+        return 1.0
+
+
+class WarmupLinear(LRScheduler):
+    """Linear warmup then linear decay to ``min_factor`` at ``total_steps``."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup_steps: int,
+        total_steps: int,
+        min_factor: float = 0.0,
+    ) -> None:
+        if total_steps <= 0:
+            raise ConfigError("total_steps must be positive")
+        self.warmup_steps = max(0, int(warmup_steps))
+        self.total_steps = int(total_steps)
+        self.min_factor = float(min_factor)
+        super().__init__(optimizer)
+
+    def factor(self, step: int) -> float:
+        if self.warmup_steps and step < self.warmup_steps:
+            return step / self.warmup_steps
+        span = max(1, self.total_steps - self.warmup_steps)
+        progress = min(1.0, (step - self.warmup_steps) / span)
+        return self.min_factor + (1.0 - self.min_factor) * (1.0 - progress)
+
+    def state_dict(self) -> dict[str, Any]:
+        state = super().state_dict()
+        state.update(
+            warmup_steps=self.warmup_steps,
+            total_steps=self.total_steps,
+            min_factor=self.min_factor,
+        )
+        return state
+
+
+class WarmupCosine(WarmupLinear):
+    """Linear warmup then cosine decay to ``min_factor``."""
+
+    def factor(self, step: int) -> float:
+        if self.warmup_steps and step < self.warmup_steps:
+            return step / self.warmup_steps
+        span = max(1, self.total_steps - self.warmup_steps)
+        progress = min(1.0, (step - self.warmup_steps) / span)
+        cos = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_factor + (1.0 - self.min_factor) * cos
+
+
+_SCHEDULERS = {
+    "constant": ConstantLR,
+    "warmup_linear": WarmupLinear,
+    "warmup_cosine": WarmupCosine,
+}
+
+
+def build_scheduler(
+    name: str,
+    optimizer: Optimizer,
+    *,
+    warmup_steps: int = 0,
+    total_steps: int = 1,
+    min_factor: float = 0.0,
+) -> LRScheduler:
+    try:
+        cls = _SCHEDULERS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scheduler {name!r}; available: {sorted(_SCHEDULERS)}"
+        ) from None
+    if cls is ConstantLR:
+        return ConstantLR(optimizer)
+    return cls(optimizer, warmup_steps=warmup_steps, total_steps=total_steps, min_factor=min_factor)

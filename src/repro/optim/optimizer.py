@@ -1,0 +1,194 @@
+"""Optimizer base class with PyTorch-compatible packed state dicts.
+
+The packed format is the structure LLMTailor manipulates (paper §2.2,
+Fig. 2): ``param_groups`` hold hyper-parameters plus *indices* into a
+flat parameter enumeration, and ``state`` maps those indices to per-
+parameter tensors (``step``, ``exp_avg``, ``exp_avg_sq``).  Group entries
+carry arbitrary extra metadata (notably ``name``), which the tailored
+2L+x grouping relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..autograd.tensor import Tensor
+from ..util.errors import ConfigError
+
+__all__ = ["Optimizer", "ParamGroup"]
+
+ParamGroup = dict[str, Any]
+
+
+class Optimizer:
+    """Base optimizer over :class:`Tensor` parameters.
+
+    ``params`` may be an iterable of tensors (a single group with default
+    hyper-parameters) or an iterable of group dicts, each with a
+    ``params`` list plus per-group overrides — exactly PyTorch's
+    convention.
+    """
+
+    def __init__(self, params: Iterable, defaults: dict[str, Any]) -> None:
+        self.defaults = dict(defaults)
+        self.param_groups: list[ParamGroup] = []
+        # State is keyed by parameter object identity (like PyTorch); the
+        # packed state_dict() converts to stable integer indices.
+        self.state: dict[int, dict[str, Any]] = {}
+        self._params_by_id: dict[int, Tensor] = {}
+
+        params = list(params)
+        if not params:
+            raise ConfigError("optimizer got an empty parameter list")
+        if isinstance(params[0], dict):
+            for group in params:
+                self.add_param_group(dict(group))
+        else:
+            self.add_param_group({"params": params})
+
+    # -- group management ----------------------------------------------------
+
+    def add_param_group(self, group: ParamGroup) -> None:
+        if "params" not in group:
+            raise ConfigError("param group missing 'params' key")
+        group_params = list(group["params"])
+        if not all(isinstance(p, Tensor) for p in group_params):
+            raise ConfigError("param group 'params' must contain tensors")
+        merged: ParamGroup = dict(self.defaults)
+        merged.update(group)
+        merged["params"] = group_params
+        for p in group_params:
+            if id(p) in self._params_by_id:
+                raise ConfigError("a parameter appears in more than one group")
+            self._params_by_id[id(p)] = p
+        self.param_groups.append(merged)
+
+    def _all_params(self) -> list[Tensor]:
+        out: list[Tensor] = []
+        for group in self.param_groups:
+            out.extend(group["params"])
+        return out
+
+    # -- gradient management --------------------------------------------------
+
+    def zero_grad(self) -> None:
+        for p in self._all_params():
+            p.grad = None
+
+    # -- the update -------------------------------------------------------------
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _get_state(self, param: Tensor) -> dict[str, Any]:
+        return self.state.setdefault(id(param), {})
+
+    # -- serialization -----------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """Packed state: groups reference parameters by global index.
+
+        Matches PyTorch's layout::
+
+            {"state": {idx: {...}}, "param_groups": [{..., "params": [idx]}]}
+
+        Arrays are copied so the snapshot is stable across further steps.
+        """
+        packed_groups: list[dict[str, Any]] = []
+        index_of: dict[int, int] = {}
+        next_index = 0
+        for group in self.param_groups:
+            entry = {k: _copy_value(v) for k, v in group.items() if k != "params"}
+            indices = []
+            for p in group["params"]:
+                index_of[id(p)] = next_index
+                indices.append(next_index)
+                next_index += 1
+            entry["params"] = indices
+            packed_groups.append(entry)
+
+        packed_state: dict[int, dict[str, Any]] = {}
+        for pid, st in self.state.items():
+            if pid not in index_of:
+                continue
+            packed_state[index_of[pid]] = {k: _copy_value(v) for k, v in st.items()}
+        return {"state": packed_state, "param_groups": packed_groups}
+
+    def load_state_dict(self, state_dict: dict[str, Any]) -> None:
+        """Inverse of :meth:`state_dict`; validates group/parameter counts."""
+        groups = state_dict.get("param_groups")
+        state = state_dict.get("state", {})
+        if groups is None:
+            raise ConfigError("optimizer state dict missing 'param_groups'")
+        if len(groups) != len(self.param_groups):
+            raise ConfigError(
+                f"optimizer group count mismatch: checkpoint has {len(groups)}, "
+                f"optimizer has {len(self.param_groups)}"
+            )
+        # Rebuild the flat index -> parameter mapping in our group order.
+        flat_params = self._all_params()
+        total_saved = sum(len(g["params"]) for g in groups)
+        if total_saved != len(flat_params):
+            raise ConfigError(
+                f"optimizer parameter count mismatch: checkpoint has {total_saved}, "
+                f"optimizer has {len(flat_params)}"
+            )
+        cursor = 0
+        self.state.clear()
+        for group, saved in zip(self.param_groups, groups):
+            if len(group["params"]) != len(saved["params"]):
+                raise ConfigError(
+                    "per-group parameter count mismatch while loading optimizer state"
+                )
+            for key, value in saved.items():
+                if key == "params":
+                    continue
+                group[key] = _copy_value(value)
+            for p, saved_idx in zip(group["params"], saved["params"]):
+                entry = state.get(saved_idx, state.get(str(saved_idx)))
+                if entry is not None:
+                    restored: dict[str, Any] = {}
+                    for k, v in entry.items():
+                        if isinstance(v, np.ndarray):
+                            if v.shape != p.data.shape:
+                                raise ConfigError(
+                                    f"optimizer state shape mismatch for param {cursor}: "
+                                    f"{v.shape} vs {p.data.shape}"
+                                )
+                            restored[k] = v.astype(np.float32, copy=True)
+                        else:
+                            restored[k] = v
+                    self.state[id(p)] = restored
+                cursor += 1
+
+    def __repr__(self) -> str:
+        lines = [f"{self.__class__.__name__}("]
+        for i, group in enumerate(self.param_groups):
+            meta = {k: v for k, v in group.items() if k != "params"}
+            lines.append(f"  group {i}: {len(group['params'])} params, {meta}")
+        lines.append(")")
+        return "\n".join(lines)
+
+
+def _copy_value(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        return value.copy()
+    if isinstance(value, (list, tuple)):
+        return type(value)(_copy_value(v) for v in value)
+    return value
+
+
+def clip_grad_norm_(params: Sequence[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= max_norm."""
+    total_sq = 0.0
+    grads = [p.grad for p in params if p.grad is not None]
+    for g in grads:
+        total_sq += float(np.sum(g.astype(np.float64) ** 2))
+    total = float(np.sqrt(total_sq))
+    if max_norm > 0 and total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for g in grads:
+            g *= scale
+    return total

@@ -1,0 +1,53 @@
+"""SGD with optional momentum (baseline optimizer; §2.2 mentions both)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..util.errors import ConfigError
+from .optimizer import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    def __init__(
+        self,
+        params: Iterable,
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        if lr < 0:
+            raise ConfigError(f"invalid learning rate {lr}")
+        if nesterov and momentum <= 0:
+            raise ConfigError("nesterov momentum requires momentum > 0")
+        defaults = dict(lr=lr, momentum=momentum, weight_decay=weight_decay, nesterov=nesterov)
+        super().__init__(params, defaults)
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            momentum = group["momentum"]
+            wd = group["weight_decay"]
+            nesterov = group["nesterov"]
+            for p in group["params"]:
+                if p.grad is None:
+                    continue
+                grad = p.grad
+                if wd != 0:
+                    grad = grad + wd * p.data
+                if momentum != 0:
+                    state = self._get_state(p)
+                    buf = state.get("momentum_buffer")
+                    if buf is None:
+                        buf = grad.copy()
+                        state["momentum_buffer"] = buf
+                    else:
+                        buf *= momentum
+                        buf += grad
+                    grad = grad + momentum * buf if nesterov else buf
+                p.data -= lr * np.asarray(grad)

@@ -1,0 +1,35 @@
+"""Selective checkpoint strategies and the analytic overhead planner."""
+
+from .async_model import AsyncCheckpointModel, plan_strategy_async
+from .base import CheckpointStrategy, DecisionLog, build_strategy, register_strategy
+from .filtered import FilteredStrategy
+from .full import FullStrategy
+from .magnitude import UpdateMagnitudeStrategy
+from .parity import ParityStrategy
+from .planner import (
+    OPTIMIZER_BYTES_PER_PARAM,
+    ComputeCostModel,
+    StrategyPlan,
+    checkpoint_event_nbytes,
+    checkpoint_event_seconds,
+    plan_strategy,
+)
+
+__all__ = [
+    "AsyncCheckpointModel",
+    "CheckpointStrategy",
+    "ComputeCostModel",
+    "DecisionLog",
+    "FilteredStrategy",
+    "FullStrategy",
+    "OPTIMIZER_BYTES_PER_PARAM",
+    "ParityStrategy",
+    "StrategyPlan",
+    "UpdateMagnitudeStrategy",
+    "build_strategy",
+    "checkpoint_event_nbytes",
+    "checkpoint_event_seconds",
+    "plan_strategy",
+    "plan_strategy_async",
+    "register_strategy",
+]

@@ -1,0 +1,120 @@
+"""Selective checkpoint strategies: which slots to save at which step.
+
+A strategy answers one question per training step: *"should we
+checkpoint now, and if so, which layer slots?"* (``None`` = no
+checkpoint, a list of slots = write a partial checkpoint with exactly
+those).  Every decision is appended to a JSON decision log — the file
+the paper's T1 workflow emits and T2 consumes to auto-generate a merge
+recipe.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..nn.config import ModelConfig
+from ..nn.module import Module
+from ..util.errors import ConfigError
+from ..util.jsonio import read_json, write_json_atomic
+
+__all__ = ["CheckpointStrategy", "DecisionLog", "register_strategy", "build_strategy"]
+
+
+@dataclass
+class DecisionLog:
+    """Append-only record of (step, slots) checkpoint decisions."""
+
+    strategy: str
+    records: list[dict[str, Any]] = field(default_factory=list)
+
+    def add(self, step: int, slots: list[str]) -> None:
+        self.records.append({"step": int(step), "slots": list(slots)})
+
+    def save(self, path: str | Path) -> None:
+        write_json_atomic(path, {"strategy": self.strategy, "records": self.records})
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DecisionLog":
+        data = read_json(path)
+        return cls(strategy=data.get("strategy", "?"), records=list(data.get("records", [])))
+
+    def slots_saved_before(self, step: int) -> dict[str, int]:
+        """Latest save step per slot at or before ``step``."""
+        coverage: dict[str, int] = {}
+        for record in sorted(self.records, key=lambda r: r["step"]):
+            if record["step"] > step:
+                break
+            for slot in record["slots"]:
+                coverage[slot] = record["step"]
+        return coverage
+
+
+class CheckpointStrategy(abc.ABC):
+    """Base class; subclasses implement :meth:`slots_for_step`."""
+
+    name: str = "base"
+
+    def __init__(self, config: ModelConfig, interval: int) -> None:
+        if interval < 1:
+            raise ConfigError(f"checkpoint interval must be >= 1, got {interval}")
+        self.config = config
+        self.interval = interval
+        self.log = DecisionLog(strategy=self.name)
+        self._events_fired = 0
+
+    # -- the decision ---------------------------------------------------------
+
+    def is_checkpoint_step(self, step: int) -> bool:
+        """Default cadence: every ``interval`` optimizer steps."""
+        return step > 0 and step % self.interval == 0
+
+    @abc.abstractmethod
+    def slots_for_event(self, event_index: int, step: int, *, model: Module | None = None) -> list[str]:
+        """Slots to save at the ``event_index``-th checkpoint event."""
+
+    def plan_step(self, step: int, *, model: Module | None = None) -> list[str] | None:
+        """Main entry: called once per optimizer step by the trainer."""
+        if not self.is_checkpoint_step(step):
+            return None
+        slots = self.slots_for_event(self._events_fired, step, model=model)
+        self._events_fired += 1
+        self.log.add(step, slots)
+        return slots
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    def reset(self) -> None:
+        self._events_fired = 0
+        self.log = DecisionLog(strategy=self.name)
+
+    def describe(self) -> dict[str, Any]:
+        return {"strategy": self.name, "interval": self.interval}
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}(interval={self.interval})"
+
+
+_STRATEGIES: dict[str, type] = {}
+
+
+def register_strategy(cls: type) -> type:
+    name = getattr(cls, "name", None)
+    if not name or name == "base":
+        raise ConfigError(f"strategy class {cls.__name__} must define a unique 'name'")
+    if name in _STRATEGIES:
+        raise ConfigError(f"strategy {name!r} already registered")
+    _STRATEGIES[name] = cls
+    return cls
+
+
+def build_strategy(name: str, config: ModelConfig, interval: int, **kwargs) -> CheckpointStrategy:
+    try:
+        cls = _STRATEGIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown strategy {name!r}; available: {sorted(_STRATEGIES)}"
+        ) from None
+    return cls(config, interval, **kwargs)

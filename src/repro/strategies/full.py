@@ -1,0 +1,21 @@
+"""Full checkpointing: the paper's baseline (default HF behaviour).
+
+Every ``interval`` steps, save every slot — the "saving the entire LLM
+states" approach whose overhead motivates the paper.
+"""
+
+from __future__ import annotations
+
+from ..nn.module import Module
+from ..nn.slots import model_slots
+from .base import CheckpointStrategy, register_strategy
+
+__all__ = ["FullStrategy"]
+
+
+@register_strategy
+class FullStrategy(CheckpointStrategy):
+    name = "full"
+
+    def slots_for_event(self, event_index: int, step: int, *, model: Module | None = None) -> list[str]:
+        return model_slots(self.config)

@@ -1,0 +1,121 @@
+"""Update-magnitude checkpointing — the paper's "future work" strategy.
+
+§5.3 closes by suggesting that *dynamic* strategies, which decide what
+to checkpoint from observed training behaviour, should beat rule-based
+ones.  This strategy implements the obvious candidate: track each
+slot's relative weight drift since its last save and checkpoint only
+slots whose drift exceeds a threshold (layers that "train faster" —
+Zhou et al.'s non-uniform update observation — get saved more often).
+
+A floor (``min_slots``) bounds recovery staleness, and slots that have
+not been saved for ``max_staleness`` events are force-included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.config import ModelConfig
+from ..nn.module import Module
+from ..nn.slots import model_slots, slot_of_param
+from ..util.errors import ConfigError
+from .base import CheckpointStrategy, register_strategy
+
+__all__ = ["UpdateMagnitudeStrategy"]
+
+
+@register_strategy
+class UpdateMagnitudeStrategy(CheckpointStrategy):
+    name = "magnitude"
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        interval: int,
+        *,
+        threshold: float = 0.01,
+        min_slots: int = 1,
+        max_staleness: int = 4,
+    ) -> None:
+        super().__init__(config, interval)
+        if threshold < 0:
+            raise ConfigError(f"threshold must be >= 0, got {threshold}")
+        if max_staleness < 1:
+            raise ConfigError(f"max_staleness must be >= 1, got {max_staleness}")
+        self.threshold = threshold
+        self.min_slots = min_slots
+        self.max_staleness = max_staleness
+        self._reference: dict[str, np.ndarray] = {}  # per-slot flat snapshot
+        self._staleness: dict[str, int] = {}
+
+    # -- drift measurement -----------------------------------------------------
+
+    def _slot_vectors(self, model: Module) -> dict[str, np.ndarray]:
+        by_slot: dict[str, list[np.ndarray]] = {}
+        for name, param in model.named_parameters():
+            by_slot.setdefault(slot_of_param(name), []).append(param.data.ravel())
+        return {slot: np.concatenate(vs) for slot, vs in by_slot.items()}
+
+    def slot_drift(self, model: Module) -> dict[str, float]:
+        """Relative L2 drift of each slot since its last checkpoint."""
+        current = self._slot_vectors(model)
+        drift: dict[str, float] = {}
+        for slot, vec in current.items():
+            ref = self._reference.get(slot)
+            if ref is None:
+                drift[slot] = float("inf")  # never saved
+            else:
+                denom = float(np.linalg.norm(ref)) + 1e-12
+                drift[slot] = float(np.linalg.norm(vec - ref)) / denom
+        return drift
+
+    def slots_for_event(self, event_index: int, step: int, *, model: Module | None = None) -> list[str]:
+        all_slots = model_slots(self.config)
+        if model is None:
+            # Without model access the dynamic policy cannot measure
+            # drift; degrade to full checkpointing rather than guess.
+            return all_slots
+
+        drift = self.slot_drift(model)
+        chosen = [s for s in all_slots if drift.get(s, 0.0) > self.threshold]
+
+        # Staleness floor: force slots that haven't been saved recently.
+        for slot in all_slots:
+            stale = self._staleness.get(slot, self.max_staleness)
+            if stale >= self.max_staleness and slot not in chosen:
+                chosen.append(slot)
+
+        # Keep at least the min_slots largest drifts.
+        if len(chosen) < self.min_slots:
+            ranked = sorted(all_slots, key=lambda s: drift.get(s, 0.0), reverse=True)
+            for slot in ranked:
+                if slot not in chosen:
+                    chosen.append(slot)
+                if len(chosen) >= self.min_slots:
+                    break
+
+        chosen = [s for s in all_slots if s in set(chosen)]  # canonical order
+
+        # Update references and staleness counters.
+        current = self._slot_vectors(model)
+        for slot in all_slots:
+            if slot in chosen:
+                self._reference[slot] = current[slot].copy()
+                self._staleness[slot] = 0
+            else:
+                self._staleness[slot] = self._staleness.get(slot, 0) + 1
+        return chosen
+
+    def reset(self) -> None:
+        super().reset()
+        self._reference.clear()
+        self._staleness.clear()
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out.update(
+            threshold=self.threshold,
+            min_slots=self.min_slots,
+            max_staleness=self.max_staleness,
+        )
+        return out

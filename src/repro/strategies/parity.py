@@ -1,0 +1,56 @@
+"""Parity checkpointing (paper use case 1, §5.2).
+
+Alternate between two half-model snapshots:
+
+* odd events  — odd transformer layers + ``embed_tokens``,
+* even events — even transformer layers + ``lm_head`` (and ``norm``).
+
+Merging the two most recent parity checkpoints reconstructs a complete
+state, halving per-checkpoint storage.  The first event saves everything
+(``initial_full``) so every slot is recoverable from step one — the
+analogue of the pretrained base model being a complete snapshot.
+"""
+
+from __future__ import annotations
+
+from ..nn.config import ModelConfig
+from ..nn.module import Module
+from ..nn.slots import EMBED, LM_HEAD, NORM, layer_slot, model_slots
+from .base import CheckpointStrategy, register_strategy
+
+__all__ = ["ParityStrategy"]
+
+
+@register_strategy
+class ParityStrategy(CheckpointStrategy):
+    name = "parity"
+
+    def __init__(self, config: ModelConfig, interval: int, *, initial_full: bool = True) -> None:
+        super().__init__(config, interval)
+        self.initial_full = initial_full
+
+    def odd_set(self) -> list[str]:
+        """Odd layers + embedding (saved at odd-numbered events)."""
+        slots = [layer_slot(i) for i in range(self.config.num_hidden_layers) if i % 2 == 1]
+        slots.append(EMBED)
+        return slots
+
+    def even_set(self) -> list[str]:
+        """Even layers + lm_head (+ final norm)."""
+        slots = [layer_slot(i) for i in range(self.config.num_hidden_layers) if i % 2 == 0]
+        slots.append(NORM)
+        if not self.config.tie_word_embeddings:
+            slots.append(LM_HEAD)
+        return slots
+
+    def slots_for_event(self, event_index: int, step: int, *, model: Module | None = None) -> list[str]:
+        if self.initial_full and event_index == 0:
+            return model_slots(self.config)
+        # After the optional full snapshot, alternate odd/even halves.
+        phase = event_index - (1 if self.initial_full else 0)
+        return self.odd_set() if phase % 2 == 0 else self.even_set()
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out["initial_full"] = self.initial_full
+        return out

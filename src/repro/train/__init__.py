@@ -1,0 +1,17 @@
+"""Training loop for simulated multi-rank ZeRO-3 post-training."""
+
+from .callbacks import Callback, CheckpointCallback, FailureInjector, LoggingCallback
+from .config import TrainConfig
+from .state import TrainerState
+from .trainer import Trainer, TrainResult
+
+__all__ = [
+    "Callback",
+    "CheckpointCallback",
+    "FailureInjector",
+    "LoggingCallback",
+    "TrainConfig",
+    "TrainResult",
+    "Trainer",
+    "TrainerState",
+]

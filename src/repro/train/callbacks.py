@@ -1,0 +1,82 @@
+"""Trainer callbacks: logging, checkpointing, failure injection.
+
+The trainer invokes each callback after every optimizer step.  Built-in
+callbacks implement the experiment machinery; users can add their own
+(see ``examples/custom_strategy.py``).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..strategies.base import CheckpointStrategy
+from ..util.errors import SimulatedFailure
+from ..util.logging import get_logger
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .trainer import Trainer
+
+__all__ = ["Callback", "LoggingCallback", "CheckpointCallback", "FailureInjector"]
+
+log = get_logger("train")
+
+
+class Callback:
+    """Base callback; all hooks are optional."""
+
+    def on_train_start(self, trainer: "Trainer") -> None: ...
+
+    def on_step_end(self, trainer: "Trainer", step: int, loss: float) -> None: ...
+
+    def on_train_end(self, trainer: "Trainer") -> None: ...
+
+
+class LoggingCallback(Callback):
+    def __init__(self, every: int = 10) -> None:
+        self.every = max(1, every)
+
+    def on_step_end(self, trainer: "Trainer", step: int, loss: float) -> None:
+        if step % self.every == 0 or step == trainer.config.total_steps:
+            lr = trainer.scheduler.get_last_lr()[0]
+            trainer.state.log(step, loss=loss, lr=lr)
+            log.info("step %d loss %.4f lr %.2e", step, loss, lr)
+
+
+class CheckpointCallback(Callback):
+    """Drives a :class:`CheckpointStrategy` and writes partial checkpoints."""
+
+    def __init__(self, strategy: CheckpointStrategy) -> None:
+        self.strategy = strategy
+
+    def on_step_end(self, trainer: "Trainer", step: int, loss: float) -> None:
+        slots = self.strategy.plan_step(step, model=trainer.model)
+        if slots is None:
+            return
+        trainer.write_checkpoint(step, slots=slots, strategy_name=self.strategy.name)
+        self.strategy.log.save(trainer.decision_log_path)
+        log.info("checkpoint at step %d: %d slots (%s)", step, len(slots), self.strategy.name)
+        if trainer.config.max_checkpoints is not None:
+            from ..io.retention import prune_checkpoints
+
+            pruned = prune_checkpoints(trainer.storage.root, trainer.config.max_checkpoints)
+            if pruned:
+                log.info("retention pruned checkpoints %s", pruned)
+
+
+class FailureInjector(Callback):
+    """Simulate a crash after the given step completes (paper T3).
+
+    The checkpoint callback runs first (trainer preserves registration
+    order), so the decisions for the failing step land on disk — exactly
+    what a real crash after a completed save looks like.
+    """
+
+    def __init__(self, failure_step: int) -> None:
+        self.failure_step = failure_step
+        self.fired = False
+
+    def on_step_end(self, trainer: "Trainer", step: int, loss: float) -> None:
+        if not self.fired and step >= self.failure_step:
+            self.fired = True
+            log.warning("injecting failure at step %d", step)
+            raise SimulatedFailure(step)

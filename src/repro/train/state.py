@@ -1,0 +1,50 @@
+"""Trainer bookkeeping state, serialized as ``trainer_state.json``.
+
+Carries what the paper's §4.4 calls "training state history, the current
+training step, and the current learning rate" — the metadata a merged
+checkpoint must copy to preserve training continuity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["TrainerState"]
+
+
+@dataclass
+class TrainerState:
+    global_step: int = 0
+    log_history: list[dict[str, Any]] = field(default_factory=list)
+    learning_rate: float = 0.0
+    checkpoints_written: list[int] = field(default_factory=list)
+
+    def log(self, step: int, **metrics: float) -> None:
+        entry: dict[str, Any] = {"step": int(step)}
+        entry.update({k: float(v) for k, v in metrics.items()})
+        self.log_history.append(entry)
+
+    def recent_loss(self, window: int = 5) -> float | None:
+        losses = [e["loss"] for e in self.log_history if "loss" in e]
+        if not losses:
+            return None
+        tail = losses[-window:]
+        return sum(tail) / len(tail)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "global_step": self.global_step,
+            "log_history": self.log_history,
+            "learning_rate": self.learning_rate,
+            "checkpoints_written": self.checkpoints_written,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TrainerState":
+        return cls(
+            global_step=int(data.get("global_step", 0)),
+            log_history=list(data.get("log_history", [])),
+            learning_rate=float(data.get("learning_rate", 0.0)),
+            checkpoints_written=[int(s) for s in data.get("checkpoints_written", [])],
+        )

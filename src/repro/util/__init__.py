@@ -1,0 +1,54 @@
+"""Shared utilities: errors, logging, RNG streams, YAML subset, tables."""
+
+from .errors import (
+    CheckpointError,
+    CheckpointFormatError,
+    ConfigError,
+    DistError,
+    GradError,
+    MergeError,
+    RecipeError,
+    ReproError,
+    ShapeError,
+    SimulatedFailure,
+    TrainingError,
+    YamlError,
+)
+from .humanize import format_bytes, format_duration, format_gib, format_pct, format_ratio
+from .jsonio import read_json, write_json_atomic
+from .logging import get_logger, rank_logger, set_level
+from .rng import RngTree, derive_seed, stream
+from .tables import Table, render_kv
+from .timer import SimClock, WallTimer
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointFormatError",
+    "ConfigError",
+    "DistError",
+    "GradError",
+    "MergeError",
+    "RecipeError",
+    "ReproError",
+    "ShapeError",
+    "SimulatedFailure",
+    "TrainingError",
+    "YamlError",
+    "format_bytes",
+    "format_duration",
+    "format_gib",
+    "format_pct",
+    "format_ratio",
+    "read_json",
+    "write_json_atomic",
+    "get_logger",
+    "rank_logger",
+    "set_level",
+    "RngTree",
+    "derive_seed",
+    "stream",
+    "Table",
+    "render_kv",
+    "SimClock",
+    "WallTimer",
+]

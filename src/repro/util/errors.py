@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so that callers can catch library failures without
+swallowing programming errors (``TypeError``, ``KeyError`` from bugs, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A model / training / strategy configuration is invalid."""
+
+
+class RecipeError(ReproError):
+    """A merge recipe (YAML or programmatic) is malformed or inconsistent."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint on disk is missing, malformed, or incompatible."""
+
+
+class CheckpointFormatError(CheckpointError):
+    """A serialized container (tensorfile / blobfile) failed validation."""
+
+
+class MergeError(ReproError):
+    """Checkpoint merging could not produce a consistent result."""
+
+
+class ShapeError(ReproError):
+    """Tensor shapes are incompatible for the requested operation."""
+
+
+class GradError(ReproError):
+    """Autograd graph misuse (backward twice, missing grad, ...)."""
+
+
+class DistError(ReproError):
+    """Simulated-distributed misuse (bad rank, mismatched collective, ...)."""
+
+
+class YamlError(ReproError):
+    """The mini-YAML parser rejected a document."""
+
+
+class TrainingError(ReproError):
+    """The training loop hit an unrecoverable condition."""
+
+
+class SimulatedFailure(ReproError):
+    """Raised by the failure injector to emulate a mid-training crash.
+
+    Carries the global step at which the "machine died" so tests and
+    examples can assert recovery starts from the right checkpoint.
+    """
+
+    def __init__(self, step: int, message: str | None = None) -> None:
+        self.step = step
+        super().__init__(message or f"injected failure at global step {step}")

@@ -1,0 +1,99 @@
+"""Human-readable formatting for byte counts, durations, and ratios.
+
+Used by the benchmark harness to print the paper-style tables (sizes in
+GiB, times in seconds, checkpoint-time proportions in percent).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "format_bytes",
+    "format_gib",
+    "format_duration",
+    "format_ratio",
+    "format_pct",
+    "parse_bytes",
+]
+
+_BYTE_UNITS = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"]
+
+
+def format_bytes(n: float) -> str:
+    """``1536`` → ``'1.50 KiB'``; negative values keep their sign."""
+    sign = "-" if n < 0 else ""
+    n = abs(float(n))
+    for unit in _BYTE_UNITS:
+        if n < 1024.0 or unit == _BYTE_UNITS[-1]:
+            if unit == "B":
+                return f"{sign}{int(n)} B"
+            return f"{sign}{n:.2f} {unit}"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_gib(n_bytes: float, digits: int = 2) -> str:
+    """Bytes rendered in GiB with fixed precision (paper tables use G)."""
+    return f"{n_bytes / 1024**3:.{digits}f}"
+
+
+def format_duration(seconds: float) -> str:
+    """``95.3`` → ``'1m 35.3s'``; sub-second values keep milliseconds."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m {rem:.1f}s"
+    hours, minutes = divmod(int(minutes), 60)
+    return f"{hours}h {minutes}m {rem:.0f}s"
+
+
+def format_ratio(numer: float, denom: float, digits: int = 2) -> str:
+    """``(4.3, 1.0)`` → ``'4.30x'``; guards against zero denominators."""
+    if denom == 0:
+        return "inf" if numer else "n/a"
+    return f"{numer / denom:.{digits}f}x"
+
+
+def format_pct(fraction: float, digits: int = 2) -> str:
+    """``0.0499`` → ``'4.99'`` (paper prints bare percent numbers)."""
+    return f"{fraction * 100.0:.{digits}f}"
+
+
+_PARSE_UNITS = {
+    "b": 1,
+    "kb": 1000,
+    "kib": 1024,
+    "mb": 1000**2,
+    "mib": 1024**2,
+    "gb": 1000**3,
+    "gib": 1024**3,
+    "g": 1024**3,
+    "tb": 1000**4,
+    "tib": 1024**4,
+}
+
+
+def parse_bytes(text: str) -> int:
+    """Parse ``'350 GB'`` / ``'1.5GiB'`` / ``'2048'`` into a byte count."""
+    text = text.strip().lower()
+    num = ""
+    idx = 0
+    for idx, ch in enumerate(text):
+        if ch.isdigit() or ch in "._":
+            num += ch
+        elif ch == " ":
+            continue
+        else:
+            break
+    else:
+        idx = len(text)
+    unit = text[idx:].strip() or "b"
+    if not num or unit not in _PARSE_UNITS:
+        raise ValueError(f"cannot parse byte size: {text!r}")
+    return int(float(num) * _PARSE_UNITS[unit])

@@ -1,0 +1,64 @@
+"""Lightweight, rank-aware logging.
+
+The simulated-distributed engine runs every "rank" inside one process, so
+the usual ``logging`` module is wrapped with a per-rank prefix instead of
+per-process configuration.  Verbosity is controlled globally; benchmarks
+default to WARNING so table output stays clean.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _configure_root() -> None:
+    global _configured
+    if _configured:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s", "%H:%M:%S")
+        )
+        root.addHandler(handler)
+    level_name = os.environ.get("REPRO_LOG_LEVEL", "WARNING").upper()
+    root.setLevel(getattr(logging, level_name, logging.WARNING))
+    root.propagate = False
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under the library root.
+
+    ``get_logger("io.storage")`` yields the ``repro.io.storage`` logger.
+    """
+    _configure_root()
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_level(level: int | str) -> None:
+    """Set the verbosity of every repro logger at once."""
+    _configure_root()
+    if isinstance(level, str):
+        level = getattr(logging, level.upper())
+    logging.getLogger(_ROOT_NAME).setLevel(level)
+
+
+class RankAdapter(logging.LoggerAdapter):
+    """Prefixes messages with ``[rank N]`` for simulated ranks."""
+
+    def process(self, msg, kwargs):
+        return f"[rank {self.extra['rank']}] {msg}", kwargs
+
+
+def rank_logger(name: str, rank: int) -> logging.LoggerAdapter:
+    """A logger whose messages are tagged with the simulated rank."""
+    return RankAdapter(get_logger(name), {"rank": rank})

@@ -1,0 +1,120 @@
+"""ASCII table rendering for paper-style result tables.
+
+Every benchmark in ``benchmarks/`` ends by printing one of the paper's
+tables; this module renders them consistently (column alignment, optional
+highlighting of the best value per column, markdown mode for inclusion in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+__all__ = ["Table", "render_kv"]
+
+
+@dataclass
+class Table:
+    """Column-aligned ASCII / markdown table builder.
+
+    >>> t = Table(["Model", "Size (G)"], title="Table 3")
+    >>> t.add_row(["Llama3.1-8B", 1799.52])
+    >>> print(t.render())
+    """
+
+    headers: Sequence[str]
+    title: str | None = None
+    rows: list[list[str]] = field(default_factory=list)
+    _raw_rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, values: Sequence[Any]) -> "Table":
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.headers)} columns"
+            )
+        self._raw_rows.append(list(values))
+        self.rows.append([_fmt(v) for v in values])
+        return self
+
+    def add_separator(self) -> "Table":
+        self._raw_rows.append([])
+        self.rows.append([])
+        return self
+
+    def highlight_best(self, column: int, best: Callable[[Sequence[float]], float] = max) -> None:
+        """Mark the best numeric value in a column with a trailing ``*``.
+
+        Mirrors the paper's bold "top result per benchmark" convention.
+        """
+        numeric: list[tuple[int, float]] = []
+        for i, raw in enumerate(self._raw_rows):
+            if raw and isinstance(raw[column], (int, float)):
+                numeric.append((i, float(raw[column])))
+        if not numeric:
+            return
+        target = best([v for _, v in numeric])
+        for i, v in numeric:
+            if v == target:
+                self.rows[i][column] = self.rows[i][column] + " *"
+
+    def _widths(self) -> list[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for j, cell in enumerate(row):
+                widths[j] = max(widths[j], len(cell))
+        return widths
+
+    def render(self) -> str:
+        widths = self._widths()
+        sep = "+".join("-" * (w + 2) for w in widths)
+        sep = f"+{sep}+"
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(sep)
+        lines.append(_line(self.headers, widths))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(sep if not row else _line(row, widths))
+        lines.append(sep)
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            if row:
+                lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.2f}"
+        if abs(v) >= 1:
+            return f"{v:.2f}"
+        return f"{v:.4f}"
+    return str(v)
+
+
+def _line(cells: Sequence[str], widths: list[int]) -> str:
+    padded = [f" {c:<{w}} " for c, w in zip(cells, widths)]
+    return "|" + "|".join(padded) + "|"
+
+
+def render_kv(title: str, pairs: dict[str, Any]) -> str:
+    """Render a key/value block (used for experiment configs in output)."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] + [f"  {k:<{width}} : {_fmt(v)}" for k, v in pairs.items()]
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Attention correctness: GQA expansion and a manual reference check."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, rope_cache, softmax
+from repro.nn import CausalSelfAttention, ModelConfig, causal_mask
+
+
+def gqa_config(heads: int, kv_heads: int) -> ModelConfig:
+    return ModelConfig(
+        name=f"gqa-{heads}-{kv_heads}",
+        vocab_size=64,
+        hidden_size=8 * heads,
+        intermediate_size=32,
+        num_hidden_layers=1,
+        num_attention_heads=heads,
+        num_key_value_heads=kv_heads,
+    )
+
+
+class TestGQA:
+    @pytest.mark.parametrize("heads,kv", [(4, 4), (4, 2), (4, 1), (8, 2)])
+    def test_repeat_kv_matches_numpy_repeat(self, heads, kv, rng):
+        attn = CausalSelfAttention(gqa_config(heads, kv), rng=rng)
+        batch, seq = 2, 5
+        x = rng.standard_normal((batch, kv, seq, attn.head_dim)).astype(np.float32)
+        out = attn._repeat_kv(Tensor(x), batch, seq).data
+        expected = np.repeat(x, attn.n_rep, axis=1)
+        np.testing.assert_allclose(out, expected, rtol=1e-6)
+
+    def test_repeat_kv_gradient_sums_over_repeats(self, rng):
+        attn = CausalSelfAttention(gqa_config(4, 2), rng=rng)
+        x = Tensor(rng.standard_normal((1, 2, 3, attn.head_dim)).astype(np.float32),
+                   requires_grad=True)
+        out = attn._repeat_kv(x, 1, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.full_like(x.data, attn.n_rep))
+
+
+class TestAttentionReference:
+    def test_matches_manual_numpy_attention(self, rng):
+        """Full module output vs a hand-rolled numpy attention (no RoPE)."""
+        config = gqa_config(2, 2)
+        attn = CausalSelfAttention(config, rng=rng)
+        batch, seq, hidden = 1, 4, config.hidden_size
+        x = rng.standard_normal((batch, seq, hidden)).astype(np.float32)
+
+        # Identity RoPE: cos=1, sin=0.
+        cos = np.ones((seq, attn.head_dim), dtype=np.float32)
+        sin = np.zeros((seq, attn.head_dim), dtype=np.float32)
+        mask = causal_mask(seq)
+
+        out = attn(Tensor(x), cos, sin, mask).data
+
+        # Manual computation.
+        def project(lin, x2d):
+            return x2d @ lin.weight.data.T
+
+        hd = attn.head_dim
+        q = project(attn.q_proj, x[0]).reshape(seq, 2, hd).transpose(1, 0, 2)
+        k = project(attn.k_proj, x[0]).reshape(seq, 2, hd).transpose(1, 0, 2)
+        v = project(attn.v_proj, x[0]).reshape(seq, 2, hd).transpose(1, 0, 2)
+        scores = q @ k.transpose(0, 2, 1) / np.sqrt(hd) + mask[0, 0]
+        weights = np.exp(scores - scores.max(-1, keepdims=True))
+        weights /= weights.sum(-1, keepdims=True)
+        ctx = (weights @ v).transpose(1, 0, 2).reshape(seq, hidden)
+        expected = ctx @ attn.o_proj.weight.data.T
+
+        np.testing.assert_allclose(out[0], expected, rtol=1e-4, atol=1e-5)
+
+    def test_attention_rows_attend_only_backward(self, rng):
+        """Softmax over masked scores puts ~zero weight on future keys."""
+        config = gqa_config(2, 2)
+        attn = CausalSelfAttention(config, rng=rng)
+        seq = 6
+        x = Tensor(rng.standard_normal((1, seq, config.hidden_size)).astype(np.float32))
+        q = attn._split_heads(attn.q_proj(x), attn.num_heads)
+        k = attn._split_heads(attn.k_proj(x), attn.num_kv_heads)
+        scores = (q @ k.swapaxes(-1, -2)) * (1 / np.sqrt(attn.head_dim))
+        masked = scores + Tensor(causal_mask(seq))
+        weights = softmax(masked, axis=-1).data
+        upper = np.triu(np.ones((seq, seq)), k=1).astype(bool)
+        assert np.all(weights[0, 0][upper] < 1e-6)
+
+    def test_rope_changes_relative_scores_only(self, rng):
+        """RoPE attention scores depend on relative positions: shifting
+        both q and k positions by the same offset preserves scores."""
+        hd = 8
+        cos, sin = rope_cache(32, hd, dtype=np.float64)
+        q = rng.standard_normal(hd)
+        k = rng.standard_normal(hd)
+
+        def score(pos_q, pos_k):
+            from repro.autograd.functional import _rotate_half
+
+            rq = q * cos[pos_q] + _rotate_half(q) * sin[pos_q]
+            rk = k * cos[pos_k] + _rotate_half(k) * sin[pos_k]
+            return float(rq @ rk)
+
+        assert score(3, 1) == pytest.approx(score(13, 11), rel=1e-9)
+        assert score(3, 1) != pytest.approx(score(3, 2), rel=1e-3)

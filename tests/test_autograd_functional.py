@@ -1,0 +1,226 @@
+"""Gradient and semantics tests for the fused NN ops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    IGNORE_INDEX,
+    Tensor,
+    apply_rope,
+    check_gradients,
+    cross_entropy,
+    dropout,
+    embedding,
+    gelu,
+    layer_norm,
+    log_softmax,
+    relu,
+    rms_norm,
+    rope_cache,
+    silu,
+    softmax,
+)
+from repro.util.errors import ShapeError
+
+
+def t64(shape, rng, scale=1.0):
+    return Tensor(rng.standard_normal(shape) * scale, requires_grad=True, dtype=np.float64)
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = Tensor(rng.standard_normal((4, 7)))
+        s = softmax(x).data
+        np.testing.assert_allclose(s.sum(axis=-1), np.ones(4), rtol=1e-6)
+        assert (s >= 0).all()
+
+    def test_softmax_shift_invariance(self, rng):
+        x = rng.standard_normal((3, 5))
+        a = softmax(Tensor(x)).data
+        b = softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, rtol=1e-5)
+
+    def test_softmax_grad(self, rng):
+        x = t64((3, 6), rng)
+        check_gradients(lambda ts: (softmax(ts[0]) * np.arange(6)).sum(), [x])
+
+    def test_log_softmax_grad_and_consistency(self, rng):
+        x = t64((2, 5), rng)
+        np.testing.assert_allclose(
+            np.exp(log_softmax(Tensor(x.data)).data), softmax(Tensor(x.data)).data, rtol=1e-6
+        )
+        check_gradients(lambda ts: (log_softmax(ts[0]) * np.arange(5)).sum(), [x])
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_vocab(self):
+        logits = Tensor(np.zeros((2, 3, 8)), requires_grad=True)
+        targets = np.zeros((2, 3), dtype=np.int64)
+        loss = cross_entropy(logits, targets)
+        np.testing.assert_allclose(float(loss.data), np.log(8), rtol=1e-6)
+
+    def test_perfect_prediction_loss_near_zero(self):
+        logits = np.full((1, 2, 4), -30.0)
+        logits[0, 0, 1] = 30.0
+        logits[0, 1, 2] = 30.0
+        loss = cross_entropy(Tensor(logits, requires_grad=True), np.array([[1, 2]]))
+        assert float(loss.data) < 1e-6
+
+    def test_ignore_index_excluded(self, rng):
+        logits = rng.standard_normal((1, 4, 5))
+        targets_full = np.array([[1, 2, 3, 4]])
+        targets_masked = np.array([[1, 2, IGNORE_INDEX, IGNORE_INDEX]])
+        l_masked = cross_entropy(Tensor(logits), targets_masked)
+        l_manual = cross_entropy(Tensor(logits[:, :2]), targets_full[:, :2])
+        np.testing.assert_allclose(float(l_masked.data), float(l_manual.data), rtol=1e-6)
+
+    def test_ignored_positions_get_zero_grad(self, rng):
+        logits = Tensor(rng.standard_normal((1, 3, 4)), requires_grad=True)
+        targets = np.array([[0, IGNORE_INDEX, 2]])
+        cross_entropy(logits, targets).backward()
+        assert np.all(logits.grad[0, 1] == 0.0)
+        assert np.any(logits.grad[0, 0] != 0.0)
+
+    def test_all_ignored_raises(self):
+        with pytest.raises(ShapeError):
+            cross_entropy(Tensor(np.zeros((1, 2, 3))), np.full((1, 2), IGNORE_INDEX))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            cross_entropy(Tensor(np.zeros((1, 2, 3))), np.zeros((1, 3), dtype=np.int64))
+
+    def test_grad_matches_numerical(self, rng):
+        logits = t64((6, 5), rng)
+        targets = rng.integers(0, 5, size=6)
+        check_gradients(lambda ts: cross_entropy(ts[0], targets), [logits])
+
+    def test_grad_with_ignore(self, rng):
+        logits = t64((5, 4), rng)
+        targets = np.array([0, IGNORE_INDEX, 2, 3, IGNORE_INDEX])
+        check_gradients(lambda ts: cross_entropy(ts[0], targets), [logits])
+
+
+class TestActivations:
+    def test_silu_values(self):
+        x = Tensor(np.array([0.0, 100.0]))
+        out = silu(x).data
+        np.testing.assert_allclose(out[0], 0.0)
+        np.testing.assert_allclose(out[1], 100.0, rtol=1e-5)
+
+    def test_silu_gelu_relu_grads(self, rng):
+        x = t64((7,), rng)
+        check_gradients(lambda ts: silu(ts[0]).sum(), [x])
+        check_gradients(lambda ts: gelu(ts[0]).sum(), [x])
+        x_off_zero = Tensor(x.data + 0.05, requires_grad=True, dtype=np.float64)
+        check_gradients(lambda ts: relu(ts[0]).sum(), [x_off_zero], eps=1e-8)
+
+
+class TestNorms:
+    def test_rms_norm_unit_scale(self, rng):
+        x = rng.standard_normal((2, 3, 8)) * 5
+        w = Tensor(np.ones(8))
+        out = rms_norm(Tensor(x), w).data
+        rms = np.sqrt((out**2).mean(axis=-1))
+        np.testing.assert_allclose(rms, np.ones((2, 3)), rtol=1e-3)
+
+    def test_rms_norm_weight_shape_checked(self, rng):
+        with pytest.raises(ShapeError):
+            rms_norm(Tensor(rng.standard_normal((2, 4))), Tensor(np.ones(5)))
+
+    def test_rms_norm_grads(self, rng):
+        x = t64((3, 6), rng)
+        w = Tensor(rng.standard_normal(6) + 1.0, requires_grad=True, dtype=np.float64)
+        check_gradients(lambda ts: (rms_norm(ts[0], ts[1]) ** 2).sum(), [x, w], atol=1e-4)
+
+    def test_layer_norm_zero_mean_unit_var(self, rng):
+        x = rng.standard_normal((4, 10)) * 3 + 7
+        out = layer_norm(Tensor(x), Tensor(np.ones(10)), Tensor(np.zeros(10))).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), rtol=1e-2)
+
+    def test_layer_norm_grads(self, rng):
+        x = t64((2, 5), rng)
+        w = Tensor(rng.standard_normal(5) + 1, requires_grad=True, dtype=np.float64)
+        b = Tensor(rng.standard_normal(5), requires_grad=True, dtype=np.float64)
+        check_gradients(lambda ts: (layer_norm(ts[0], ts[1], ts[2]) ** 2).sum(), [x, w, b], atol=1e-4)
+
+
+class TestEmbedding:
+    def test_gather_semantics(self, rng):
+        w = Tensor(rng.standard_normal((10, 4)))
+        ids = np.array([[1, 3], [3, 9]])
+        out = embedding(w, ids).data
+        np.testing.assert_array_equal(out[0, 0], w.data[1])
+        np.testing.assert_array_equal(out[1, 1], w.data[9])
+
+    def test_duplicate_ids_accumulate_grad(self, rng):
+        w = Tensor(rng.standard_normal((5, 3)), requires_grad=True, dtype=np.float64)
+        ids = np.array([[2, 2, 2]])
+        embedding(w, ids).sum().backward()
+        np.testing.assert_allclose(w.grad[2], np.full(3, 3.0))
+        np.testing.assert_allclose(w.grad[0], np.zeros(3))
+
+    def test_float_ids_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            embedding(Tensor(rng.standard_normal((4, 2))), np.array([0.5]))
+
+    def test_grad_numerical(self, rng):
+        w = t64((6, 3), rng)
+        ids = rng.integers(0, 6, size=(2, 4))
+        check_gradients(lambda ts: (embedding(ts[0], ids) ** 2).sum(), [w])
+
+
+class TestRoPE:
+    def test_cache_shapes_and_bounds(self):
+        cos, sin = rope_cache(16, 8)
+        assert cos.shape == sin.shape == (16, 8)
+        assert np.abs(cos).max() <= 1.0 + 1e-6
+
+    def test_odd_head_dim_rejected(self):
+        with pytest.raises(ShapeError):
+            rope_cache(4, 7)
+
+    def test_rotation_preserves_norm(self, rng):
+        cos, sin = rope_cache(10, 8, dtype=np.float64)
+        x = rng.standard_normal((2, 3, 10, 8))
+        out = apply_rope(Tensor(x, dtype=np.float64), cos, sin).data
+        np.testing.assert_allclose(
+            np.linalg.norm(out, axis=-1), np.linalg.norm(x, axis=-1), rtol=1e-6
+        )
+
+    def test_position_zero_is_identity(self, rng):
+        cos, sin = rope_cache(4, 8, dtype=np.float64)
+        x = rng.standard_normal((1, 1, 4, 8))
+        out = apply_rope(Tensor(x, dtype=np.float64), cos, sin).data
+        np.testing.assert_allclose(out[0, 0, 0], x[0, 0, 0], rtol=1e-9)
+
+    def test_grad_numerical(self, rng):
+        cos, sin = rope_cache(5, 4, dtype=np.float64)
+        x = t64((2, 5, 4), rng)
+        check_gradients(lambda ts: (apply_rope(ts[0], cos, sin) ** 2).sum(), [x])
+
+
+class TestDropout:
+    def test_identity_when_eval_or_zero(self, rng):
+        x = Tensor(rng.standard_normal(10), requires_grad=True)
+        assert dropout(x, 0.5, rng, training=False) is x
+        assert dropout(x, 0.0, rng, training=True) is x
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(100_000))
+        out = dropout(x, 0.3, rng).data
+        assert abs(out.mean() - 1.0) < 0.02
+
+    def test_p_one_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            dropout(Tensor(np.ones(3)), 1.0, rng)
+
+    def test_grad_uses_same_mask(self):
+        rng = np.random.default_rng(7)
+        x = Tensor(np.ones(50), requires_grad=True)
+        out = dropout(x, 0.5, rng)
+        out.sum().backward()
+        np.testing.assert_array_equal((x.grad != 0), (out.data != 0))

@@ -1,0 +1,125 @@
+"""Auto-recipe generation and the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import LLMTailor, recipe_from_decision_log, recipe_from_run
+from repro.core.autorecipe import latest_slot_coverage
+from repro.io import CheckpointPaths
+from repro.train import TrainConfig, Trainer
+from repro.util.errors import MergeError
+from repro.util.jsonio import write_json_atomic
+
+
+@pytest.fixture
+def parity_trail(tmp_path):
+    """A parity run interrupted at step 14 (checkpoints at 4, 8, 12)."""
+    cfg = TrainConfig(
+        model="tiny-untied", task="cpt", total_steps=16,
+        checkpoint_strategy="parity", checkpoint_interval=4,
+        output_dir=str(tmp_path / "run"), world_size=2,
+        micro_batch_size=2, grad_accum_steps=1, seq_len=32,
+        failure_step=14,
+    )
+    trainer = Trainer(cfg)
+    trainer.train()
+    return trainer
+
+
+class TestAutoRecipe:
+    def test_coverage_prefers_latest(self, parity_trail):
+        coverage, config = latest_slot_coverage(parity_trail.storage.root, failure_step=14)
+        # Checkpoint 4 = full, 8 = odd set, 12 = even set.
+        assert coverage["layers.0"] == 12  # even layer: latest at 12
+        assert coverage["layers.1"] == 8  # odd layer: latest at 8
+        assert coverage["norm"] == 12
+
+    def test_failure_step_filters(self, parity_trail):
+        coverage, _ = latest_slot_coverage(parity_trail.storage.root, failure_step=9)
+        assert max(coverage.values()) == 8
+
+    def test_no_checkpoints_raises(self, tmp_path):
+        with pytest.raises(MergeError, match="no usable checkpoints"):
+            latest_slot_coverage(tmp_path, failure_step=10)
+
+    def test_recipe_from_run_merges(self, parity_trail, tmp_path):
+        recipe = recipe_from_run(parity_trail.storage.root, failure_step=14)
+        assert recipe.base_checkpoint.name == "checkpoint-12"
+        result = LLMTailor(recipe).merge(output=tmp_path / "merged")
+        assert result.output.read_manifest()["complete"]
+
+    def test_recipe_from_decision_log(self, parity_trail, tmp_path):
+        recipe = recipe_from_decision_log(
+            parity_trail.decision_log_path, parity_trail.storage.root, failure_step=14
+        )
+        assert recipe.base_checkpoint.name == "checkpoint-12"
+        # Odd layers must come from checkpoint-8.
+        assert recipe.assignments["layers.1"].name == "checkpoint-8"
+
+    def test_decision_log_ignores_pruned_checkpoints(self, parity_trail, tmp_path):
+        import shutil
+
+        shutil.rmtree(parity_trail.storage.root / "checkpoint-8")
+        recipe = recipe_from_decision_log(
+            parity_trail.decision_log_path, parity_trail.storage.root, failure_step=14
+        )
+        # Fallback: odd layers last seen in the full checkpoint-4.
+        assert recipe.assignments["layers.1"].name == "checkpoint-4"
+
+    def test_empty_decision_log_raises(self, tmp_path):
+        path = tmp_path / "log.json"
+        write_json_atomic(path, {"strategy": "parity", "records": []})
+        with pytest.raises(MergeError, match="no records"):
+            recipe_from_decision_log(path, tmp_path)
+
+
+class TestCLI:
+    def test_groups_command(self, capsys):
+        assert main(["groups", "llama3.1-8b"]) == 0
+        out = capsys.readouterr().out
+        assert "2L+x = 67" in out
+        assert "layer_0_nodecay" in out
+
+    def test_plan_command(self, capsys):
+        assert main(["plan", "llama3.1-8b", "parity", "--interval", "100", "--steps", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint events" in out and "proportion" in out
+
+    def test_describe_and_verify(self, parity_trail, capsys):
+        ckpt = str(parity_trail.storage.root / "checkpoint-4")
+        assert main(["describe", ckpt]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["step"] == 4
+        assert main(["verify", ckpt]) == 0
+
+    def test_auto_merge_command(self, parity_trail, tmp_path, capsys):
+        out_dir = str(tmp_path / "cli-merged")
+        rc = main([
+            "auto-merge", str(parity_trail.storage.root),
+            "--failure-step", "14", "-o", out_dir,
+        ])
+        assert rc == 0
+        assert "merged checkpoint" in capsys.readouterr().out
+        assert CheckpointPaths(out_dir).read_manifest()["complete"]
+
+    def test_merge_command_from_yaml(self, parity_trail, tmp_path, capsys):
+        recipe = recipe_from_run(parity_trail.storage.root, failure_step=14)
+        recipe_path = tmp_path / "recipe.yaml"
+        recipe.save(recipe_path)
+        rc = main(["merge", "-r", str(recipe_path), "-o", str(tmp_path / "m")])
+        assert rc == 0
+
+    def test_verify_reports_issues_nonzero(self, parity_trail, tmp_path, capsys):
+        # A partial checkpoint fails completeness verification.
+        rc = main(["verify", str(parity_trail.storage.root / "checkpoint-8")])
+        assert rc == 1
+        assert "ISSUE" in capsys.readouterr().out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0

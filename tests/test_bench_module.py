@@ -1,0 +1,51 @@
+"""The shared benchmark harness (analytic paths only — pipelines are
+exercised by benchmarks/)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import PAPER_SETTINGS, paper_scale_overhead
+
+
+class TestPaperScaleOverhead:
+    def test_settings_match_paper_section_5_1(self):
+        # §5.1: Qwen SFT saves every 50 steps, Llama CPT every 100.
+        assert PAPER_SETTINGS["qwen-sft"]["interval"] == 50
+        assert PAPER_SETTINGS["llama-cpt"]["interval"] == 100
+        assert PAPER_SETTINGS["qwen-sft"]["model"] == "qwen2.5-7b"
+        assert PAPER_SETTINGS["llama-cpt"]["model"] == "llama3.1-8b"
+
+    def test_full_llama_matches_table3_size(self):
+        row = paper_scale_overhead("llama-cpt", "full")
+        assert row["events"] == 16
+        # Paper Table 3: 1799.52 GB (decimal); arithmetic must land close.
+        assert abs(row["total_gb"] - 1799.52) < 30
+
+    def test_full_qwen_matches_table3_size(self):
+        row = paper_scale_overhead("qwen-sft", "full")
+        assert row["events"] == 17
+        assert abs(row["total_gb"] - 1811.52) < 30
+
+    def test_parity_is_half_of_full(self):
+        full = paper_scale_overhead("llama-cpt", "full")
+        parity = paper_scale_overhead("llama-cpt", "parity", initial_full=False)
+        assert full["total_bytes"] / parity["total_bytes"] == pytest.approx(2.0, abs=0.05)
+
+    def test_filtered_reduction_in_paper_band(self):
+        full = paper_scale_overhead("llama-cpt", "full")
+        filt = paper_scale_overhead("llama-cpt", "filtered", initial_full=False)
+        ratio = full["total_bytes"] / filt["total_bytes"]
+        assert 3.5 < ratio < 5.0  # paper: 4.28x
+
+    def test_time_fraction_ordering(self):
+        full = paper_scale_overhead("qwen-sft", "full")
+        parity = paper_scale_overhead("qwen-sft", "parity", initial_full=False)
+        filt = paper_scale_overhead("qwen-sft", "filtered", initial_full=False)
+        assert filt["ckpt_fraction"] < parity["ckpt_fraction"] < full["ckpt_fraction"]
+        # Qwen's SFT shape is checkpoint-heavy, as in the paper (20.63%).
+        assert full["ckpt_fraction"] > 0.15
+
+    def test_unknown_setting_raises(self):
+        with pytest.raises(KeyError):
+            paper_scale_overhead("gpt-pretrain", "full")

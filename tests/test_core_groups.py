@@ -1,0 +1,140 @@
+"""The 2 -> 2L+x parameter-group reconstruction (paper §4.1, Fig. 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.groups import (
+    group_layout_table,
+    groups_for_slot,
+    slot_of_group,
+    tailored_group_specs,
+    tailored_param_groups,
+)
+from repro.nn import build_model, get_config, model_slots, parameter_shapes
+from repro.util.errors import ConfigError
+
+
+class TestSpecLayout:
+    def test_group_count_is_2L_plus_x(self, tiny_config):
+        specs = tailored_group_specs(tiny_config)
+        assert len(specs) == tiny_config.num_param_groups_tailored
+
+    def test_paper_fig3_count_for_16_layer_untied(self):
+        """Fig. 3: a 16-layer model with lm_head goes from 2 to 35 groups."""
+        cfg = get_config("llama3.2-1b").replace(
+            name="fig3", tie_word_embeddings=False
+        )
+        assert len(tailored_group_specs(cfg)) == 35
+
+    def test_canonical_order(self, untied_config):
+        """Norm first, then per-layer no-decay, embed, lm_head, per-layer decay."""
+        specs = tailored_group_specs(untied_config)
+        L = untied_config.num_hidden_layers
+        assert specs[0].slot == "norm" and not specs[0].is_decay
+        for i in range(L):
+            assert specs[1 + i].slot == f"layers.{i}" and not specs[1 + i].is_decay
+        assert specs[L + 1].slot == "embed_tokens" and specs[L + 1].is_decay
+        assert specs[L + 2].slot == "lm_head" and specs[L + 2].is_decay
+        for i in range(L):
+            assert specs[L + 3 + i].slot == f"layers.{i}" and specs[L + 3 + i].is_decay
+
+    def test_tied_model_skips_lm_head_group(self, tied_config):
+        specs = tailored_group_specs(tied_config)
+        assert all(s.slot != "lm_head" for s in specs)
+        L = tied_config.num_hidden_layers
+        assert specs[L + 2].slot == "layers.0" and specs[L + 2].is_decay
+
+    def test_exact_parameter_coverage(self, tiny_config):
+        specs = tailored_group_specs(tiny_config)
+        seen = [n for s in specs for n in s.param_names]
+        assert sorted(seen) == sorted(parameter_shapes(tiny_config))
+        assert len(seen) == len(set(seen))
+
+    def test_decay_assignment_preserved(self, tiny_config):
+        """Biases/norms in zero-decay groups; weights keep the decay (§4.1)."""
+        for spec in tailored_group_specs(tiny_config, weight_decay=0.05):
+            if spec.is_decay:
+                assert spec.weight_decay == 0.05
+                assert all(not n.endswith(".bias") for n in spec.param_names)
+                assert all("layernorm" not in n for n in spec.param_names)
+            else:
+                assert spec.weight_decay == 0.0
+                for name in spec.param_names:
+                    assert name.endswith(".bias") or "norm" in name
+
+    def test_qwen_biases_in_layer_nodecay_groups(self):
+        specs = tailored_group_specs(get_config("tiny-qwen"))
+        layer0_nodecay = next(s for s in specs if s.name == "layer_0_nodecay")
+        assert any(n.endswith("q_proj.bias") for n in layer0_nodecay.param_names)
+
+    def test_zero_weight_decay_rejected(self, untied_config):
+        with pytest.raises(ConfigError):
+            tailored_group_specs(untied_config, weight_decay=0.0)
+
+    def test_layout_table_rows(self, untied_config):
+        rows = group_layout_table(untied_config)
+        assert len(rows) == untied_config.num_param_groups_tailored
+        assert rows[0]["group"] == "norm"
+        assert all({"index", "group", "slot", "weight_decay", "num_params"} <= set(r) for r in rows)
+
+
+class TestSlotGroupBijection:
+    def test_roundtrip_every_group(self, tiny_config):
+        total = tiny_config.num_param_groups_tailored
+        for g in range(total):
+            slot = slot_of_group(tiny_config, g)
+            assert g in groups_for_slot(tiny_config, slot)
+
+    def test_roundtrip_every_slot(self, tiny_config):
+        seen = []
+        for slot in model_slots(tiny_config):
+            idxs = groups_for_slot(tiny_config, slot)
+            expected = 2 if slot.startswith("layers.") else 1
+            assert len(idxs) == expected
+            seen.extend(idxs)
+        assert sorted(seen) == list(range(tiny_config.num_param_groups_tailored))
+
+    def test_matches_spec_slots(self, tiny_config):
+        specs = tailored_group_specs(tiny_config)
+        for spec in specs:
+            assert slot_of_group(tiny_config, spec.index) == spec.slot
+
+    def test_out_of_range_rejected(self, untied_config):
+        with pytest.raises(ConfigError):
+            slot_of_group(untied_config, 999)
+        with pytest.raises(ConfigError):
+            groups_for_slot(untied_config, "layers.99")
+        with pytest.raises(ConfigError):
+            groups_for_slot(untied_config, "attention")
+
+    def test_tied_lm_head_group_rejected(self, tied_config):
+        with pytest.raises(ConfigError):
+            groups_for_slot(tied_config, "lm_head")
+
+    def test_full_scale_configs_consistent(self):
+        """Group arithmetic is pure topology: works at published scale."""
+        for name in ("llama3.2-1b", "llama3.1-8b", "qwen2.5-7b"):
+            cfg = get_config(name)
+            total = cfg.num_param_groups_tailored
+            covered = []
+            for slot in model_slots(cfg):
+                covered.extend(groups_for_slot(cfg, slot))
+            assert sorted(covered) == list(range(total))
+
+
+class TestLiveGroups:
+    def test_param_groups_reference_model_tensors(self, untied_config):
+        model = build_model(untied_config, seed=0)
+        groups = tailored_param_groups(model, untied_config, 0.01)
+        by_name = dict(model.named_parameters())
+        for group in groups:
+            for name, p in zip(group["param_names"], group["params"]):
+                assert p is by_name[name]
+
+    def test_group_metadata_present(self, untied_config):
+        model = build_model(untied_config, seed=0)
+        groups = tailored_param_groups(model, untied_config, 0.01)
+        assert groups[0]["name"] == "norm"
+        assert groups[0]["slot"] == "norm"
+        assert all("weight_decay" in g for g in groups)

@@ -1,0 +1,215 @@
+"""Tokenizer, knowledge base, synthetic corpora, and datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd.functional import IGNORE_INDEX
+from repro.data import (
+    CPTDataset,
+    MedicalKB,
+    SFTDataset,
+    WordTokenizer,
+    general_fact_sentences,
+    medqa_like_pairs,
+    pubmed_like_corpus,
+)
+from repro.util.errors import ConfigError
+
+
+class TestTokenizer:
+    def test_train_builds_frequency_ordered_vocab(self):
+        tok = WordTokenizer.train(["b b b a a c", "a"], vocab_size=16)
+        specials = len(WordTokenizer.SPECIALS)
+        assert tok.vocab[specials] == "a"  # most frequent (4 > 3 > 1)
+        assert tok.vocab[specials + 1] == "b"
+
+    def test_encode_decode_roundtrip_known_words(self):
+        tok = WordTokenizer.train(["the cat sat on the mat ."], vocab_size=32)
+        text = "the cat sat ."
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_unknown_words_become_unk(self):
+        tok = WordTokenizer.train(["alpha beta"], vocab_size=16)
+        ids = tok.encode("alpha gamma")
+        assert ids[1] == tok.unk_id
+
+    def test_bos_eos_flags(self):
+        tok = WordTokenizer.train(["x"], vocab_size=8)
+        ids = tok.encode("x", add_bos=True, add_eos=True)
+        assert ids[0] == tok.bos_id and ids[-1] == tok.eos_id
+
+    def test_specials_skipped_in_decode(self):
+        tok = WordTokenizer.train(["x"], vocab_size=8)
+        ids = tok.encode("x", add_bos=True, add_eos=True)
+        assert tok.decode(ids) == "x"
+
+    def test_vocab_size_cap_respected(self):
+        corpus = [" ".join(f"w{i}" for i in range(100))]
+        tok = WordTokenizer.train(corpus, vocab_size=20)
+        assert tok.vocab_size == 20
+
+    def test_too_small_vocab_rejected(self):
+        with pytest.raises(ConfigError):
+            WordTokenizer.train(["x"], vocab_size=3)
+
+    def test_serialization_roundtrip(self):
+        tok = WordTokenizer.train(["hello world"], vocab_size=10)
+        tok2 = WordTokenizer.from_dict(tok.to_dict())
+        assert tok2.vocab == tok.vocab
+
+    def test_deterministic_for_same_corpus(self):
+        corpus = ["z y x w", "w w y"]
+        assert WordTokenizer.train(corpus, 16).vocab == WordTokenizer.train(corpus, 16).vocab
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.sampled_from(["alpha", "beta", "gamma", "delta", "."]), min_size=1, max_size=30))
+    def test_property_roundtrip_in_vocab_text(self, words):
+        tok = WordTokenizer.train(["alpha beta gamma delta ."], vocab_size=16)
+        text = " ".join(words)
+        assert tok.decode(tok.encode(text)) == text
+
+
+class TestKB:
+    def test_deterministic_build(self):
+        a, b = MedicalKB.build(7), MedicalKB.build(7)
+        assert a.diseases == b.diseases and a.general == b.general
+
+    def test_different_seeds_differ(self):
+        assert MedicalKB.build(1).diseases != MedicalKB.build(2).diseases
+
+    def test_sizes(self):
+        kb = MedicalKB.build(1, n_diseases=10, n_general=6)
+        assert len(kb.diseases) == 10 and len(kb.general) == 6
+
+    def test_unique_disease_names(self):
+        kb = MedicalKB.build(3)
+        names = [d.name for d in kb.diseases]
+        assert len(names) == len(set(names))
+
+    def test_entity_words_cover_relations(self):
+        kb = MedicalKB.build(5)
+        words = set(kb.entity_words())
+        assert all(d.treatment in words for d in kb.diseases)
+
+
+class TestCorpora:
+    def test_corpus_mentions_facts(self):
+        kb = MedicalKB.build(1, n_diseases=4)
+        docs = pubmed_like_corpus(kb, n_docs=50, seed=3)
+        text = " ".join(docs)
+        hits = sum(1 for d in kb.diseases if d.name in text and d.treatment in text)
+        assert hits == len(kb.diseases)  # every fact appears somewhere
+
+    def test_corpus_deterministic(self):
+        kb = MedicalKB.build(1)
+        assert pubmed_like_corpus(kb, n_docs=5, seed=3) == pubmed_like_corpus(kb, n_docs=5, seed=3)
+
+    def test_qa_pairs_well_formed(self):
+        kb = MedicalKB.build(1)
+        pairs = medqa_like_pairs(kb, n_pairs=20, seed=2)
+        assert len(pairs) == 20
+        assert all(p.question.endswith("?") for p in pairs)
+        assert all(p.answer.endswith(".") for p in pairs)
+
+    def test_general_sentences_one_per_fact(self):
+        kb = MedicalKB.build(1, n_general=9)
+        assert len(general_fact_sentences(kb)) == 9
+
+
+class TestCPTDataset:
+    def _dataset(self, seq_len=16):
+        kb = MedicalKB.build(1)
+        docs = pubmed_like_corpus(kb, n_docs=30, seed=0)
+        tok = WordTokenizer.train(docs, vocab_size=256)
+        return CPTDataset(docs, tok, seq_len=seq_len, seed=0)
+
+    def test_blocks_are_shifted_by_one(self):
+        ds = self._dataset()
+        batch = ds.block(0)
+        np.testing.assert_array_equal(batch.input_ids[0, 1:], batch.labels[0, :-1])
+
+    def test_stateless_batches_reproducible(self):
+        ds = self._dataset()
+        a = ds.batch_at_step(7, 4)
+        b = ds.batch_at_step(7, 4)
+        np.testing.assert_array_equal(a.input_ids, b.input_ids)
+
+    def test_different_steps_differ(self):
+        ds = self._dataset()
+        a = ds.batch_at_step(7, 4)
+        b = ds.batch_at_step(8, 4)
+        assert not np.array_equal(a.input_ids, b.input_ids)
+
+    def test_tags_give_independent_streams(self):
+        ds = self._dataset()
+        a = ds.batch_at_step(7, 4, tag="train/rank0")
+        b = ds.batch_at_step(7, 4, tag="train/rank1")
+        assert not np.array_equal(a.input_ids, b.input_ids)
+
+    def test_eval_batches_fixed(self):
+        ds = self._dataset()
+        e1 = ds.eval_batches(2, 3)
+        e2 = ds.eval_batches(2, 3)
+        for a, b in zip(e1, e2):
+            np.testing.assert_array_equal(a.input_ids, b.input_ids)
+
+    def test_too_small_corpus_rejected(self):
+        tok = WordTokenizer.train(["a b"], vocab_size=8)
+        with pytest.raises(ConfigError):
+            CPTDataset(["a b"], tok, seq_len=64)
+
+    def test_shapes(self):
+        ds = self._dataset(seq_len=24)
+        batch = ds.batch_at_step(1, 3)
+        assert batch.input_ids.shape == (3, 24) == batch.labels.shape
+
+
+class TestSFTDataset:
+    def _dataset(self, seq_len=32):
+        kb = MedicalKB.build(1)
+        pairs = medqa_like_pairs(kb, n_pairs=50, seed=0)
+        texts = [p.question + " " + p.answer for p in pairs]
+        tok = WordTokenizer.train(texts, vocab_size=256)
+        return SFTDataset(pairs, tok, seq_len=seq_len, seed=0), tok
+
+    def test_prompt_masked_answer_supervised(self):
+        ds, tok = self._dataset()
+        batch = ds.example(0)
+        labels = batch.labels[0]
+        supervised = labels != IGNORE_INDEX
+        assert supervised.any(), "answer tokens must be supervised"
+        # The first tokens (prompt) are masked.
+        first_supervised = int(np.argmax(supervised))
+        assert first_supervised > 0
+        assert np.all(labels[:first_supervised] == IGNORE_INDEX)
+
+    def test_padding_is_ignored(self):
+        ds, tok = self._dataset(seq_len=40)
+        batch = ds.example(0)
+        pad_positions = batch.input_ids[0] == tok.pad_id
+        if pad_positions.any():
+            assert np.all(batch.labels[0][pad_positions] == IGNORE_INDEX)
+
+    def test_num_target_tokens_positive(self):
+        ds, _ = self._dataset()
+        assert ds.batch_at_step(1, 4).num_target_tokens > 0
+
+    def test_stateless_reproducibility(self):
+        ds, _ = self._dataset()
+        a = ds.batch_at_step(3, 4)
+        b = ds.batch_at_step(3, 4)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_fixed_width(self):
+        ds, _ = self._dataset(seq_len=32)
+        batch = ds.batch_at_step(1, 5)
+        assert batch.input_ids.shape == (5, 32)
+
+    def test_empty_pairs_rejected(self):
+        _, tok = self._dataset()
+        with pytest.raises(ConfigError):
+            SFTDataset([], tok, seq_len=16)

@@ -1,0 +1,133 @@
+"""Evaluation benchmarks and the likelihood scorer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import MedicalKB, WordTokenizer, pubmed_like_corpus
+from repro.evalbench import (
+    BENCHMARK_NAMES,
+    build_benchmarks,
+    choice_logprobs,
+    evaluate_benchmark,
+    evaluate_suite,
+    perplexity,
+    score_item,
+    suite_table,
+)
+from repro.evalbench.benchmarks import MCQItem
+from repro.nn import build_model, get_config
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return MedicalKB.build(1)
+
+
+@pytest.fixture(scope="module")
+def model_and_tok(kb):
+    docs = pubmed_like_corpus(kb, n_docs=40, seed=0)
+    tok = WordTokenizer.train(docs, vocab_size=256)
+    cfg = get_config("tiny-untied").replace(vocab_size=tok.vocab_size)
+    return build_model(cfg, seed=0), tok
+
+
+class TestBenchmarkConstruction:
+    def test_all_five_suites(self, kb):
+        suites = build_benchmarks(kb, items_per_benchmark=10)
+        assert set(suites) == set(BENCHMARK_NAMES)
+        assert all(len(s) == 10 for s in suites.values())
+
+    def test_deterministic(self, kb):
+        a = build_benchmarks(kb, seed=5, items_per_benchmark=8)
+        b = build_benchmarks(kb, seed=5, items_per_benchmark=8)
+        assert a["medqa"].items == b["medqa"].items
+
+    def test_answers_in_choices(self, kb):
+        for bench in build_benchmarks(kb, items_per_benchmark=12).values():
+            for item in bench.items:
+                assert 0 <= item.answer_index < len(item.choices)
+
+    def test_mcq_answer_is_correct_fact(self, kb):
+        suites = build_benchmarks(kb, items_per_benchmark=len(kb.diseases))
+        by_name = {d.name: d for d in kb.diseases}
+        for item in suites["medqa"].items:
+            disease = next(n for n in by_name if n in item.question)
+            assert item.choices[item.answer_index] == by_name[disease].treatment
+
+    def test_chance_accuracy(self, kb):
+        suites = build_benchmarks(kb, items_per_benchmark=10)
+        assert suites["medqa"].chance_accuracy == pytest.approx(0.25)
+        assert suites["pubmedqa"].chance_accuracy == pytest.approx(1 / 3)
+
+    def test_bad_answer_index_rejected(self):
+        with pytest.raises(ConfigError):
+            MCQItem(question="q", choices=("a", "b"), answer_index=5)
+
+
+class TestScorer:
+    def test_choice_logprobs_finite_and_one_per_choice(self, model_and_tok, kb):
+        model, tok = model_and_tok
+        item = build_benchmarks(kb, items_per_benchmark=1)["medqa"].items[0]
+        scores = choice_logprobs(model, tok, item)
+        assert len(scores) == len(item.choices)
+        assert all(np.isfinite(s) for s in scores)
+
+    def test_score_item_deterministic(self, model_and_tok, kb):
+        model, tok = model_and_tok
+        item = build_benchmarks(kb, items_per_benchmark=1)["mmlu"].items[0]
+        assert score_item(model, tok, item) == score_item(model, tok, item)
+
+    def test_scorer_prefers_likely_continuation(self, model_and_tok):
+        """An item whose correct choice is a high-probability token wins."""
+        model, tok = model_and_tok
+        # Find the model's own argmax continuation for a prompt.
+        prompt = "the recommended treatment"
+        ids = np.asarray(tok.encode(prompt, add_bos=True))[None, :]
+        from repro.autograd.tensor import no_grad
+
+        with no_grad():
+            logits = model(ids).data[0, -1]
+        best_token = tok.vocab[int(np.argmax(logits))]
+        worst_token = tok.vocab[int(np.argmin(logits))]
+        if best_token in WordTokenizer.SPECIALS or worst_token in WordTokenizer.SPECIALS:
+            pytest.skip("argmax hit a special token on this init")
+        item = MCQItem(question=prompt, choices=(worst_token, best_token), answer_index=1)
+        assert score_item(model, tok, item)
+
+    def test_evaluate_benchmark_bounds(self, model_and_tok, kb):
+        model, tok = model_and_tok
+        bench = build_benchmarks(kb, items_per_benchmark=6)["mmlu_med"]
+        acc = evaluate_benchmark(model, tok, bench)
+        assert 0.0 <= acc <= 100.0
+
+    def test_max_items_cap(self, model_and_tok, kb):
+        model, tok = model_and_tok
+        bench = build_benchmarks(kb, items_per_benchmark=8)["mmlu"]
+        acc = evaluate_benchmark(model, tok, bench, max_items=2)
+        assert acc in (0.0, 50.0, 100.0)
+
+    def test_perplexity_close_to_vocab_at_init(self, model_and_tok):
+        model, tok = model_and_tok
+        rng = np.random.default_rng(0)
+        batches = [rng.integers(0, model.config.vocab_size, size=(2, 16))]
+        ppl = perplexity(model, batches)
+        assert 0.5 * model.config.vocab_size < ppl < 2.0 * model.config.vocab_size
+
+
+class TestHarness:
+    def test_suite_returns_all_benchmarks(self, model_and_tok, kb):
+        model, tok = model_and_tok
+        scores = evaluate_suite(model, tok, kb, items_per_benchmark=4)
+        assert set(scores) == set(BENCHMARK_NAMES)
+
+    def test_suite_table_render(self):
+        rows = {
+            "Qwen2.5-7B": {n: 70.0 for n in BENCHMARK_NAMES},
+            "parity-400": {n: 69.0 for n in BENCHMARK_NAMES},
+        }
+        table = suite_table(rows, "Table 2")
+        out = table.render()
+        assert "Qwen2.5-7B" in out and "MMLU" in out and "*" in out

@@ -1,0 +1,202 @@
+"""Serialization formats: tensorfile (lazy) and blobfile (monolithic)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.blobfile import decode, encode, read_blob, write_blob
+from repro.io.tensorfile import TensorFile, write_tensorfile
+from repro.numerics import DType, quantize
+from repro.util.errors import CheckpointFormatError
+
+
+class TestTensorFile:
+    def _sample(self, rng):
+        return {
+            "model.embed_tokens.weight": rng.standard_normal((16, 8)).astype(np.float32),
+            "model.norm.weight": rng.standard_normal(8).astype(np.float32),
+            "lm_head.weight": rng.standard_normal((16, 8)).astype(np.float32),
+        }
+
+    def test_roundtrip_bf16(self, tmp_path, rng):
+        tensors = self._sample(rng)
+        path = tmp_path / "m.tsr"
+        write_tensorfile(path, tensors, dtype=DType.BF16, metadata={"step": 5})
+        tf = TensorFile(path)
+        assert set(tf.names) == set(tensors)
+        assert tf.metadata == {"step": 5}
+        for name, arr in tensors.items():
+            np.testing.assert_array_equal(tf.read(name), quantize(arr, DType.BF16))
+
+    def test_fp32_roundtrip_exact(self, tmp_path, rng):
+        tensors = self._sample(rng)
+        write_tensorfile(tmp_path / "m.tsr", tensors, dtype=DType.FP32)
+        tf = TensorFile(tmp_path / "m.tsr")
+        for name, arr in tensors.items():
+            np.testing.assert_array_equal(tf.read(name), arr)
+
+    def test_per_tensor_dtype_map(self, tmp_path, rng):
+        tensors = self._sample(rng)
+        dtype = {n: (DType.FP32 if "norm" in n else DType.BF16) for n in tensors}
+        write_tensorfile(tmp_path / "m.tsr", tensors, dtype=dtype)
+        tf = TensorFile(tmp_path / "m.tsr")
+        assert tf.dtype("model.norm.weight") is DType.FP32
+        assert tf.dtype("lm_head.weight") is DType.BF16
+
+    def test_bf16_bytes_are_two_per_element(self, tmp_path, rng):
+        tensors = {"w": rng.standard_normal((32, 32)).astype(np.float32)}
+        write_tensorfile(tmp_path / "m.tsr", tensors, dtype=DType.BF16)
+        assert TensorFile(tmp_path / "m.tsr").nbytes("w") == 32 * 32 * 2
+
+    def test_shapes_and_total(self, tmp_path, rng):
+        tensors = self._sample(rng)
+        write_tensorfile(tmp_path / "m.tsr", tensors, dtype=DType.BF16)
+        tf = TensorFile(tmp_path / "m.tsr")
+        assert tf.shape("model.embed_tokens.weight") == (16, 8)
+        assert tf.total_nbytes() == sum(tf.nbytes(n) for n in tf.names)
+        assert len(tf) == 3 and "model.norm.weight" in tf
+
+    def test_missing_tensor_raises(self, tmp_path, rng):
+        write_tensorfile(tmp_path / "m.tsr", self._sample(rng))
+        with pytest.raises(CheckpointFormatError, match="no tensor named"):
+            TensorFile(tmp_path / "m.tsr").read("ghost")
+
+    def test_corruption_detected_by_crc(self, tmp_path, rng):
+        path = tmp_path / "m.tsr"
+        write_tensorfile(path, self._sample(rng), dtype=DType.BF16)
+        raw = bytearray(path.read_bytes())
+        raw[-3] ^= 0xFF  # flip a data byte
+        path.write_bytes(bytes(raw))
+        tf = TensorFile(path)
+        with pytest.raises(CheckpointFormatError, match="CRC"):
+            tf.read_all()
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "fake.tsr"
+        path.write_bytes(b"NOTATENSORFILE" + b"\x00" * 64)
+        with pytest.raises(CheckpointFormatError, match="bad magic"):
+            TensorFile(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointFormatError, match="not found"):
+            TensorFile(tmp_path / "nope.tsr")
+
+    def test_read_raw_roundtrip(self, tmp_path, rng):
+        path = tmp_path / "m.tsr"
+        tensors = self._sample(rng)
+        write_tensorfile(path, tensors, dtype=DType.BF16)
+        tf = TensorFile(path)
+        raw, entry = tf.read_raw("model.norm.weight")
+        assert len(raw) == entry["nbytes"]
+
+    def test_atomic_write_no_tmp_left(self, tmp_path, rng):
+        write_tensorfile(tmp_path / "m.tsr", self._sample(rng))
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestBlobEncoding:
+    def test_scalar_types(self):
+        for value in [None, True, False, 42, -7, 3.25, "hello", b"raw"]:
+            assert decode(encode(value)) == value
+
+    def test_nested_structures(self):
+        obj = {"a": [1, {"b": None}], "c": {"d": [True, 2.5, "x"]}, 3: "int-key"}
+        assert decode(encode(obj)) == obj
+
+    def test_ndarray_dtypes_and_shapes(self, rng):
+        for dtype in (np.float32, np.float64, np.int64, np.uint16):
+            arr = (rng.standard_normal((3, 4)) * 10).astype(dtype)
+            out = decode(encode(arr))
+            assert out.dtype == arr.dtype and out.shape == arr.shape
+            np.testing.assert_array_equal(out, arr)
+
+    def test_zero_dim_array(self):
+        arr = np.float32(3.5).reshape(())
+        out = decode(encode(np.asarray(arr)))
+        assert out.shape == () and out == np.float32(3.5)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(CheckpointFormatError):
+            encode({"bad": object()})
+        with pytest.raises(CheckpointFormatError):
+            encode({(1, 2): "tuple-key"})
+
+    def test_truncated_payload_detected(self):
+        payload = encode({"a": [1, 2, 3]})
+        with pytest.raises(CheckpointFormatError):
+            decode(payload[:-2])
+
+    def test_trailing_bytes_detected(self):
+        with pytest.raises(CheckpointFormatError, match="trailing"):
+            decode(encode(1) + b"x")
+
+    _json_like = st.recursive(
+        st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(min_value=-(2**62), max_value=2**62),
+            st.floats(allow_nan=False),
+            st.text(max_size=12),
+        ),
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=6), children, max_size=4),
+        ),
+        max_leaves=16,
+    )
+
+    @settings(max_examples=100, deadline=None)
+    @given(_json_like)
+    def test_property_roundtrip(self, obj):
+        assert decode(encode(obj)) == obj
+
+
+class TestBlobFile:
+    def _shard_like(self, rng):
+        return {
+            "rank": 0,
+            "world_size": 2,
+            "fp32_flat_groups": {0: rng.standard_normal(10).astype(np.float32)},
+            "state": {0: {"step": 3, "exp_avg": rng.standard_normal(10).astype(np.float32)}},
+        }
+
+    def test_roundtrip_compressed_and_raw(self, tmp_path, rng):
+        obj = self._shard_like(rng)
+        for compress in (True, False):
+            path = tmp_path / f"s{compress}.blob"
+            write_blob(path, obj, compress=compress)
+            out = read_blob(path)
+            assert out["rank"] == 0
+            np.testing.assert_array_equal(
+                out["fp32_flat_groups"][0], obj["fp32_flat_groups"][0]
+            )
+
+    def test_compression_shrinks_redundant_data(self, tmp_path):
+        obj = {"z": np.zeros(100_000, dtype=np.float32)}
+        n_raw = write_blob(tmp_path / "raw.blob", obj, compress=False)
+        n_comp = write_blob(tmp_path / "comp.blob", obj, compress=True)
+        assert n_comp < n_raw / 10
+
+    def test_corruption_detected(self, tmp_path, rng):
+        path = tmp_path / "s.blob"
+        write_blob(path, self._shard_like(rng), compress=False)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointFormatError):
+            read_blob(path)
+
+    def test_bad_magic_and_missing(self, tmp_path):
+        (tmp_path / "bad.blob").write_bytes(b"GARBAGEGARBAGE" + b"\x00" * 30)
+        with pytest.raises(CheckpointFormatError, match="bad magic"):
+            read_blob(tmp_path / "bad.blob")
+        with pytest.raises(CheckpointFormatError, match="not found"):
+            read_blob(tmp_path / "missing.blob")
+
+    def test_int_group_keys_survive(self, tmp_path):
+        write_blob(tmp_path / "k.blob", {"groups": {0: "a", 7: "b"}})
+        out = read_blob(tmp_path / "k.blob")
+        assert set(out["groups"]) == {0, 7}

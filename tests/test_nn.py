@@ -1,0 +1,274 @@
+"""Module system, layers, model structure, and slot arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.nn import (
+    CausalLM,
+    Embedding,
+    Linear,
+    ModelConfig,
+    Module,
+    ModuleList,
+    Parameter,
+    RMSNorm,
+    build_model,
+    causal_mask,
+    get_config,
+    list_configs,
+    model_nbytes,
+    model_slots,
+    parameter_shapes,
+    slot_nbytes,
+    slot_of_param,
+    slot_param_counts,
+)
+from repro.numerics import DType
+from repro.util.errors import ConfigError, ShapeError
+
+
+class TestModuleSystem:
+    def test_parameter_registration_and_names(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.zeros(3))
+                self.sub = Linear(2, 2)
+
+        net = Net()
+        names = [n for n, _ in net.named_parameters()]
+        assert names == ["w", "sub.weight"]
+
+    def test_reassigning_to_none_unregisters(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.head = Linear(2, 2)
+                self.head = None
+
+        assert list(Net().named_parameters()) == []
+
+    def test_state_dict_roundtrip(self):
+        net = Linear(3, 4, bias=True, rng=np.random.default_rng(0))
+        sd = net.state_dict()
+        net2 = Linear(3, 4, bias=True, rng=np.random.default_rng(9))
+        net2.load_state_dict(sd)
+        np.testing.assert_array_equal(net2.weight.data, sd["weight"])
+        np.testing.assert_array_equal(net2.bias.data, sd["bias"])
+
+    def test_load_strict_rejects_missing_and_unexpected(self):
+        net = Linear(2, 2)
+        with pytest.raises(ConfigError):
+            net.load_state_dict({})
+        with pytest.raises(ConfigError):
+            net.load_state_dict({"weight": net.weight.data, "ghost": np.zeros(1)})
+
+    def test_load_shape_mismatch_raises(self):
+        net = Linear(2, 2)
+        with pytest.raises(ShapeError):
+            net.load_state_dict({"weight": np.zeros((3, 3))})
+
+    def test_train_eval_propagates(self):
+        net = ModuleList([Linear(2, 2), Linear(2, 2)])
+        net.eval()
+        assert all(not m.training for m in net)
+        net.train()
+        assert all(m.training for m in net)
+
+    def test_modulelist_indexing(self):
+        ml = ModuleList([Linear(2, 2) for _ in range(3)])
+        assert len(ml) == 3
+        names = [n for n, _ in ml.named_parameters()]
+        assert names[0] == "0.weight" and names[-1] == "2.weight"
+
+    def test_zero_grad_clears(self):
+        net = Linear(2, 2)
+        out = net(Tensor(np.ones((1, 2)), requires_grad=True))
+        out.sum().backward()
+        assert net.weight.grad is not None
+        net.zero_grad()
+        assert net.weight.grad is None
+
+
+class TestLayers:
+    def test_linear_matches_manual(self, rng):
+        lin = Linear(4, 3, bias=True, rng=rng)
+        x = rng.standard_normal((2, 4)).astype(np.float32)
+        out = lin(Tensor(x)).data
+        np.testing.assert_allclose(out, x @ lin.weight.data.T + lin.bias.data, rtol=1e-5)
+
+    def test_linear_grad(self, rng):
+        lin = Linear(3, 2, bias=True, rng=rng)
+        lin.weight = Parameter(lin.weight.data.astype(np.float64))
+        lin.bias = Parameter(lin.bias.data.astype(np.float64))
+        x = Tensor(rng.standard_normal((2, 3)), requires_grad=True, dtype=np.float64)
+        check_gradients(lambda ts: (lin(ts[0]) ** 2).sum(), [x, lin.weight, lin.bias])
+
+    def test_embedding_lookup(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        out = emb(np.array([[0, 9]])).data
+        np.testing.assert_array_equal(out[0, 1], emb.weight.data[9])
+
+    def test_rmsnorm_starts_identity_scale(self):
+        norm = RMSNorm(8)
+        np.testing.assert_array_equal(norm.weight.data, np.ones(8))
+
+    def test_causal_mask_shape_and_triangle(self):
+        mask = causal_mask(4)
+        assert mask.shape == (1, 1, 4, 4)
+        assert mask[0, 0, 0, 1] < -1e8 and mask[0, 0, 1, 0] == 0.0
+
+
+class TestModelConfig:
+    def test_registry_contains_paper_models(self):
+        names = list_configs()
+        for required in ["llama3.2-1b", "llama3.1-8b", "qwen2.5-7b",
+                         "llama3.1-8b-sim", "tiny-untied", "tiny-tied"]:
+            assert required in names
+
+    def test_unknown_config_raises(self):
+        with pytest.raises(ConfigError):
+            get_config("gpt-17")
+
+    def test_head_divisibility_validated(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(
+                name="bad", vocab_size=10, hidden_size=10, intermediate_size=20,
+                num_hidden_layers=1, num_attention_heads=3, num_key_value_heads=1,
+            )
+
+    def test_paper_slot_counts(self):
+        # Table 7: Llama3-1B has 18 "total layers", Llama3-8B has 35.
+        assert get_config("llama3.2-1b").num_model_slots == 18
+        assert get_config("llama3.1-8b").num_model_slots == 35
+
+    def test_paper_group_counts(self):
+        # Fig. 3: 16-layer untied model -> 35 groups (2L + 3).
+        assert get_config("llama3.1-8b").num_param_groups_tailored == 2 * 32 + 3
+        assert get_config("llama3.2-1b").num_param_groups_tailored == 2 * 16 + 2
+
+    def test_dict_roundtrip(self):
+        cfg = get_config("tiny-qwen")
+        assert ModelConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_from_dict_rejects_unknown_keys(self):
+        data = get_config("tiny-tied").to_dict()
+        data["flux_capacitor"] = 1
+        with pytest.raises(ConfigError):
+            ModelConfig.from_dict(data)
+
+
+class TestCausalLM:
+    def test_forward_shape(self, tiny_config):
+        model = build_model(tiny_config, seed=0)
+        ids = np.zeros((2, 8), dtype=np.int64)
+        assert model(ids).shape == (2, 8, tiny_config.vocab_size)
+
+    def test_loss_near_log_vocab_at_init(self, tiny_config, rng):
+        model = build_model(tiny_config, seed=0)
+        ids = rng.integers(0, tiny_config.vocab_size, size=(2, 12))
+        loss = model.loss(ids, np.roll(ids, -1, axis=1)).item()
+        assert abs(loss - np.log(tiny_config.vocab_size)) < 0.5
+
+    def test_causality(self, untied_config, rng):
+        """Changing a future token must not affect earlier logits."""
+        model = build_model(untied_config, seed=0)
+        ids = rng.integers(0, untied_config.vocab_size, size=(1, 10))
+        base = model(ids).data
+        ids2 = ids.copy()
+        ids2[0, -1] = (ids2[0, -1] + 1) % untied_config.vocab_size
+        perturbed = model(ids2).data
+        np.testing.assert_allclose(base[0, :-1], perturbed[0, :-1], atol=1e-5)
+        assert not np.allclose(base[0, -1], perturbed[0, -1], atol=1e-5)
+
+    def test_tied_model_has_no_lm_head_param(self, tied_config):
+        model = build_model(tied_config, seed=0)
+        names = [n for n, _ in model.named_parameters()]
+        assert not any(n.startswith("lm_head") for n in names)
+
+    def test_tied_logits_use_embedding(self, tied_config, rng):
+        model = build_model(tied_config, seed=0)
+        ids = rng.integers(0, tied_config.vocab_size, size=(1, 4))
+        logits = model(ids).data
+        # Manual check on the last position: hidden @ E^T.
+        hidden = model.model(ids, model._rope_cos, model._rope_sin).data
+        np.testing.assert_allclose(
+            logits, hidden @ model.model.embed_tokens.weight.data.T, rtol=1e-4
+        )
+
+    def test_bad_input_shapes_rejected(self, untied_config):
+        model = build_model(untied_config, seed=0)
+        with pytest.raises(ShapeError):
+            model(np.zeros(5, dtype=np.int64))
+        with pytest.raises(ShapeError):
+            model(np.zeros((1, untied_config.max_position_embeddings + 1), dtype=np.int64))
+
+    def test_qwen_has_attention_biases(self):
+        model = build_model("tiny-qwen", seed=0)
+        names = [n for n, _ in model.named_parameters()]
+        assert "model.layers.0.self_attn.q_proj.bias" in names
+        assert "model.layers.0.self_attn.o_proj.weight" in names
+        assert not any(n.endswith("o_proj.bias") for n in names)
+
+    def test_seed_determines_weights(self, untied_config):
+        a = build_model(untied_config, seed=3).state_dict()
+        b = build_model(untied_config, seed=3).state_dict()
+        c = build_model(untied_config, seed=4).state_dict()
+        assert all(np.array_equal(a[k], b[k]) for k in a)
+        assert any(not np.array_equal(a[k], c[k]) for k in a)
+
+    def test_structure_tree_mentions_key_parts(self, tiny_config):
+        tree = build_model(tiny_config, seed=0).structure_tree()
+        assert "embed_tokens" in tree and "RMSNorm" in tree and "lm_head" in tree
+
+
+class TestSlots:
+    def test_parameter_shapes_match_instantiated(self, tiny_config):
+        model = build_model(tiny_config, seed=0)
+        analytic = parameter_shapes(tiny_config)
+        actual = {k: v.shape for k, v in model.state_dict().items()}
+        assert list(analytic.keys()) == list(actual.keys())
+        assert all(tuple(analytic[k]) == actual[k] for k in analytic)
+
+    def test_sim_configs_match_too(self):
+        for name in ["llama3.1-8b-sim", "llama3.2-1b-sim", "qwen2.5-7b-sim"]:
+            cfg = get_config(name)
+            model = build_model(cfg, seed=0)
+            assert set(parameter_shapes(cfg)) == set(model.state_dict())
+
+    def test_slot_of_param_examples(self):
+        assert slot_of_param("model.layers.13.mlp.up_proj.weight") == "layers.13"
+        assert slot_of_param("model.embed_tokens.weight") == "embed_tokens"
+        assert slot_of_param("model.norm.weight") == "norm"
+        assert slot_of_param("lm_head.weight") == "lm_head"
+        with pytest.raises(ConfigError):
+            slot_of_param("optimizer.step")
+
+    def test_model_slots_counts(self, tiny_config):
+        slots = model_slots(tiny_config)
+        assert len(slots) == tiny_config.num_model_slots
+        assert slots[0] == "embed_tokens"
+        assert ("lm_head" in slots) == (not tiny_config.tie_word_embeddings)
+
+    def test_slot_param_counts_sum_to_model(self, tiny_config):
+        model = build_model(tiny_config, seed=0)
+        assert sum(slot_param_counts(tiny_config).values()) == model.num_parameters()
+
+    def test_full_scale_checkpoint_size_matches_paper(self):
+        """Table 7: Llama3-8B full checkpoint is ~112.47 GB (decimal)."""
+        cfg = get_config("llama3.1-8b")
+        params = sum(slot_param_counts(cfg).values())
+        ckpt_gb = params * 14 / 1e9  # 2B weights + 12B optimizer state
+        assert abs(ckpt_gb - 112.47) < 1.5
+        cfg1b = get_config("llama3.2-1b")
+        params1b = sum(slot_param_counts(cfg1b).values())
+        assert abs(params1b * 14 / 1e9 - 17.29) < 0.5
+
+    def test_slot_nbytes_respects_dtype(self, untied_config):
+        bf16 = slot_nbytes(untied_config, DType.BF16)
+        fp32 = slot_nbytes(untied_config, DType.FP32)
+        assert all(fp32[s] == 2 * bf16[s] for s in bf16)
+        assert model_nbytes(untied_config, DType.BF16) == sum(bf16.values())

@@ -1,0 +1,117 @@
+"""bf16/fp16 simulation: rounding, packing, and byte-width guarantees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics import DType, bf16_rne, pack_bits, quantize, unpack_bits
+
+
+class TestDTypeEnum:
+    def test_itemsizes(self):
+        assert DType.FP32.itemsize == 4
+        assert DType.BF16.itemsize == 2
+        assert DType.FP16.itemsize == 2
+
+    def test_parse_strings(self):
+        assert DType.parse("bf16") is DType.BF16
+        assert DType.parse("FP32") is DType.FP32
+        assert DType.parse(DType.FP16) is DType.FP16
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown dtype"):
+            DType.parse("int8")
+
+
+class TestBF16Rounding:
+    def test_exactly_representable_values_unchanged(self):
+        # Values with <= 8 significand bits are exact in bf16.
+        vals = np.array([0.0, 1.0, -2.5, 0.15625, 1024.0], dtype=np.float32)
+        np.testing.assert_array_equal(bf16_rne(vals), vals)
+
+    def test_low_bits_cleared(self, rng):
+        x = rng.standard_normal(1000).astype(np.float32)
+        bits = bf16_rne(x).view(np.uint32)
+        assert np.all((bits & 0xFFFF) == 0)
+
+    def test_round_to_nearest_even_tie(self):
+        # 1 + 2^-8 is exactly halfway between bf16 neighbours 1.0 and
+        # 1+2^-7; RNE rounds to the even mantissa (1.0).
+        tie = np.float32(1.0 + 2.0**-8)
+        assert bf16_rne(np.array([tie]))[0] == np.float32(1.0)
+        # 1 + 3*2^-8 is halfway between 1+2^-7 and 1+2^-6: rounds up to even.
+        tie2 = np.float32(1.0 + 3 * 2.0**-8)
+        assert bf16_rne(np.array([tie2]))[0] == np.float32(1.0 + 2.0**-6)
+
+    def test_relative_error_bounded(self, rng):
+        x = (rng.standard_normal(10_000) * 100).astype(np.float32)
+        x = x[np.abs(x) > 1e-3]
+        err = np.abs(bf16_rne(x) - x) / np.abs(x)
+        assert err.max() < 2.0**-8  # half ULP of an 8-bit significand
+
+    def test_nan_preserved(self):
+        out = bf16_rne(np.array([np.nan, 1.0], dtype=np.float32))
+        assert np.isnan(out[0]) and out[1] == 1.0
+
+    def test_inf_preserved(self):
+        out = bf16_rne(np.array([np.inf, -np.inf], dtype=np.float32))
+        assert np.isinf(out).all()
+
+    def test_shape_preserved(self, rng):
+        x = rng.standard_normal((3, 4, 5)).astype(np.float32)
+        assert bf16_rne(x).shape == (3, 4, 5)
+
+
+class TestQuantize:
+    def test_fp32_is_identity_copy(self, rng):
+        x = rng.standard_normal(10).astype(np.float32)
+        q = quantize(x, DType.FP32)
+        np.testing.assert_array_equal(q, x)
+        assert q is not x
+
+    def test_quantize_idempotent_all_dtypes(self, rng):
+        x = rng.standard_normal(500).astype(np.float32)
+        for dt in DType:
+            once = quantize(x, dt)
+            twice = quantize(once, dt)
+            np.testing.assert_array_equal(once, twice)
+
+    def test_fp16_matches_numpy(self, rng):
+        x = rng.standard_normal(100).astype(np.float32)
+        np.testing.assert_array_equal(
+            quantize(x, DType.FP16), x.astype(np.float16).astype(np.float32)
+        )
+
+
+class TestPacking:
+    def test_pack_width(self, rng):
+        x = rng.standard_normal(64).astype(np.float32)
+        assert pack_bits(x, DType.BF16).nbytes == 128
+        assert pack_bits(x, DType.FP16).nbytes == 128
+        assert pack_bits(x, DType.FP32).nbytes == 256
+
+    def test_roundtrip_equals_quantize(self, rng):
+        x = rng.standard_normal((7, 9)).astype(np.float32)
+        for dt in DType:
+            packed = pack_bits(x, dt)
+            restored = unpack_bits(packed, dt).reshape(x.shape)
+            np.testing.assert_array_equal(restored, quantize(x, dt))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_property_roundtrip_is_projection(self, values):
+        """pack→unpack→pack is stable for every dtype (projection)."""
+        x = np.asarray(values, dtype=np.float32)
+        for dt in DType:
+            once = unpack_bits(pack_bits(x, dt), dt)
+            twice = unpack_bits(pack_bits(once, dt), dt)
+            np.testing.assert_array_equal(once, twice)

@@ -1,0 +1,291 @@
+"""Optimizers: update math, param groups, packed state dicts, schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Parameter, build_model, get_config
+from repro.optim import (
+    SGD,
+    Adam,
+    AdamW,
+    ConstantLR,
+    WarmupCosine,
+    WarmupLinear,
+    build_scheduler,
+    clip_grad_norm_,
+    default_param_groups,
+    is_no_decay_param,
+)
+from repro.util.errors import ConfigError
+
+
+def param(values):
+    p = Parameter(np.asarray(values, dtype=np.float32))
+    return p
+
+
+class TestSGD:
+    def test_basic_step(self):
+        p = param([1.0, 2.0])
+        p.grad = np.array([0.5, 0.5], dtype=np.float32)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 1.95])
+
+    def test_momentum_accumulates(self):
+        p = param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # buf=1, p=-1
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()  # buf=1.9, p=-2.9
+        np.testing.assert_allclose(p.data, [-2.9], rtol=1e-6)
+
+    def test_weight_decay_enters_gradient(self):
+        p = param([2.0])
+        p.grad = np.zeros(1, dtype=np.float32)
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0])
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ConfigError):
+            SGD([param([1.0])], nesterov=True)
+
+
+class TestAdamFamily:
+    def _manual_adamw(self, w, g, lr, b1, b2, eps, wd, steps):
+        m = np.zeros_like(w)
+        v = np.zeros_like(w)
+        for t in range(1, steps + 1):
+            m = b1 * m + (1 - b1) * g
+            v = b2 * v + (1 - b2) * g * g
+            mh = m / (1 - b1**t)
+            vh = v / (1 - b2**t)
+            w = w * (1 - lr * wd)
+            w = w - lr * mh / (np.sqrt(vh) + eps)
+        return w
+
+    def test_adamw_matches_reference_multi_step(self):
+        w0 = np.array([1.0, -2.0, 0.5], dtype=np.float32)
+        g = np.array([0.1, -0.2, 0.3], dtype=np.float32)
+        p = param(w0.copy())  # the optimizer updates its buffer in place
+        opt = AdamW([p], lr=1e-2, betas=(0.9, 0.999), eps=1e-8, weight_decay=0.1)
+        for _ in range(5):
+            p.grad = g.copy()
+            opt.step()
+        expected = self._manual_adamw(w0.astype(np.float64), g, 1e-2, 0.9, 0.999, 1e-8, 0.1, 5)
+        np.testing.assert_allclose(p.data, expected, rtol=1e-5)
+
+    def test_adam_couples_decay_adamw_decouples(self):
+        """With zero gradient, Adam's L2 term builds momentum; AdamW just shrinks."""
+        pa, pw = param([1.0]), param([1.0])
+        a = Adam([pa], lr=0.1, weight_decay=0.5)
+        w = AdamW([pw], lr=0.1, weight_decay=0.5)
+        pa.grad = np.zeros(1, dtype=np.float32)
+        pw.grad = np.zeros(1, dtype=np.float32)
+        a.step()
+        w.step()
+        np.testing.assert_allclose(pw.data, [1.0 * (1 - 0.1 * 0.5)])
+        assert pa.data[0] != pw.data[0]
+
+    def test_skips_params_without_grad(self):
+        p = param([1.0])
+        AdamW([p]).step()
+        np.testing.assert_array_equal(p.data, [1.0])
+
+    def test_invalid_hyperparams_rejected(self):
+        p = param([1.0])
+        with pytest.raises(ConfigError):
+            AdamW([p], lr=-1)
+        with pytest.raises(ConfigError):
+            AdamW([p], betas=(1.5, 0.9))
+        with pytest.raises(ConfigError):
+            AdamW([p], eps=0)
+
+    def test_per_group_hyperparams(self):
+        p1, p2 = param([1.0]), param([1.0])
+        opt = AdamW(
+            [
+                {"params": [p1], "weight_decay": 0.0},
+                {"params": [p2], "weight_decay": 0.5},
+            ],
+            lr=0.1,
+        )
+        p1.grad = np.zeros(1, dtype=np.float32)
+        p2.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(p1.data, [1.0])
+        np.testing.assert_allclose(p2.data, [0.95])
+
+    def test_param_in_two_groups_rejected(self):
+        p = param([1.0])
+        with pytest.raises(ConfigError):
+            AdamW([{"params": [p]}, {"params": [p]}])
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ConfigError):
+            AdamW([])
+
+
+class TestPackedStateDict:
+    def _stepped_optimizer(self):
+        p1, p2, p3 = param([1.0, 2.0]), param([3.0]), param([[4.0, 5.0]])
+        opt = AdamW(
+            [
+                {"params": [p1, p2], "weight_decay": 0.0, "name": "no_decay"},
+                {"params": [p3], "weight_decay": 0.01, "name": "decay"},
+            ],
+            lr=1e-3,
+        )
+        for p in (p1, p2, p3):
+            p.grad = np.ones_like(p.data)
+        opt.step()
+        return opt, (p1, p2, p3)
+
+    def test_packed_format_matches_pytorch_layout(self):
+        opt, _ = self._stepped_optimizer()
+        sd = opt.state_dict()
+        assert set(sd) == {"state", "param_groups"}
+        assert sd["param_groups"][0]["params"] == [0, 1]
+        assert sd["param_groups"][1]["params"] == [2]
+        assert sd["param_groups"][0]["name"] == "no_decay"
+        assert set(sd["state"][0]) == {"step", "exp_avg", "exp_avg_sq"}
+
+    def test_state_dict_is_a_snapshot(self):
+        opt, (p1, *_) = self._stepped_optimizer()
+        sd = opt.state_dict()
+        before = sd["state"][0]["exp_avg"].copy()
+        p1.grad = np.full_like(p1.data, 5.0)
+        opt.step()
+        np.testing.assert_array_equal(sd["state"][0]["exp_avg"], before)
+
+    def test_roundtrip_restores_trajectory(self):
+        opt, params = self._stepped_optimizer()
+        sd = opt.state_dict()
+
+        # Fresh optimizer over same-shaped params, load, then both step
+        # identically.
+        clones = [param(p.data.copy()) for p in params]
+        opt2 = AdamW(
+            [
+                {"params": clones[:2], "weight_decay": 0.0, "name": "no_decay"},
+                {"params": clones[2:], "weight_decay": 0.01, "name": "decay"},
+            ],
+            lr=1e-3,
+        )
+        opt2.load_state_dict(sd)
+        for p, c in zip(params, clones):
+            p.grad = np.ones_like(p.data)
+            c.grad = np.ones_like(c.data)
+        opt.step()
+        opt2.step()
+        for p, c in zip(params, clones):
+            np.testing.assert_array_equal(p.data, c.data)
+
+    def test_load_rejects_group_count_mismatch(self):
+        opt, _ = self._stepped_optimizer()
+        sd = opt.state_dict()
+        other = AdamW([param([1.0])])
+        with pytest.raises(ConfigError):
+            other.load_state_dict(sd)
+
+    def test_load_rejects_state_shape_mismatch(self):
+        opt, _ = self._stepped_optimizer()
+        sd = opt.state_dict()
+        sd["state"][0]["exp_avg"] = np.zeros(7, dtype=np.float32)
+        clone, _ = self._stepped_optimizer()
+        with pytest.raises(ConfigError):
+            clone.load_state_dict(sd)
+
+
+class TestClipGradNorm:
+    def test_clips_to_max(self):
+        p = param([3.0, 4.0])
+        p.grad = p.data.copy()  # norm 5
+        total = clip_grad_norm_([p], 1.0)
+        assert total == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_no_clip_below_max(self):
+        p = param([0.3, 0.4])
+        p.grad = p.data.copy()
+        clip_grad_norm_([p], 1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+
+class TestGrouping:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("model.layers.0.self_attn.q_proj.weight", False),
+            ("model.layers.0.self_attn.q_proj.bias", True),
+            ("model.layers.3.input_layernorm.weight", True),
+            ("model.layers.3.post_attention_layernorm.weight", True),
+            ("model.norm.weight", True),
+            ("model.embed_tokens.weight", False),
+            ("lm_head.weight", False),
+        ],
+    )
+    def test_no_decay_classification(self, name, expected):
+        assert is_no_decay_param(name) is expected
+
+    def test_default_two_groups_cover_model(self):
+        model = build_model("tiny-qwen", seed=0)
+        groups = default_param_groups(model, 0.01)
+        assert len(groups) == 2
+        assert groups[0]["weight_decay"] == 0.0
+        assert groups[1]["weight_decay"] == 0.01
+        total = sum(len(g["params"]) for g in groups)
+        assert total == len(list(model.parameters()))
+        # Qwen biases land in the no-decay group.
+        assert any(n.endswith(".bias") for n in groups[0]["param_names"])
+
+
+class TestSchedulers:
+    def _opt(self):
+        return AdamW([param([1.0])], lr=1.0)
+
+    def test_constant(self):
+        sched = ConstantLR(self._opt())
+        for _ in range(5):
+            sched.step()
+        assert sched.get_last_lr() == [1.0]
+
+    def test_warmup_linear_profile(self):
+        sched = WarmupLinear(self._opt(), warmup_steps=10, total_steps=20)
+        assert sched.get_last_lr()[0] == 0.0  # step 0
+        for _ in range(10):
+            sched.step()
+        assert sched.get_last_lr()[0] == pytest.approx(1.0)
+        for _ in range(10):
+            sched.step()
+        assert sched.get_last_lr()[0] == pytest.approx(0.0)
+
+    def test_warmup_cosine_midpoint(self):
+        sched = WarmupCosine(self._opt(), warmup_steps=0, total_steps=100)
+        for _ in range(50):
+            sched.step()
+        assert sched.get_last_lr()[0] == pytest.approx(0.5, abs=1e-6)
+
+    def test_state_roundtrip(self):
+        sched = WarmupCosine(self._opt(), warmup_steps=5, total_steps=50)
+        for _ in range(17):
+            sched.step()
+        state = sched.state_dict()
+        sched2 = WarmupCosine(self._opt(), warmup_steps=5, total_steps=50)
+        sched2.load_state_dict(state)
+        assert sched2.get_last_lr() == sched.get_last_lr()
+        assert sched2.last_step == 17
+
+    def test_load_rejects_wrong_type(self):
+        state = ConstantLR(self._opt()).state_dict()
+        sched = WarmupLinear(self._opt(), 1, 10)
+        with pytest.raises(ConfigError):
+            sched.load_state_dict(state)
+
+    def test_build_scheduler_names(self):
+        assert isinstance(build_scheduler("constant", self._opt()), ConstantLR)
+        with pytest.raises(ConfigError):
+            build_scheduler("exotic", self._opt())

@@ -1,0 +1,156 @@
+"""End-to-end invariants stated by the paper, checked at test scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LLMTailor
+from repro.core.groups import groups_for_slot, slot_of_group
+from repro.io import CheckpointPaths, list_checkpoint_steps
+from repro.nn import get_config, list_configs, model_slots, slot_param_counts
+from repro.strategies import OPTIMIZER_BYTES_PER_PARAM
+from repro.train import TrainConfig, Trainer
+
+
+class TestSizeArithmetic:
+    def test_checkpoint_is_at_least_7x_model(self):
+        """§2.2: weights 2 B/param, optimizer >= 12 B/param -> >= 7x."""
+        assert (2 + OPTIMIZER_BYTES_PER_PARAM) / 2 >= 7.0
+
+    @pytest.mark.parametrize("name", ["llama3.2-1b", "llama3.1-8b", "qwen2.5-7b"])
+    def test_measured_partial_fraction_matches_analytic(self, name):
+        """Per-slot byte shares sum to 1 and transformer layers dominate."""
+        cfg = get_config(name)
+        counts = slot_param_counts(cfg)
+        total = sum(counts.values())
+        layer_share = sum(v for s, v in counts.items() if s.startswith("layers.")) / total
+        assert 0.6 < layer_share < 0.95
+
+    def test_all_registered_configs_obey_group_formula(self):
+        for name in list_configs():
+            cfg = get_config(name)
+            x = 2 if cfg.tie_word_embeddings else 3
+            assert cfg.num_param_groups_tailored == 2 * cfg.num_hidden_layers + x
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        layers=st.integers(1, 64),
+        tied=st.booleans(),
+        index=st.integers(0, 200),
+    )
+    def test_property_slot_group_bijection_random_topologies(self, layers, tied, index):
+        cfg = get_config("tiny-untied").replace(
+            name="prop", num_hidden_layers=layers, tie_word_embeddings=tied
+        )
+        total = cfg.num_param_groups_tailored
+        g = index % total
+        slot = slot_of_group(cfg, g)
+        assert g in groups_for_slot(cfg, slot)
+        # Full coverage, no overlap.
+        seen: list[int] = []
+        for s in model_slots(cfg):
+            seen.extend(groups_for_slot(cfg, s))
+        assert sorted(seen) == list(range(total))
+
+
+class TestRecoverabilityProperty:
+    """Every strategy must leave a trail from which LLMTailor can rebuild
+    a complete checkpoint at any failure point after the first event —
+    and the merged state must equal the newest saved copy of each slot.
+    """
+
+    @pytest.fixture(scope="class")
+    def filtered_trail(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("filtered-trail")
+        cfg = TrainConfig(
+            model="tiny-untied", task="cpt", total_steps=18,
+            checkpoint_strategy="filtered", checkpoint_interval=3,
+            strategy_kwargs={"head_layers": 1, "tail_layers": 1, "slow_factor": 2},
+            output_dir=str(out), world_size=2, micro_batch_size=2,
+            grad_accum_steps=1, seq_len=32,
+        )
+        trainer = Trainer(cfg)
+        trainer.train()
+        return trainer
+
+    @pytest.mark.parametrize("failure_step", [4, 7, 10, 16, 18])
+    def test_merge_possible_at_any_failure_point(self, filtered_trail, tmp_path, failure_step):
+        tailor = LLMTailor.from_checkpoints(
+            filtered_trail.storage.root, failure_step=failure_step
+        )
+        result = tailor.merge(output=tmp_path / f"m{failure_step}")
+        assert result.verify_report is not None and result.verify_report.ok
+        manifest = result.output.read_manifest()
+        assert manifest["complete"]
+        # Merged step = newest checkpoint at or before the failure.
+        usable = [s for s in list_checkpoint_steps(filtered_trail.storage.root)
+                  if s <= failure_step]
+        assert manifest["step"] == max(usable)
+
+    def test_merged_base_step_never_exceeds_failure(self, filtered_trail, tmp_path):
+        tailor = LLMTailor.from_checkpoints(filtered_trail.storage.root, failure_step=10)
+        for path in tailor.recipe.distinct_sources():
+            assert CheckpointPaths(path).step <= 10
+
+
+class TestTrajectoryOverlay:
+    """Artifact expectation 3: parity recovery 'closely matches (or even
+    exactly overlays)' the uninterrupted trajectory."""
+
+    def test_parity_recovery_loss_overlays_baseline(self, tmp_path):
+        def run(strategy, failure, out):
+            cfg = TrainConfig(
+                model="tiny-untied", task="cpt", total_steps=20,
+                checkpoint_strategy=strategy, checkpoint_interval=4,
+                failure_step=failure, output_dir=str(tmp_path / out),
+                world_size=2, micro_batch_size=2, grad_accum_steps=1,
+                seq_len=32, log_every=2,
+            )
+            return Trainer(cfg)
+
+        baseline = run("full", None, "base")
+        baseline.train()
+
+        parity = run("parity", 18, "parity")
+        parity.train()
+        parity.auto_recover(18)
+        parity.train()
+
+        base_losses = {e["step"]: e["loss"] for e in baseline.state.log_history}
+        par_losses = {e["step"]: e["loss"] for e in parity.state.log_history}
+        # Final-step losses land close (identical seeds, merged state mixes
+        # two recent snapshots, so exact equality is not required).
+        assert abs(base_losses[20] - par_losses[20]) < 0.15
+
+    def test_identity_recovery_is_exact_overlay(self, tmp_path):
+        """With FULL checkpoints, crash+resume replays bit-for-bit."""
+        def make(out, failure):
+            cfg = TrainConfig(
+                model="tiny-untied", task="cpt", total_steps=16,
+                checkpoint_strategy="full", checkpoint_interval=4,
+                failure_step=failure, output_dir=str(tmp_path / out),
+                world_size=2, micro_batch_size=2, grad_accum_steps=1,
+                seq_len=32, log_every=1,
+            )
+            return Trainer(cfg)
+
+        straight = make("straight", None)
+        straight.train()
+
+        crashed = make("crashed", 14)
+        crashed.train()
+        crashed.auto_recover(14)  # identity merge of checkpoint-12
+        crashed.train()
+
+        a = straight.engine.master_state_dict()
+        b = crashed.engine.master_state_dict()
+        for key in a:
+            np.testing.assert_array_equal(a[key], b[key], err_msg=key)
+        # Loss curve after the failure overlays exactly.
+        sl = {e["step"]: e["loss"] for e in straight.state.log_history}
+        cl = {e["step"]: e["loss"] for e in crashed.state.log_history}
+        for step in (13, 14, 15, 16):
+            assert sl[step] == cl[step]

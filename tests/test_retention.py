@@ -1,0 +1,104 @@
+"""Coverage-aware checkpoint retention."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LLMTailor
+from repro.io import (
+    checkpoint_dir,
+    coverage_map,
+    list_checkpoint_steps,
+    prunable_steps,
+    prune_checkpoints,
+    read_latest,
+)
+from repro.train import TrainConfig, Trainer
+from repro.util.errors import CheckpointError
+
+
+@pytest.fixture
+def parity_run(tmp_path):
+    cfg = TrainConfig(
+        model="tiny-untied", task="cpt", total_steps=24,
+        checkpoint_strategy="parity", checkpoint_interval=4,
+        output_dir=str(tmp_path / "run"), world_size=2,
+        micro_batch_size=2, grad_accum_steps=1, seq_len=32,
+    )
+    trainer = Trainer(cfg)
+    trainer.train()
+    return trainer  # checkpoints at 4 (full), 8, 12, 16, 20, 24
+
+
+class TestCoverageMap:
+    def test_maps_all_checkpoints(self, parity_run):
+        cov = coverage_map(parity_run.storage.root)
+        assert sorted(cov) == [4, 8, 12, 16, 20, 24]
+        # The first parity checkpoint is full; later ones are halves.
+        assert len(cov[4]) == parity_run.model_config.num_model_slots
+        assert len(cov[8]) < len(cov[4])
+
+
+class TestPrunable:
+    def test_keeps_last_n_protected(self, parity_run):
+        prunable = prunable_steps(parity_run.storage.root, keep_last=2)
+        assert 20 not in prunable and 24 not in prunable
+
+    def test_never_breaks_coverage(self, parity_run):
+        root = parity_run.storage.root
+        prunable = prunable_steps(root, keep_last=2)
+        survivors = set(list_checkpoint_steps(root)) - set(prunable)
+        cov = coverage_map(root)
+        all_slots = set().union(*cov.values())
+        surviving_slots = set().union(*(cov[s] for s in survivors))
+        assert surviving_slots == all_slots
+
+    def test_nothing_prunable_when_few_checkpoints(self, parity_run):
+        assert prunable_steps(parity_run.storage.root, keep_last=10) == []
+
+    def test_keep_last_validated(self, parity_run):
+        with pytest.raises(CheckpointError):
+            prunable_steps(parity_run.storage.root, keep_last=0)
+
+
+class TestPrune:
+    def test_prune_removes_dirs_and_preserves_recovery(self, parity_run, tmp_path):
+        root = parity_run.storage.root
+        removed = prune_checkpoints(root, keep_last=2)
+        assert removed
+        for step in removed:
+            assert not checkpoint_dir(root, step).exists()
+        # Recovery must still work from the survivors.
+        tailor = LLMTailor.from_checkpoints(root)
+        result = tailor.merge(output=tmp_path / "merged")
+        assert result.output.read_manifest()["complete"]
+
+    def test_dry_run_deletes_nothing(self, parity_run):
+        root = parity_run.storage.root
+        before = list_checkpoint_steps(root)
+        removed = prune_checkpoints(root, keep_last=2, dry_run=True)
+        assert removed
+        assert list_checkpoint_steps(root) == before
+
+    def test_latest_pointer_never_pruned(self, parity_run):
+        root = parity_run.storage.root
+        prune_checkpoints(root, keep_last=1)
+        assert read_latest(root) is not None
+
+
+class TestTrainerIntegration:
+    def test_max_checkpoints_prunes_during_training(self, tmp_path):
+        cfg = TrainConfig(
+            model="tiny-untied", task="cpt", total_steps=24,
+            checkpoint_strategy="parity", checkpoint_interval=4,
+            max_checkpoints=3,
+            output_dir=str(tmp_path / "run"), world_size=2,
+            micro_batch_size=2, grad_accum_steps=1, seq_len=32,
+        )
+        trainer = Trainer(cfg)
+        trainer.train()
+        steps = list_checkpoint_steps(trainer.storage.root)
+        assert len(steps) <= 4  # 3 protected + possibly one coverage-pinned
+        # And recovery still works.
+        merged = trainer.auto_recover(24)
+        assert merged.exists()

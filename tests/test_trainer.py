@@ -1,0 +1,175 @@
+"""Trainer integration: determinism, failure injection, recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io import CheckpointPaths, list_checkpoint_steps, read_latest
+from repro.train import TrainConfig, Trainer
+from repro.util.errors import ConfigError, TrainingError
+
+
+def quick_config(tmp_path, **overrides) -> TrainConfig:
+    base = dict(
+        model="tiny-untied", task="cpt", total_steps=12,
+        checkpoint_strategy="full", checkpoint_interval=4,
+        output_dir=str(tmp_path / "run"), world_size=2,
+        micro_batch_size=2, grad_accum_steps=1, seq_len=32, log_every=4,
+    )
+    base.update(overrides)
+    return TrainConfig(**base)
+
+
+class TestConfig:
+    def test_validation(self, tmp_path):
+        with pytest.raises(ConfigError):
+            TrainConfig(task="pretrain")
+        with pytest.raises(ConfigError):
+            TrainConfig(total_steps=0)
+        with pytest.raises(ConfigError):
+            TrainConfig(total_steps=10, failure_step=11)
+
+    def test_derived_quantities(self):
+        cfg = TrainConfig(world_size=2, micro_batch_size=3, grad_accum_steps=4, seq_len=10)
+        assert cfg.global_batch_size == 24
+        assert cfg.tokens_per_step == 240
+
+    def test_dict_roundtrip(self):
+        cfg = TrainConfig(model="tiny-tied", betas=(0.8, 0.99))
+        assert TrainConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError):
+            TrainConfig.from_dict({"model": "tiny-tied", "gpu_count": 8})
+
+
+class TestTrainingLoop:
+    def test_loss_decreases(self, trained_run):
+        trainer, result, _ = trained_run
+        history = [e["loss"] for e in trainer.state.log_history if "loss" in e]
+        assert history[-1] < history[0]
+        assert result.final_step == 24
+
+    def test_checkpoints_written_on_cadence(self, trained_run):
+        _, result, out = trained_run
+        assert result.checkpoints == [8, 16, 24]
+        assert list_checkpoint_steps(out) == [8, 16, 24]
+        assert read_latest(out).step == 24
+
+    def test_decision_log_written(self, trained_run):
+        trainer, _, out = trained_run
+        assert trainer.decision_log_path.exists()
+
+    def test_clock_accounting(self, trained_run):
+        _, result, _ = trained_run
+        assert result.clock["compute"] == pytest.approx(24.0)  # 1 sim-sec/step
+        assert 0 < result.checkpoint_time_fraction < 0.5
+
+    def test_eval_loss_finite(self, trained_run):
+        trainer, result, _ = trained_run
+        assert np.isfinite(result.final_eval_loss)
+
+    def test_sft_task_trains(self, tmp_path):
+        cfg = quick_config(tmp_path, task="sft", total_steps=6, checkpoint_interval=3, seq_len=40)
+        result = Trainer(cfg).train()
+        assert result.final_step == 6
+        assert np.isfinite(result.final_train_loss)
+
+
+class TestDeterminism:
+    def test_resume_equals_uninterrupted_bitwise(self, tmp_path):
+        """Train 8 straight vs train 4 + resume + 4: identical states."""
+        cfg_a = quick_config(tmp_path / "a", total_steps=8, checkpoint_interval=4)
+        trainer_a = Trainer(cfg_a)
+        trainer_a.train()
+
+        cfg_b = quick_config(tmp_path / "b", total_steps=8, checkpoint_interval=4)
+        trainer_b = Trainer(cfg_b)
+        trainer_b.train(until_step=4)
+        # Fresh trainer resumes from the step-4 checkpoint.
+        trainer_c = Trainer(quick_config(tmp_path / "b", total_steps=8, checkpoint_interval=4))
+        trainer_c.resume_from(CheckpointPaths(trainer_c.storage.root / "checkpoint-4"))
+        trainer_c.train()
+
+        a = trainer_a.engine.master_state_dict()
+        c = trainer_c.engine.master_state_dict()
+        for key in a:
+            np.testing.assert_array_equal(a[key], c[key], err_msg=key)
+
+    def test_same_seed_same_run(self, tmp_path):
+        r1 = Trainer(quick_config(tmp_path / "x", total_steps=5)).train()
+        r2 = Trainer(quick_config(tmp_path / "y", total_steps=5)).train()
+        assert r1.final_train_loss == r2.final_train_loss
+
+    def test_different_seed_differs(self, tmp_path):
+        r1 = Trainer(quick_config(tmp_path / "x", total_steps=5, seed=0)).train()
+        r2 = Trainer(quick_config(tmp_path / "y", total_steps=5, seed=1)).train()
+        assert r1.final_train_loss != r2.final_train_loss
+
+
+class TestFailureRecovery:
+    def test_failure_injection_stops_training(self, tmp_path):
+        cfg = quick_config(tmp_path, total_steps=12, failure_step=9)
+        result = Trainer(cfg).train()
+        assert result.interrupted_at == 9
+        assert result.final_step == 9
+
+    def test_auto_recover_with_parity(self, tmp_path):
+        cfg = quick_config(
+            tmp_path, total_steps=16, checkpoint_strategy="parity",
+            checkpoint_interval=4, failure_step=14,
+        )
+        trainer = Trainer(cfg)
+        result = trainer.train()
+        assert result.interrupted_at == 14
+        merged = trainer.auto_recover(14)
+        assert CheckpointPaths(merged).read_manifest()["complete"]
+        assert trainer.state.global_step == 12  # last ckpt before failure
+        final = trainer.train()
+        assert final.final_step == 16
+        assert final.interrupted_at is None
+
+    def test_resume_latest(self, tmp_path):
+        cfg = quick_config(tmp_path, total_steps=8, checkpoint_interval=4)
+        trainer = Trainer(cfg)
+        trainer.train()
+        fresh = Trainer(cfg)
+        assert fresh.resume_latest() == 8
+
+    def test_resume_latest_without_checkpoints(self, tmp_path):
+        cfg = quick_config(tmp_path, total_steps=4, checkpoint_interval=10)
+        trainer = Trainer(cfg)
+        with pytest.raises(TrainingError):
+            trainer.resume_latest()
+
+    def test_scheduler_state_restored(self, tmp_path):
+        cfg = quick_config(tmp_path, total_steps=8, checkpoint_interval=4)
+        trainer = Trainer(cfg)
+        trainer.train(until_step=4)
+        lr_at_4 = trainer.scheduler.get_last_lr()[0]
+        fresh = Trainer(cfg)
+        fresh.resume_from(CheckpointPaths(fresh.storage.root / "checkpoint-4"))
+        assert fresh.scheduler.get_last_lr()[0] == lr_at_4
+        assert fresh.scheduler.last_step == 4
+
+
+class TestStrategyIntegration:
+    @pytest.mark.parametrize("strategy", ["parity", "filtered", "magnitude"])
+    def test_partial_strategies_produce_recoverable_trails(self, tmp_path, strategy):
+        kwargs = {}
+        if strategy == "filtered":
+            kwargs = {"head_layers": 1, "tail_layers": 1, "slow_factor": 2}
+        cfg = quick_config(
+            tmp_path, total_steps=12, checkpoint_strategy=strategy,
+            checkpoint_interval=3, strategy_kwargs=kwargs,
+        )
+        trainer = Trainer(cfg)
+        trainer.train()
+        # Every slot recoverable at the end.
+        from repro.core.autorecipe import latest_slot_coverage
+
+        coverage, _ = latest_slot_coverage(trainer.storage.root, failure_step=12)
+        from repro.nn import model_slots
+
+        assert set(coverage) == set(model_slots(trainer.model_config))

@@ -1,0 +1,197 @@
+"""Tests for RNG streams, humanize, timers, tables, JSON I/O, logging."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    RngTree,
+    SimClock,
+    Table,
+    WallTimer,
+    derive_seed,
+    format_bytes,
+    format_duration,
+    format_gib,
+    format_pct,
+    format_ratio,
+    read_json,
+    render_kv,
+    stream,
+    write_json_atomic,
+)
+from repro.util.errors import CheckpointError
+from repro.util.humanize import parse_bytes
+from repro.util.logging import get_logger, rank_logger
+
+
+class TestRng:
+    def test_same_key_same_stream(self):
+        a = stream(42, "data", 3).random(5)
+        b = stream(42, "data", 3).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        a = stream(42, "data", 3).random(5)
+        b = stream(42, "data", 4).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_derive_seed_stable_and_64bit(self):
+        s = derive_seed(1, "a", 2, "b")
+        assert s == derive_seed(1, "a", 2, "b")
+        assert 0 <= s < 2**64
+
+    def test_tree_children_independent_of_draw_order(self):
+        tree = RngTree(7)
+        c1 = tree.child("x").generator("y")
+        _ = tree.child("other").generator("z").random(100)
+        c2 = tree.child("x").generator("y")
+        np.testing.assert_array_equal(c1.random(3), c2.random(3))
+
+    def test_spawn_count_and_independence(self):
+        gens = list(RngTree(1).spawn(4, "ranks"))
+        assert len(gens) == 4
+        draws = [g.random(8) for g in gens]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_state_key_format(self):
+        assert RngTree(5, "a", 1).state_key() == "5:a/1"
+
+
+class TestHumanize:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, "0 B"), (1023, "1023 B"), (1536, "1.50 KiB"), (1024**3, "1.00 GiB"), (-2048, "-2.00 KiB")],
+    )
+    def test_format_bytes(self, n, expected):
+        assert format_bytes(n) == expected
+
+    def test_format_gib(self):
+        assert format_gib(1024**3) == "1.00"
+
+    @pytest.mark.parametrize(
+        "s,expected",
+        [(0.5e-3, "500.0us"), (0.5, "500.0ms"), (5.0, "5.0s"), (95.3, "1m 35.3s"), (3700, "1h 1m 40s")],
+    )
+    def test_format_duration(self, s, expected):
+        assert format_duration(s) == expected
+
+    def test_format_ratio_and_pct(self):
+        assert format_ratio(4.3, 1.0) == "4.30x"
+        assert format_ratio(1.0, 0.0) == "inf"
+        assert format_pct(0.0499) == "4.99"
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("2048", 2048), ("1.5 GiB", int(1.5 * 1024**3)), ("350 GB", 350 * 10**9), ("2 kib", 2048)],
+    )
+    def test_parse_bytes(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    def test_parse_bytes_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_bytes("lots of bytes")
+
+
+class TestClocks:
+    def test_wall_timer_accumulates(self):
+        t = WallTimer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            pass
+        assert t.elapsed >= first
+
+    def test_wall_timer_stop_without_start(self):
+        with pytest.raises(RuntimeError):
+            WallTimer().stop()
+
+    def test_simclock_categories_and_fraction(self):
+        c = SimClock()
+        c.advance(80, "compute")
+        c.advance(15, "checkpoint_write.weights")
+        c.advance(5, "checkpoint_write.optimizer")
+        assert c.total() == 100
+        assert c.category_total("checkpoint_write") == 20
+        assert c.fraction("checkpoint_write") == pytest.approx(0.20)
+        snap = c.snapshot()
+        assert snap["__total__"] == 100
+
+    def test_simclock_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1, "x")
+
+    def test_simclock_zero_total_fraction(self):
+        assert SimClock().fraction("anything") == 0.0
+
+
+class TestTables:
+    def test_render_contains_cells(self):
+        t = Table(["Model", "Size"], title="T")
+        t.add_row(["llama", 112.47])
+        out = t.render()
+        assert "llama" in out and "112.47" in out and out.startswith("T")
+
+    def test_row_width_validated(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_highlight_best_max(self):
+        t = Table(["m", "acc"])
+        t.add_row(["a", 60.0]).add_row(["b", 75.0])
+        t.highlight_best(1, best=max)
+        assert "75.00 *" in t.render()
+
+    def test_markdown_mode(self):
+        t = Table(["a"], title="x")
+        t.add_row([1])
+        md = t.render_markdown()
+        assert "| a |" in md and "|---|" in md
+
+    def test_render_kv(self):
+        out = render_kv("cfg", {"steps": 100, "lr": 0.001})
+        assert "steps" in out and "100" in out
+
+
+class TestJsonIO:
+    def test_roundtrip_with_numpy(self, tmp_path):
+        path = tmp_path / "x.json"
+        write_json_atomic(path, {"a": np.int64(3), "b": np.float32(1.5), "c": np.arange(3)})
+        assert read_json(path) == {"a": 3, "b": 1.5, "c": [0, 1, 2]}
+
+    def test_missing_file_raises_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            read_json(tmp_path / "nope.json")
+
+    def test_corrupt_json_raises(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            read_json(p)
+
+    def test_atomic_no_tmp_left_behind(self, tmp_path):
+        write_json_atomic(tmp_path / "y.json", {"k": 1})
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert not leftovers
+
+    def test_creates_parent_dirs(self, tmp_path):
+        write_json_atomic(tmp_path / "deep" / "dir" / "z.json", [1, 2])
+        assert json.loads((tmp_path / "deep" / "dir" / "z.json").read_text()) == [1, 2]
+
+
+class TestLogging:
+    def test_namespaced_logger(self):
+        assert get_logger("io.storage").name == "repro.io.storage"
+        assert get_logger("repro.x").name == "repro.x"
+
+    def test_rank_logger_prefixes(self):
+        adapter = rank_logger("dist", 3)
+        msg, _ = adapter.process("hello", {})
+        assert msg == "[rank 3] hello"

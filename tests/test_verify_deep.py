@@ -1,0 +1,122 @@
+"""Direct tests for checkpoint verification failure detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LLMTailor, MergeRecipe, verify_checkpoint
+from repro.io import Storage, read_blob, save_checkpoint, write_blob, write_tensorfile
+from repro.io.tensorfile import TensorFile
+from repro.nn import get_config
+
+from conftest import make_engine, train_steps
+
+
+@pytest.fixture
+def merged_checkpoint(tmp_path, untied_config):
+    """A freshly merged (identity) checkpoint to tamper with."""
+    model, engine = make_engine(untied_config)
+    storage = Storage(tmp_path / "run")
+    train_steps(model, engine, untied_config, 2)
+    save_checkpoint(storage, step=10, model=model, config=untied_config,
+                    engine=engine, trainer_state={"global_step": 10})
+    result = LLMTailor(
+        MergeRecipe(base_checkpoint=storage.root / "checkpoint-10")
+    ).merge(output=tmp_path / "merged")
+    return result.output
+
+
+class TestVerifyDetections:
+    def test_clean_checkpoint_passes(self, merged_checkpoint):
+        report = verify_checkpoint(merged_checkpoint.dir)
+        assert report.ok
+        assert report.checks_run > 5
+
+    def test_missing_directory(self, tmp_path):
+        report = verify_checkpoint(tmp_path / "ghost")
+        assert not report.ok
+        assert "does not exist" in report.issues[0]
+
+    def test_missing_manifest(self, tmp_path):
+        (tmp_path / "bare").mkdir()
+        report = verify_checkpoint(tmp_path / "bare")
+        assert not report.ok
+
+    def test_missing_weight_tensor_detected(self, merged_checkpoint, untied_config):
+        tf = TensorFile(merged_checkpoint.weights)
+        tensors = tf.read_all()
+        tensors.pop("model.layers.2.mlp.up_proj.weight")
+        write_tensorfile(merged_checkpoint.weights, tensors,
+                         dtype=untied_config.storage_dtype)
+        report = verify_checkpoint(merged_checkpoint.dir)
+        assert not report.ok
+        assert any("missing tensors" in i for i in report.issues)
+
+    def test_extra_weight_tensor_detected(self, merged_checkpoint, untied_config):
+        tf = TensorFile(merged_checkpoint.weights)
+        tensors = tf.read_all()
+        tensors["model.layers.99.phantom.weight"] = np.zeros(4, dtype=np.float32)
+        write_tensorfile(merged_checkpoint.weights, tensors,
+                         dtype=untied_config.storage_dtype)
+        report = verify_checkpoint(merged_checkpoint.dir)
+        assert any("unexpected tensors" in i for i in report.issues)
+
+    def test_wrong_tensor_shape_detected(self, merged_checkpoint, untied_config):
+        tf = TensorFile(merged_checkpoint.weights)
+        tensors = tf.read_all()
+        tensors["model.norm.weight"] = np.zeros(7, dtype=np.float32)
+        write_tensorfile(merged_checkpoint.weights, tensors,
+                         dtype=untied_config.storage_dtype)
+        report = verify_checkpoint(merged_checkpoint.dir)
+        assert any("shape" in i for i in report.issues)
+
+    def test_missing_rank_shard_detected(self, merged_checkpoint):
+        merged_checkpoint.shard(1).unlink()
+        report = verify_checkpoint(merged_checkpoint.dir)
+        assert any("missing shard for rank 1" in i for i in report.issues)
+
+    def test_truncated_group_set_detected(self, merged_checkpoint):
+        path = merged_checkpoint.shard(0)
+        shard = read_blob(path)
+        shard["groups"] = shard["groups"][:-2]
+        write_blob(path, shard)
+        report = verify_checkpoint(merged_checkpoint.dir)
+        assert any("missing" in i for i in report.issues)
+
+    def test_wrong_group_numel_detected(self, merged_checkpoint):
+        path = merged_checkpoint.shard(0)
+        shard = read_blob(path)
+        shard["groups"][3]["numel"] = 1
+        write_blob(path, shard)
+        report = verify_checkpoint(merged_checkpoint.dir)
+        assert any("numel" in i for i in report.issues)
+
+    def test_malformed_fp32_shard_detected(self, merged_checkpoint):
+        path = merged_checkpoint.shard(0)
+        shard = read_blob(path)
+        first_group = shard["groups"][0]["index"]
+        shard["fp32_flat_groups"][first_group] = np.zeros(1, dtype=np.float32)
+        write_blob(path, shard)
+        report = verify_checkpoint(merged_checkpoint.dir)
+        assert any("fp32 shard malformed" in i for i in report.issues)
+
+    def test_missing_moment_detected(self, merged_checkpoint):
+        path = merged_checkpoint.shard(0)
+        shard = read_blob(path)
+        first_group = shard["groups"][0]["index"]
+        del shard["state"][first_group]["exp_avg_sq"]
+        write_blob(path, shard)
+        report = verify_checkpoint(merged_checkpoint.dir)
+        assert any("exp_avg_sq" in i for i in report.issues)
+
+    def test_raise_if_failed(self, tmp_path):
+        from repro.util.errors import MergeError
+
+        report = verify_checkpoint(tmp_path / "ghost")
+        with pytest.raises(MergeError, match="verification failed"):
+            report.raise_if_failed()
+
+    def test_report_str(self, merged_checkpoint):
+        report = verify_checkpoint(merged_checkpoint.dir)
+        assert "OK" in str(report)
