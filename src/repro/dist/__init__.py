@@ -1,0 +1,27 @@
+"""Simulated distributed substrate: collectives, shard math, ZeRO-3.
+
+Everything the paper's ZeRO-3 setting needs, reproduced deterministically
+in a single process:
+
+* :class:`SimComm` — in-process collectives with ring-model byte
+  accounting;
+* :class:`GroupPartition` (+ :func:`flatten_arrays` /
+  :func:`unflatten_array`) — the flatten/pad/shard arithmetic;
+* :class:`ZeroStage3Engine` — per-rank AdamW over sharded fp32 masters,
+  emitting/consuming the per-rank optimizer shard files LLMTailor merges.
+"""
+
+from .comm import CommStats, SimComm
+from .partition import GroupPartition, flatten_arrays, unflatten_array
+from .zero import SHARD_FORMAT_VERSION, GroupMeta, ZeroStage3Engine
+
+__all__ = [
+    "CommStats",
+    "GroupMeta",
+    "GroupPartition",
+    "SHARD_FORMAT_VERSION",
+    "SimComm",
+    "ZeroStage3Engine",
+    "flatten_arrays",
+    "unflatten_array",
+]

@@ -1,0 +1,154 @@
+"""Deterministic in-process collectives for the simulated ZeRO-3 ranks.
+
+Real data-parallel training runs one process per rank; here every rank
+lives in the same process and a collective is a plain function over the
+list of per-rank buffers (index ``r`` is rank ``r``'s buffer).  The
+semantics — and the validation errors — mirror NCCL's contracts: every
+rank must participate, and buffers must agree on shape and dtype.
+
+Byte accounting follows the standard ring-algorithm cost model (the one
+DeepSpeed/NCCL realize on a single node):
+
+* all-reduce moves ``2 * (n-1)/n * nbytes`` per rank (reduce-scatter
+  phase + all-gather phase);
+* reduce-scatter and all-gather each move ``(n-1)/n * nbytes`` per rank;
+* broadcast pipelines the buffer around the ring, ``(n-1)/n * nbytes``.
+
+At ``world_size == 1`` every collective is a local copy and moves zero
+bytes — which is why the stats are worth keeping: they expose exactly
+how much traffic sharding adds at a given world size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..util.errors import DistError
+
+__all__ = ["CommStats", "SimComm"]
+
+
+@dataclass
+class CommStats:
+    """Ring-model traffic accounting, per collective op."""
+
+    bytes_by_op: dict[str, float] = field(default_factory=dict)
+    calls_by_op: dict[str, int] = field(default_factory=dict)
+
+    def charge(self, op: str, nbytes: float) -> None:
+        self.bytes_by_op[op] = self.bytes_by_op.get(op, 0.0) + float(nbytes)
+        self.calls_by_op[op] = self.calls_by_op.get(op, 0) + 1
+
+    def total_bytes(self) -> float:
+        return float(sum(self.bytes_by_op.values()))
+
+    def reset(self) -> None:
+        self.bytes_by_op.clear()
+        self.calls_by_op.clear()
+
+
+class SimComm:
+    """A simulated communicator over ``world_size`` in-process ranks."""
+
+    def __init__(self, world_size: int) -> None:
+        if not isinstance(world_size, (int, np.integer)) or world_size < 1:
+            raise DistError(f"world_size must be a positive integer, got {world_size!r}")
+        self.world_size = int(world_size)
+        self.stats = CommStats()
+
+    # -- validation ---------------------------------------------------------
+
+    def _check_buffers(self, buffers: Sequence[np.ndarray], op: str) -> list[np.ndarray]:
+        bufs = [np.asarray(b) for b in buffers]
+        if len(bufs) != self.world_size:
+            raise DistError(
+                f"{op}: expected one buffer per rank ({self.world_size}), got {len(bufs)}"
+            )
+        first = bufs[0]
+        for rank, buf in enumerate(bufs):
+            if buf.shape != first.shape:
+                raise DistError(
+                    f"{op}: rank {rank} buffer shape {buf.shape} != rank 0 shape {first.shape}"
+                )
+            if buf.dtype != first.dtype:
+                raise DistError(
+                    f"{op}: rank {rank} buffer dtype {buf.dtype} != rank 0 dtype {first.dtype}"
+                )
+        return bufs
+
+    def _ring_fraction(self) -> float:
+        return (self.world_size - 1) / self.world_size
+
+    def _mean(self, bufs: list[np.ndarray]) -> np.ndarray:
+        """Element-wise mean at O(numel) peak memory.
+
+        The engine passes ``world_size`` references to one shared
+        gradient buffer; the identity fast path keeps that case both
+        allocation-free and bitwise exact at any world size.
+        """
+        first = bufs[0]
+        if all(b is first for b in bufs[1:]):
+            return first.copy()
+        acc = first.copy() if first.dtype.kind == "f" else first.astype(np.float32)
+        for buf in bufs[1:]:
+            acc += buf
+        acc /= self.world_size
+        return acc
+
+    # -- collectives --------------------------------------------------------
+
+    def all_reduce_mean(self, buffers: Sequence[np.ndarray]) -> np.ndarray:
+        """Element-wise mean over all ranks' buffers; every rank gets it."""
+        bufs = self._check_buffers(buffers, "all_reduce")
+        self.stats.charge("all_reduce", 2.0 * self._ring_fraction() * bufs[0].nbytes)
+        return self._mean(bufs)
+
+    def reduce_scatter_mean(self, buffers: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Mean over ranks, then rank ``r`` receives the ``r``-th slice.
+
+        Buffers must be flat and evenly divisible by the world size —
+        exactly the shape :class:`~repro.dist.partition.GroupPartition`
+        padding guarantees.
+        """
+        bufs = self._check_buffers(buffers, "reduce_scatter")
+        flat = bufs[0]
+        if flat.ndim != 1:
+            raise DistError(f"reduce_scatter: buffers must be flat, got shape {flat.shape}")
+        if flat.size % self.world_size:
+            raise DistError(
+                f"reduce_scatter: buffer length {flat.size} not divisible by "
+                f"world_size {self.world_size}"
+            )
+        self.stats.charge("reduce_scatter", self._ring_fraction() * flat.nbytes)
+        mean = self._mean(bufs)
+        if self.world_size == 1:
+            return [mean]
+        return [chunk.copy() for chunk in np.split(mean, self.world_size)]
+
+    def all_gather(self, shards: Sequence[np.ndarray]) -> np.ndarray:
+        """Concatenate every rank's shard; every rank gets the whole."""
+        bufs = self._check_buffers(shards, "all_gather")
+        total_nbytes = sum(b.nbytes for b in bufs)
+        self.stats.charge("all_gather", self._ring_fraction() * total_nbytes)
+        if self.world_size == 1:
+            return bufs[0].copy()
+        return np.concatenate(bufs, axis=0)
+
+    def broadcast(self, buffer: np.ndarray, root: int = 0) -> list[np.ndarray]:
+        """Every rank receives an independent copy of ``root``'s buffer."""
+        if not 0 <= root < self.world_size:
+            raise DistError(
+                f"broadcast: root {root} out of range for world_size {self.world_size}"
+            )
+        src = np.asarray(buffer)
+        self.stats.charge("broadcast", self._ring_fraction() * src.nbytes)
+        return [src.copy() for _ in range(self.world_size)]
+
+    def __repr__(self) -> str:
+        return (
+            f"SimComm(world_size={self.world_size}, "
+            f"total_bytes={self.stats.total_bytes():.0f})"
+        )

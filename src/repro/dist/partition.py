@@ -1,0 +1,125 @@
+"""Flat-parameter padding and shard math for ZeRO-3 partitioning.
+
+DeepSpeed flattens each parameter group into one contiguous fp32 buffer,
+pads it so it divides evenly by the world size, and gives each rank one
+equal slice (paper §2.2, Fig. 2).  :class:`GroupPartition` is that
+arithmetic, isolated and exactly invertible: for every ``(numel,
+world_size)``, ``gather(shards(x)) == x``.
+
+:func:`flatten_arrays` / :func:`unflatten_array` are the flatten step and
+its inverse, used both by the engine (masters ↔ model parameters) and by
+checkpoint tooling reconstructing per-parameter views from shard files.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..util.errors import DistError, ShapeError
+
+__all__ = ["GroupPartition", "flatten_arrays", "unflatten_array"]
+
+
+def flatten_arrays(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate arrays (C order) into one flat float32 vector."""
+    if not arrays:
+        return np.zeros(0, dtype=np.float32)
+    return np.concatenate([np.asarray(a, dtype=np.float32).ravel() for a in arrays])
+
+
+def unflatten_array(
+    flat: np.ndarray, shapes: Sequence[tuple[int, ...]]
+) -> list[np.ndarray]:
+    """Split a flat vector back into arrays of the given shapes.
+
+    The flat length must match the shapes exactly — a silent remainder
+    would mean a corrupted shard, so both directions raise
+    :class:`ShapeError`.
+    """
+    flat = np.asarray(flat)
+    if flat.ndim != 1:
+        raise ShapeError(f"unflatten expects a flat vector, got shape {flat.shape}")
+    total = sum(int(np.prod(shape)) for shape in shapes)
+    if total != flat.size:
+        raise ShapeError(
+            f"cannot unflatten {flat.size} elements into shapes totalling {total}"
+        )
+    out: list[np.ndarray] = []
+    offset = 0
+    for shape in shapes:
+        n = int(np.prod(shape))
+        out.append(flat[offset : offset + n].reshape(shape).copy())
+        offset += n
+    return out
+
+
+class GroupPartition:
+    """Even partition of ``numel`` elements over ``world_size`` ranks.
+
+    The buffer is zero-padded up to the next multiple of ``world_size``;
+    every rank owns exactly ``shard_numel`` elements, and the padding
+    (always ``< world_size``) lives at the tail of the last rank's shard.
+    """
+
+    __slots__ = ("numel", "world_size", "padded_numel", "shard_numel", "padding")
+
+    def __init__(self, numel: int, world_size: int) -> None:
+        if not isinstance(world_size, (int, np.integer)) or world_size < 1:
+            raise DistError(f"world_size must be a positive integer, got {world_size!r}")
+        if not isinstance(numel, (int, np.integer)) or numel < 0:
+            raise DistError(f"numel must be a non-negative integer, got {numel!r}")
+        self.numel = int(numel)
+        self.world_size = int(world_size)
+        self.shard_numel = -(-self.numel // self.world_size)  # ceil division
+        self.padded_numel = self.shard_numel * self.world_size
+        self.padding = self.padded_numel - self.numel
+
+    def bounds(self, rank: int) -> tuple[int, int]:
+        """Half-open ``[start, stop)`` of rank's slice in padded coordinates."""
+        if not 0 <= rank < self.world_size:
+            raise DistError(f"rank {rank} out of range for world_size {self.world_size}")
+        return rank * self.shard_numel, (rank + 1) * self.shard_numel
+
+    def pad(self, flat: np.ndarray) -> np.ndarray:
+        """Zero-pad a flat ``numel`` vector to ``padded_numel`` (a copy)."""
+        flat = np.asarray(flat)
+        if flat.shape != (self.numel,):
+            raise ShapeError(
+                f"expected a flat vector of {self.numel} elements, got shape {flat.shape}"
+            )
+        out = np.zeros(self.padded_numel, dtype=flat.dtype)
+        out[: self.numel] = flat
+        return out
+
+    def shards(self, flat: np.ndarray) -> list[np.ndarray]:
+        """Pad and slice a flat vector into one shard per rank (copies)."""
+        padded = self.pad(flat)
+        return [
+            padded[start:stop].copy()
+            for start, stop in (self.bounds(r) for r in range(self.world_size))
+        ]
+
+    def gather(self, shards: Sequence[np.ndarray]) -> np.ndarray:
+        """Inverse of :meth:`shards`: reassemble and strip the padding."""
+        if len(shards) != self.world_size:
+            raise DistError(
+                f"gather expected {self.world_size} shards, got {len(shards)}"
+            )
+        arrays = [np.asarray(s) for s in shards]
+        for rank, shard in enumerate(arrays):
+            if shard.shape != (self.shard_numel,):
+                raise DistError(
+                    f"rank {rank} shard has shape {shard.shape}, "
+                    f"expected ({self.shard_numel},)"
+                )
+        if self.padded_numel == 0:
+            return np.zeros(0, dtype=arrays[0].dtype if arrays else np.float32)
+        return np.concatenate(arrays)[: self.numel].copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupPartition(numel={self.numel}, world_size={self.world_size}, "
+            f"shard_numel={self.shard_numel}, padding={self.padding})"
+        )

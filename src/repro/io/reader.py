@@ -78,7 +78,12 @@ def load_checkpoint(
     for rank in range(engine.world_size):
         shard_path = paths.shard(rank)
         shard = read_blob(shard_path)
-        engine.load_rank_state_dict(rank, shard, require_full=True)
+        # Re-materializing weights gathers every rank's shard, so defer
+        # it until the last rank is in place instead of doing it N times.
+        engine.load_rank_state_dict(
+            rank, shard, require_full=True,
+            materialize=rank == engine.world_size - 1,
+        )
         shard_bytes += shard_path.stat().st_size
     if storage is not None:
         storage.charge_read(
