@@ -1,0 +1,521 @@
+"""Unified benchmark runner: one command for the whole ``benchmarks/`` suite.
+
+Every paper table/figure lives in a ``benchmarks/bench_*.py`` pytest
+module, but until this runner existed only Table 7 ever emitted a
+machine-readable artifact.  The runner turns the directory into a
+repo-wide perf harness:
+
+* ``run``     — discover scenarios, execute each one (full or ``--quick``)
+  under pytest-benchmark, and normalize the raw stats into
+  ``benchmarks/results/BENCH_<scenario>.json`` artifacts stamped with
+  environment and commit metadata, plus a rendered summary table;
+* ``compare`` — diff a fresh run against the committed baselines and
+  fail on best-of-rounds regressions beyond a threshold (the CI gate);
+* ``list``    — show what would run.
+
+Artifact schema (``schema: "repro-bench/1"``)::
+
+    {"schema": "repro-bench/1",
+     "scenario": str,           # bench file stem minus the bench_ prefix
+     "quick": bool,             # reduced-round mode
+     "generated_at": iso8601,
+     "env": {python, implementation, platform, machine, cpu_count},
+     "commit": {id, branch, dirty} | null,
+     "benchmarks": [{"name", "fullname", "group", "params",
+                     "stats": {min, max, mean, stddev, median,
+                               rounds, iterations}}]}
+
+The committed baselines under ``benchmarks/results/`` are regenerated
+with ``run --out benchmarks/results`` whenever a perf-relevant change
+lands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+from ..util.tables import Table
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "Scenario",
+    "ScenarioResult",
+    "compare_artifacts",
+    "discover_scenarios",
+    "load_artifact",
+    "main",
+    "normalize_raw",
+    "render_summary",
+    "run_scenario",
+]
+
+ARTIFACT_SCHEMA = "repro-bench/1"
+ARTIFACT_PREFIX = "BENCH_"
+QUICK_ENV_VAR = "REPRO_BENCH_QUICK"
+RESULTS_DIR_ENV_VAR = "REPRO_BENCH_RESULTS_DIR"
+DEFAULT_THRESHOLD = 0.25
+# Means below this are metadata-rendering noise, not perf signal.
+DEFAULT_MIN_SECONDS = 0.005
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One runnable benchmark module."""
+
+    name: str  # "table7_loading_time"
+    path: Path  # benchmarks/bench_table7_loading_time.py
+
+    @property
+    def artifact_name(self) -> str:
+        return f"{ARTIFACT_PREFIX}{self.name}.json"
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of executing one scenario."""
+
+    scenario: Scenario
+    ok: bool
+    artifact: Path | None = None
+    error: str | None = None
+
+
+# ---------------------------------------------------------------------------
+# Discovery
+# ---------------------------------------------------------------------------
+
+def discover_scenarios(bench_dir: str | Path, only: list[str] | None = None) -> list[Scenario]:
+    """All ``bench_*.py`` modules under ``bench_dir``, sorted by name.
+
+    ``only`` filters by scenario name (exact match, no ``bench_`` prefix);
+    unknown names raise so a CI typo cannot silently gate on nothing.
+    """
+    bench_dir = Path(bench_dir)
+    scenarios = [
+        Scenario(name=p.stem[len("bench_"):], path=p)
+        for p in sorted(bench_dir.glob("bench_*.py"))
+    ]
+    if only is not None:
+        by_name = {s.name: s for s in scenarios}
+        missing = [n for n in only if n not in by_name]
+        if missing:
+            raise SystemExit(
+                f"unknown scenario(s) {missing}; available: {sorted(by_name)}"
+            )
+        scenarios = [by_name[n] for n in only]
+    return scenarios
+
+
+# ---------------------------------------------------------------------------
+# Metadata
+# ---------------------------------------------------------------------------
+
+def collect_env() -> dict[str, Any]:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def collect_commit(repo_root: str | Path) -> dict[str, Any] | None:
+    """Current git commit metadata, or ``None`` outside a work tree."""
+
+    def git(*args: str) -> str:
+        return subprocess.run(
+            ["git", *args], cwd=str(repo_root), check=True,
+            capture_output=True, text=True,
+        ).stdout.strip()
+
+    try:
+        commit = git("rev-parse", "HEAD")
+        branch = git("rev-parse", "--abbrev-ref", "HEAD")
+        dirty = bool(git("status", "--porcelain"))
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return {"id": commit, "branch": branch, "dirty": dirty}
+
+
+# ---------------------------------------------------------------------------
+# Normalization
+# ---------------------------------------------------------------------------
+
+_STAT_KEYS = ("min", "max", "mean", "stddev", "median", "rounds", "iterations")
+
+
+def normalize_raw(
+    raw: dict[str, Any],
+    *,
+    scenario: str,
+    quick: bool,
+    env: dict[str, Any] | None = None,
+    commit: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Normalize a raw pytest-benchmark JSON document into an artifact."""
+    benchmarks = []
+    for bench in raw.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        benchmarks.append(
+            {
+                "name": bench.get("name"),
+                "fullname": bench.get("fullname"),
+                "group": bench.get("group"),
+                "params": bench.get("params"),
+                "stats": {k: stats.get(k) for k in _STAT_KEYS},
+            }
+        )
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "scenario": scenario,
+        "quick": quick,
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "env": env if env is not None else collect_env(),
+        "commit": commit,
+        "pytest_benchmark_version": raw.get("version"),
+        "benchmarks": benchmarks,
+    }
+
+
+def load_artifact(path: str | Path) -> dict[str, Any]:
+    """Load an artifact, adapting raw pytest-benchmark output if needed.
+
+    Accepting the raw format keeps ``compare`` usable against baselines
+    produced before the runner existed (e.g. ``--benchmark-json`` files).
+    """
+    path = Path(path)
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if doc.get("schema") == ARTIFACT_SCHEMA:
+        return doc
+    name = path.stem
+    if name.startswith(ARTIFACT_PREFIX):
+        name = name[len(ARTIFACT_PREFIX):]
+    return normalize_raw(
+        doc, scenario=name, quick=False,
+        env=doc.get("machine_info") or {}, commit=doc.get("commit_info"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+def _subprocess_env(quick: bool, results_dir: Path) -> dict[str, str]:
+    env = dict(os.environ)
+    if quick:
+        env[QUICK_ENV_VAR] = "1"
+    else:
+        env.pop(QUICK_ENV_VAR, None)
+    # Route the scenarios' rendered .txt tables (emit()) to the same
+    # directory as the JSON artifacts, so --out fully isolates a run.
+    env[RESULTS_DIR_ENV_VAR] = str(results_dir.resolve())
+    # Make `repro` importable in the child even without an editable
+    # install (the documented PYTHONPATH=src workflow).
+    src_dir = str(Path(__file__).resolve().parents[2])
+    parts = [src_dir] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+    return env
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    quick: bool = False,
+    results_dir: str | Path,
+    repo_root: str | Path | None = None,
+    pytest_args: list[str] | None = None,
+) -> ScenarioResult:
+    """Execute one scenario under pytest and write its artifact."""
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    repo_root = Path(repo_root) if repo_root else scenario.path.resolve().parents[1]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        raw_path = Path(tmp) / "raw.json"
+        cmd = [
+            sys.executable, "-m", "pytest", str(scenario.path),
+            "--benchmark-json", str(raw_path),
+            "-q", "-p", "no:cacheprovider", *(pytest_args or []),
+        ]
+        proc = subprocess.run(
+            cmd, cwd=str(repo_root), env=_subprocess_env(quick, results_dir),
+            capture_output=True, text=True,
+        )
+        if proc.returncode != 0 or not raw_path.exists():
+            tail = "\n".join((proc.stdout + proc.stderr).splitlines()[-25:])
+            return ScenarioResult(scenario, ok=False, error=tail)
+        raw = json.loads(raw_path.read_text(encoding="utf-8"))
+    artifact = normalize_raw(
+        raw, scenario=scenario.name, quick=quick, commit=collect_commit(repo_root)
+    )
+    out_path = results_dir / scenario.artifact_name
+    out_path.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    return ScenarioResult(scenario, ok=True, artifact=out_path)
+
+
+def render_summary(artifact_paths: list[Path]) -> str:
+    """One table over every benchmark of every artifact."""
+    table = Table(
+        ["Scenario", "Benchmark", "Mean (s)", "Stddev", "Rounds"],
+        title="Benchmark summary (BENCH_*.json)",
+    )
+    for path in artifact_paths:
+        doc = load_artifact(path)
+        for bench in doc["benchmarks"]:
+            stats = bench["stats"]
+            table.add_row(
+                [
+                    doc["scenario"],
+                    bench["name"],
+                    round(stats["mean"], 5) if stats.get("mean") is not None else "-",
+                    round(stats["stddev"], 5) if stats.get("stddev") is not None else "-",
+                    stats.get("rounds", "-"),
+                ]
+            )
+    return table.render()
+
+
+# ---------------------------------------------------------------------------
+# Regression gating
+# ---------------------------------------------------------------------------
+
+def _gate_time(stats: dict[str, Any]) -> float | None:
+    """The time a benchmark is gated on: best-of-rounds.
+
+    Wall-clock noise is one-sided (scheduling, page-cache misses only
+    ever add time), so the minimum is far more stable than the mean,
+    especially for the low-round quick mode the CI gate runs in.
+    """
+    return stats.get("min") or stats.get("mean")
+
+
+def compare_artifacts(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> list[dict[str, Any]]:
+    """Per-benchmark best-of-rounds comparison rows, keyed by ``fullname``.
+
+    A benchmark regresses when its gate time (min, see :func:`_gate_time`)
+    exceeds the baseline's by more than ``threshold``, provided the
+    baseline is above ``min_seconds`` (sub-millisecond rows are
+    render/bookkeeping noise).  Benchmarks present on only one side are
+    reported but never fail the gate — adding a scenario must not break
+    CI retroactively.
+    """
+    base_by_name = {b["fullname"]: b for b in baseline["benchmarks"]}
+    rows: list[dict[str, Any]] = []
+    for bench in current["benchmarks"]:
+        ref = base_by_name.pop(bench["fullname"], None)
+        cur_time = _gate_time(bench["stats"])
+        if ref is None:
+            rows.append({"fullname": bench["fullname"], "status": "new",
+                         "current": cur_time, "baseline": None, "ratio": None})
+            continue
+        base_time = _gate_time(ref["stats"])
+        if not cur_time or not base_time:
+            # A null/zero time means stat collection broke on one side —
+            # surface it (and fail the gate) rather than dropping the row.
+            rows.append({"fullname": bench["fullname"], "status": "invalid",
+                         "current": cur_time, "baseline": base_time, "ratio": None})
+            continue
+        ratio = cur_time / base_time
+        if base_time < min_seconds:
+            status = "skipped"
+        elif ratio > 1.0 + threshold:
+            status = "regression"
+        elif ratio < 1.0 - threshold:
+            status = "improvement"
+        else:
+            status = "ok"
+        rows.append({"fullname": bench["fullname"], "status": status,
+                     "current": cur_time, "baseline": base_time, "ratio": ratio})
+    for fullname in base_by_name:
+        rows.append({"fullname": fullname, "status": "missing",
+                     "current": None, "baseline": _gate_time(base_by_name[fullname]["stats"]),
+                     "ratio": None})
+    return rows
+
+
+def _render_compare(rows: list[dict[str, Any]], scenario: str) -> str:
+    table = Table(
+        ["Benchmark", "Baseline (s)", "Current (s)", "Ratio", "Status"],
+        title=f"Regression gate: {scenario}",
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row["fullname"].split("::")[-1],
+                round(row["baseline"], 5) if row["baseline"] is not None else "-",
+                round(row["current"], 5) if row["current"] is not None else "-",
+                round(row["ratio"], 3) if row["ratio"] is not None else "-",
+                row["status"],
+            ]
+        )
+    return table.render()
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.runner",
+        description="Discover, run, and regression-gate the benchmarks/ suite",
+    )
+    parser.add_argument("--bench-dir", default="benchmarks",
+                        help="directory holding bench_*.py modules")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list discovered scenarios")
+    del p_list
+
+    p_run = sub.add_parser("run", help="run scenarios and emit BENCH_*.json artifacts")
+    p_run.add_argument("--quick", action="store_true",
+                       help=f"reduced rounds (sets {QUICK_ENV_VAR}=1)")
+    p_run.add_argument("--only", default=None,
+                       help="comma-separated scenario names (default: all)")
+    p_run.add_argument("--out", default=None,
+                       help="artifact directory (default: <bench-dir>/results)")
+    p_run.add_argument("--summary", default=None,
+                       help="write the rendered summary table here as well")
+
+    p_cmp = sub.add_parser("compare", help="gate current artifacts against baselines")
+    p_cmp.add_argument("--baseline", required=True,
+                       help="directory with committed BENCH_*.json baselines")
+    p_cmp.add_argument("--current", required=True,
+                       help="directory with freshly generated BENCH_*.json")
+    p_cmp.add_argument("--only", default=None,
+                       help="comma-separated scenario names (default: all baselines)")
+    p_cmp.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                       help="fail when best-of-rounds (min) exceeds baseline "
+                            "by this fraction")
+    p_cmp.add_argument("--min-seconds", type=float, default=DEFAULT_MIN_SECONDS,
+                       help="ignore benchmarks whose baseline best-of-rounds "
+                            "(min) is below this")
+    return parser
+
+
+def _split_only(value: str | None) -> list[str] | None:
+    if value is None:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def _cmd_list(args) -> int:
+    for scenario in discover_scenarios(args.bench_dir):
+        print(f"{scenario.name:32s} {scenario.path}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    scenarios = discover_scenarios(args.bench_dir, only=_split_only(args.only))
+    results_dir = Path(args.out) if args.out else Path(args.bench_dir) / "results"
+    failures = 0
+    artifacts: list[Path] = []
+    for scenario in scenarios:
+        print(f"[bench] running {scenario.name} "
+              f"({'quick' if args.quick else 'full'})...", flush=True)
+        result = run_scenario(scenario, quick=args.quick, results_dir=results_dir)
+        if result.ok:
+            print(f"[bench]   -> {result.artifact}")
+            artifacts.append(result.artifact)
+        else:
+            failures += 1
+            print(f"[bench]   FAILED:\n{result.error}", file=sys.stderr)
+    if artifacts:
+        summary = render_summary(artifacts)
+        print()
+        print(summary)
+        summary_path = (
+            Path(args.summary) if args.summary else results_dir / "BENCH_summary.txt"
+        )
+        summary_path.write_text(summary + "\n", encoding="utf-8")
+    return 1 if failures else 0
+
+
+def _cmd_compare(args) -> int:
+    baseline_dir = Path(args.baseline)
+    current_dir = Path(args.current)
+    only = _split_only(args.only)
+    if only is not None:
+        names = only
+    else:
+        # Bare compare gates the intersection: baseline-only names (e.g.
+        # legacy aliases or retired scenarios) warn instead of failing.
+        base_names = {
+            p.stem[len(ARTIFACT_PREFIX):]
+            for p in baseline_dir.glob(f"{ARTIFACT_PREFIX}*.json")
+        }
+        cur_names = {
+            p.stem[len(ARTIFACT_PREFIX):]
+            for p in current_dir.glob(f"{ARTIFACT_PREFIX}*.json")
+        }
+        for name in sorted(base_names - cur_names):
+            print(f"[gate] note: baseline {name} has no current artifact; skipping",
+                  file=sys.stderr)
+        names = sorted(base_names & cur_names)
+    if not names:
+        print(f"no comparable {ARTIFACT_PREFIX}*.json artifacts "
+              f"({baseline_dir} vs {current_dir})", file=sys.stderr)
+        return 1
+    regressions = 0
+    for name in names:
+        base_path = baseline_dir / f"{ARTIFACT_PREFIX}{name}.json"
+        cur_path = current_dir / f"{ARTIFACT_PREFIX}{name}.json"
+        if not base_path.exists():
+            print(f"[gate] {name}: no baseline at {base_path}", file=sys.stderr)
+            regressions += 1
+            continue
+        if not cur_path.exists():
+            print(f"[gate] {name}: no current artifact at {cur_path}", file=sys.stderr)
+            regressions += 1
+            continue
+        rows = compare_artifacts(
+            load_artifact(cur_path), load_artifact(base_path),
+            threshold=args.threshold, min_seconds=args.min_seconds,
+        )
+        print(_render_compare(rows, name))
+        bad = [r for r in rows if r["status"] in ("regression", "invalid")]
+        regressions += len(bad)
+        for row in bad:
+            if row["status"] == "invalid":
+                print(f"[gate] INVALID {row['fullname']}: mean missing "
+                      f"(baseline={row['baseline']!r}, current={row['current']!r})",
+                      file=sys.stderr)
+            else:
+                print(f"[gate] REGRESSION {row['fullname']}: "
+                      f"{row['baseline']:.4f}s -> {row['current']:.4f}s "
+                      f"({row['ratio']:.2f}x)", file=sys.stderr)
+    if regressions:
+        print(f"[gate] {regressions} regression(s) beyond "
+              f"{args.threshold:.0%} threshold", file=sys.stderr)
+        return 1
+    print("[gate] all benchmarks within threshold")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run, "compare": _cmd_compare}
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:  # e.g. `... list | head`: not an error
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,13 @@ Mirrors the paper artifact's workflow:
 * ``llmtailor groups MODEL`` — print the tailored 2L+x group layout
   (paper Fig. 3);
 * ``llmtailor plan MODEL STRATEGY`` — analytic size/time plan for a
-  strategy (paper Tables 3/6 methodology).
+  strategy (paper Tables 3/6 methodology), plus ``--merge-checkpoints``
+  for the analytic merge-cost estimate;
+* ``llmtailor bench ...`` — forwards to :mod:`repro.bench.runner` (run
+  the benchmark suite, emit/gate ``BENCH_*.json`` artifacts).
+
+``merge``/``auto-merge`` take ``--workers``/``--stream`` to drive the
+parallel streaming merge engine.
 """
 
 from __future__ import annotations
@@ -43,12 +49,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_merge = sub.add_parser("merge", help="merge checkpoints from a YAML recipe")
     p_merge.add_argument("-r", "--recipe", required=True, help="recipe YAML path")
     p_merge.add_argument("-o", "--output", help="output checkpoint directory")
+    p_merge.add_argument("--workers", type=int, default=None,
+                         help="override recipe options.workers (parallel fan-out)")
+    p_merge.add_argument("--stream", action="store_true", default=None,
+                         help="use the streaming engine (bounded peak memory)")
+    p_merge.add_argument("--cache-mode", choices=("per-checkpoint", "none"),
+                         default=None, help="override recipe options.cache_mode")
 
     p_auto = sub.add_parser("auto-merge", help="auto-merge a partial checkpoint trail")
     p_auto.add_argument("run_dir", help="training run directory with checkpoint-*/")
     p_auto.add_argument("--failure-step", type=int, default=None)
     p_auto.add_argument("-o", "--output", required=True)
     p_auto.add_argument("--workers", type=int, default=1)
+    p_auto.add_argument("--stream", action="store_true",
+                        help="use the streaming engine (bounded peak memory)")
     p_auto.add_argument(
         "--cache-mode", choices=("per-checkpoint", "none"), default="per-checkpoint"
     )
@@ -70,6 +84,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--world-size", type=int, default=8)
     p_plan.add_argument("--async-writer", action="store_true",
                         help="model an overlapped (CheckFreq-style) writer")
+    p_plan.add_argument("--merge-checkpoints", type=int, default=None, metavar="N",
+                        help="also estimate merging N source checkpoints")
+    p_plan.add_argument("--workers", type=int, default=1,
+                        help="merge estimate: parallel workers")
+    p_plan.add_argument("--stream", action="store_true",
+                        help="merge estimate: streaming engine")
+    p_plan.add_argument("--cache-mode", choices=("per-checkpoint", "none"),
+                        default="per-checkpoint", help="merge estimate: load policy")
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark runner (discover/run/compare BENCH_*.json artifacts)"
+    )
+    p_bench.add_argument("bench_args", nargs=argparse.REMAINDER,
+                         help="arguments forwarded to repro.bench.runner")
 
     p_diff = sub.add_parser("diff", help="layer-wise drift between two checkpoints")
     p_diff.add_argument("checkpoint_a")
@@ -85,7 +113,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_merge(args) -> int:
+    import dataclasses
+
     tailor = LLMTailor.from_yaml(args.recipe)
+    overrides = {}
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.stream is not None:
+        overrides["stream"] = args.stream
+    if args.cache_mode is not None:
+        overrides["cache_mode"] = args.cache_mode
+    if overrides:
+        tailor.recipe.options = dataclasses.replace(tailor.recipe.options, **overrides)
     result = tailor.merge(output=args.output)
     print(result.summary())
     return 0
@@ -97,6 +136,7 @@ def _cmd_auto_merge(args) -> int:
         failure_step=args.failure_step,
         workers=args.workers,
         cache_mode=args.cache_mode,
+        stream=args.stream,
     )
     result = LLMTailor(recipe).merge(output=args.output)
     print(result.summary())
@@ -153,7 +193,32 @@ def _cmd_plan(args) -> int:
     print(f"  total checkpoint bytes : {format_bytes(plan.total_bytes)}")
     print(f"  checkpoint time        : {plan.checkpoint_seconds:.1f}s simulated")
     print(f"  ckpt time proportion   : {format_pct(plan.checkpoint_time_fraction)}%")
+    if args.merge_checkpoints is not None:
+        from .strategies import plan_merge_cost
+
+        merge = plan_merge_cost(
+            config,
+            world_size=args.world_size,
+            num_checkpoints=args.merge_checkpoints,
+            cache_mode=args.cache_mode,
+            workers=args.workers,
+            stream=args.stream,
+        )
+        mode = "stream" if merge.stream else "serial"
+        print(
+            f"merge estimate ({merge.num_checkpoints} ckpts, {merge.cache_mode}, "
+            f"{mode}, workers={merge.workers}):"
+        )
+        print(f"  loads per rank         : {merge.loads_per_rank}")
+        print(f"  bytes loaded           : {format_bytes(merge.bytes_loaded)}")
+        print(f"  bytes decoded          : {format_bytes(merge.bytes_decoded)}")
+        print(f"  merge time             : {merge.seconds:.1f}s simulated")
     return 0
+
+
+# NOTE: `bench` is forwarded by the argv intercept at the top of main()
+# (argparse's REMAINDER cannot pass through leading-dash arguments); the
+# p_bench subparser exists only so `llmtailor --help` lists the command.
 
 
 def _cmd_diff(args) -> int:
@@ -183,6 +248,14 @@ def _cmd_prune(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        # Forward verbatim: argparse's REMAINDER mishandles leading-dash
+        # arguments (e.g. `bench --quick run`), so bypass it entirely.
+        from .bench.runner import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     handlers = {
         "merge": _cmd_merge,

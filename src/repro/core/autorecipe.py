@@ -15,7 +15,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any
 
-from ..io.layout import CheckpointPaths, checkpoint_dir, list_checkpoint_steps
+from ..io.layout import checkpoint_dir, list_checkpoint_steps
 from ..nn.config import ModelConfig
 from ..nn.slots import model_slots
 from ..util.errors import MergeError
@@ -65,6 +65,7 @@ def recipe_from_run(
     workers: int = 1,
     cache_mode: str = "per-checkpoint",
     verify: bool = True,
+    stream: bool = False,
 ) -> MergeRecipe:
     """Build a merge recipe by scanning checkpoint manifests on disk."""
     run_root = Path(run_root)
@@ -79,7 +80,9 @@ def recipe_from_run(
     return MergeRecipe(
         base_checkpoint=base.dir,
         assignments=assignments,
-        options=MergeOptions(workers=workers, cache_mode=cache_mode, verify=verify),
+        options=MergeOptions(
+            workers=workers, cache_mode=cache_mode, verify=verify, stream=stream
+        ),
     )
 
 

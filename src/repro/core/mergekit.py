@@ -22,7 +22,7 @@ from typing import Any
 import numpy as np
 
 from ..io.layout import CheckpointPaths, WEIGHTS_NAME
-from ..io.tensorfile import TensorFile, write_tensorfile
+from ..io.tensorfile import TensorFile, TensorFileWriter
 from ..nn.config import ModelConfig
 from ..nn.slots import EMBED, LM_HEAD, NORM, slot_parameter_shapes, transformer_slots
 from ..util import miniyaml
@@ -66,6 +66,10 @@ def mergekit_merge(
     every transformer layer of ``base`` with ``other`` at ratio
     ``blend``.  Auxiliary layers always come from ``base`` (§3 limitation
     2); nothing but ``model.tsr`` is written (limitations 1 and 3).
+
+    Tensors stream through a :class:`TensorFileWriter` one at a time
+    (two at a time for ``linear``/``slerp``), so the merge never holds a
+    full model's weights in memory.
     """
     if method not in MERGE_METHODS:
         raise RecipeError(f"unknown merge method {method!r}; expected one of {MERGE_METHODS}")
@@ -75,53 +79,52 @@ def mergekit_merge(
     config = ModelConfig.from_dict(read_json(base_cp.config))
     base_reader = TensorFile(base_cp.weights)
     by_slot = slot_parameter_shapes(config)
-
-    merged: dict[str, np.ndarray] = {}
-
-    # Auxiliary layers: always the base model (MergeKit limitation).
-    for slot in (EMBED, NORM, LM_HEAD):
-        for name in by_slot.get(slot, {}):
-            merged[name] = base_reader.read(name)
-
-    if method == "passthrough":
-        sources = {int(k): Path(v) for k, v in (layer_sources or {}).items()}
-        readers: dict[Path, TensorFile] = {}
-        for i, slot in enumerate(transformer_slots(config)):
-            src = sources.get(i)
-            if src is None:
-                reader = base_reader
-            else:
-                reader = readers.get(src)
-                if reader is None:
-                    reader = TensorFile(CheckpointPaths(src).weights)
-                    readers[src] = reader
-            for name in by_slot[slot]:
-                if name not in reader:
-                    raise MergeError(f"source for layer {i} lacks tensor {name!r}")
-                merged[name] = reader.read(name)
-    else:
-        if other is None:
-            raise RecipeError(f"method {method!r} requires 'other' model")
-        other_reader = TensorFile(CheckpointPaths(other).weights)
-        for slot in transformer_slots(config):
-            for name in by_slot[slot]:
-                a = base_reader.read(name)
-                b = other_reader.read(name)
-                if a.shape != b.shape:
-                    raise MergeError(f"shape mismatch for {name}: {a.shape} vs {b.shape}")
-                if method == "linear":
-                    merged[name] = (1.0 - blend) * a + blend * b
-                else:
-                    merged[name] = _slerp(a, b, blend)
+    dtype = config.storage_dtype
 
     output = Path(output)
     output.mkdir(parents=True, exist_ok=True)
-    write_tensorfile(
+    with TensorFileWriter(
         output / WEIGHTS_NAME,
-        merged,
-        dtype=config.storage_dtype,
         metadata={"model": config.name, "merged_by": "mini-mergekit", "method": method},
-    )
+    ) as writer:
+        # Auxiliary layers: always the base model (MergeKit limitation).
+        for slot in (EMBED, NORM, LM_HEAD):
+            for name in by_slot.get(slot, {}):
+                writer.add(name, base_reader.read(name), dtype)
+
+        if method == "passthrough":
+            sources = {int(k): Path(v) for k, v in (layer_sources or {}).items()}
+            readers: dict[Path, TensorFile] = {}
+            for i, slot in enumerate(transformer_slots(config)):
+                src = sources.get(i)
+                if src is None:
+                    reader = base_reader
+                else:
+                    reader = readers.get(src)
+                    if reader is None:
+                        reader = TensorFile(CheckpointPaths(src).weights)
+                        readers[src] = reader
+                for name in by_slot[slot]:
+                    if name not in reader:
+                        raise MergeError(f"source for layer {i} lacks tensor {name!r}")
+                    writer.add(name, reader.read(name), dtype)
+        else:
+            if other is None:
+                raise RecipeError(f"method {method!r} requires 'other' model")
+            other_reader = TensorFile(CheckpointPaths(other).weights)
+            for slot in transformer_slots(config):
+                for name in by_slot[slot]:
+                    a = base_reader.read(name)
+                    b = other_reader.read(name)
+                    if a.shape != b.shape:
+                        raise MergeError(
+                            f"shape mismatch for {name}: {a.shape} vs {b.shape}"
+                        )
+                    if method == "linear":
+                        blended: np.ndarray = (1.0 - blend) * a + blend * b
+                    else:
+                        blended = _slerp(a, b, blend)
+                    writer.add(name, blended, dtype)
     # NOTE: deliberately NO optimizer shards, NO trainer_state.json, NO
     # manifest — this output cannot resume training (the gap LLMTailor
     # fills).  Only config.json is emitted so the weights are loadable.

@@ -18,18 +18,27 @@ Two load policies reproduce the paper's Table 7 regimes:
 Ranks are processed in parallel with ``ProcessPoolExecutor`` (§4.2),
 falling back to in-process execution when multiprocessing is
 unavailable or ``workers == 1``.
+
+The *streaming* engine (``spec["stream"]``) replaces the full-blob
+decode with selective reads: each load walks the monolithic shard
+sequentially but materializes only the parameter groups the plan
+actually takes from that source, and the independent loads are fanned
+across a ``ThreadPoolExecutor``.  The merged shard it writes is
+bitwise-identical to the serial path at any world size; only peak
+memory (one output shard instead of every cached source) and decode
+work (wanted groups instead of all groups per load) change.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-from ..dist.zero import SHARD_FORMAT_VERSION
-from ..io.blobfile import read_blob, write_blob
+from ..dist.zero import SHARD_FORMAT_VERSION, group_payload_crc
+from ..io.blobfile import read_blob, read_blob_selected, write_blob
 from ..io.layout import CheckpointPaths
 from ..nn.config import ModelConfig
 from ..nn.slots import model_slots
@@ -93,6 +102,184 @@ def _shard_path(ckpt_dir: str, rank: int) -> Path:
     return Path(ckpt_dir) / f"global_step{step}" / f"zero_pp_rank_{rank}_mp_rank_00_optim_states.blob"
 
 
+def _validate_shard(shard: dict, spec: dict[str, Any], source_dir: str, rank: int) -> None:
+    if shard.get("format_version") != SHARD_FORMAT_VERSION:
+        raise MergeError(
+            f"{source_dir}: unsupported shard format "
+            f"{shard.get('format_version')} for rank {rank}"
+        )
+    if int(shard.get("world_size", -1)) != int(spec["world_size"]):
+        raise MergeError(
+            f"{source_dir}: shard world_size {shard.get('world_size')} != "
+            f"plan world_size {spec['world_size']}"
+        )
+
+
+def _take_groups(
+    shard: dict,
+    source_dir: str,
+    rank: int,
+    slot: str,
+    wanted: list[int],
+    groups_header: dict[int, dict],
+    hyperparams: dict[int, dict],
+    fp32: dict[int, Any],
+    state: dict[int, Any],
+) -> None:
+    """Copy one slot's groups out of a loaded (or selected) shard."""
+    available = {h["index"]: h for h in shard["groups"]}
+    available_hyper = {h["index"]: h for h in shard.get("hyperparams", [])}
+    for g in wanted:
+        if (
+            g not in available
+            or g not in shard["fp32_flat_groups"]
+            or g not in shard["state"]
+        ):
+            raise MergeError(
+                f"{source_dir}: rank {rank} shard lacks group {g} "
+                f"(slot {slot!r}); the checkpoint is more partial than its manifest claims"
+            )
+        groups_header[g] = available[g]
+        hyperparams[g] = available_hyper.get(g, {})
+        fp32[g] = shard["fp32_flat_groups"][g]
+        state[g] = shard["state"][g]
+
+
+def _stream_load_tasks(
+    config: ModelConfig, spec: dict[str, Any]
+) -> list[tuple[str, list[str]]]:
+    """The streaming load schedule: ``(source_dir, slots)`` per load.
+
+    ``cache_mode="none"`` keeps the paper's interleaved one-load-per-slot
+    sequence; ``per-checkpoint`` coalesces every slot taken from the same
+    source into a single selective pass over that shard.
+    """
+    slots = model_slots(config)
+    if spec["cache_mode"] == "none":
+        return [(spec["slot_sources"][slot], [slot]) for slot in slots]
+    by_source: dict[str, list[str]] = {}
+    for slot in slots:
+        by_source.setdefault(spec["slot_sources"][slot], []).append(slot)
+    return list(by_source.items())
+
+
+def _stream_extract(
+    spec: dict[str, Any], rank: int, source_dir: str, wanted: set[int]
+) -> tuple[dict, float, int]:
+    """Selectively read one shard, materializing only ``wanted`` groups.
+
+    Returns ``(shard_subset, load_seconds, file_bytes)``.  The whole
+    compressed payload still streams through the decoder (the blob is
+    monolithic), but skipped groups never become numpy arrays.
+    """
+    shard_path = _shard_path(source_dir, rank)
+    if not shard_path.exists():
+        raise MergeError(f"missing optimizer shard for rank {rank}: {shard_path}")
+
+    def want(path: tuple) -> bool:
+        if len(path) == 2 and path[0] in ("fp32_flat_groups", "state"):
+            return path[1] in wanted
+        return True
+
+    def indexed_filter(path: tuple):
+        if path in (("groups",), ("hyperparams",)):
+            return wanted
+        return None
+
+    # ``state`` is the shard's final section and its keys ascend, so the
+    # read stops — and stops decompressing — right after the last wanted
+    # group.  The whole-payload CRC is unreachable from a prefix, so
+    # every materialized group is instead checked against its own header
+    # ``crc32`` below (the per-item integrity model weight tensors
+    # already use); shards predating per-group CRCs fall back to a full
+    # drain so the payload CRC still applies.
+    timer = WallTimer()
+    with timer:
+        shard = read_blob_selected(
+            shard_path, want,
+            indexed_filter=indexed_filter,
+            stop_after=("state", max(wanted)),
+        )
+        headers = {h["index"]: h for h in shard.get("groups", [])}
+        # Fall back to a full pass (whole-payload CRC applies again) when
+        # the early-stopped prefix cannot stand on its own: shards whose
+        # headers predate per-group CRCs, or whose sections are not in
+        # ascending group order so the stop cut off wanted entries.
+        incomplete = any(
+            g not in shard.get("fp32_flat_groups", {}) or g not in shard.get("state", {})
+            for g in wanted
+        )
+        if incomplete or any("crc32" not in h for h in headers.values()):
+            shard = read_blob_selected(shard_path, want, indexed_filter=indexed_filter)
+            headers = {h["index"]: h for h in shard.get("groups", [])}
+    for g in wanted:
+        header = headers.get(g)
+        fp32 = shard.get("fp32_flat_groups", {}).get(g)
+        state = shard.get("state", {}).get(g)
+        if header is None or "crc32" not in header or fp32 is None or state is None:
+            continue  # absence is reported as a merge error downstream
+        actual = group_payload_crc(fp32, state["exp_avg"], state["exp_avg_sq"])
+        if actual != int(header["crc32"]):
+            raise MergeError(
+                f"{shard_path}: CRC mismatch for group {g} in rank {rank} shard "
+                "(corrupt optimizer state)"
+            )
+    _validate_shard(shard, spec, source_dir, rank)
+    return shard, timer.elapsed, shard_path.stat().st_size
+
+
+def _merge_rank_shard_streaming(spec: dict[str, Any], rank: int) -> dict[str, Any]:
+    """Streaming engine: selective group loads fanned across a thread pool."""
+    config = ModelConfig.from_dict(spec["config"])
+    stats = RankMergeStats(rank=rank)
+
+    tasks = _stream_load_tasks(config, spec)
+    wanted_sets = [
+        {g for slot in slots for g in groups_for_slot(config, slot)}
+        for _, slots in tasks
+    ]
+    # Threads only pay off when cores can decompress concurrently (zlib
+    # releases the GIL); never oversubscribe a small machine.  When the
+    # rank-level process pool is active, ``stream_threads`` carries this
+    # rank's share of the worker budget so the levels do not multiply.
+    budget = int(spec.get("stream_threads", spec.get("workers", 1)))
+    workers = min(budget, len(tasks), os.cpu_count() or 1)
+    if workers > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            loads = list(
+                pool.map(
+                    lambda args: _stream_extract(spec, rank, args[0], args[1]),
+                    zip((src for src, _ in tasks), wanted_sets),
+                )
+            )
+    else:
+        loads = [
+            _stream_extract(spec, rank, src, wanted)
+            for (src, _), wanted in zip(tasks, wanted_sets)
+        ]
+
+    groups_header: dict[int, dict] = {}
+    hyperparams: dict[int, dict] = {}
+    fp32: dict[int, Any] = {}
+    state: dict[int, Any] = {}
+    seen_sources: set[str] = set()
+    for (source_dir, slots), (shard, load_seconds, nbytes) in zip(tasks, loads):
+        stats.load_seconds += load_seconds
+        stats.files_loaded += 1
+        stats.bytes_loaded += nbytes
+        if source_dir not in seen_sources:
+            seen_sources.add(source_dir)
+            stats.checkpoints_touched += 1
+        for slot in slots:
+            _take_groups(
+                shard, source_dir, rank, slot, groups_for_slot(config, slot),
+                groups_header, hyperparams, fp32, state,
+            )
+            stats.slots_copied += 1
+    return _write_merged_shard(spec, rank, config, stats, groups_header,
+                               hyperparams, fp32, state)
+
+
 def merge_rank_shard(spec: dict[str, Any], rank: int) -> dict[str, Any]:
     """Build and write the merged shard for one rank; returns stats.
 
@@ -100,11 +287,12 @@ def merge_rank_shard(spec: dict[str, Any], rank: int) -> dict[str, Any]:
     :meth:`MergePlan.to_worker_spec` plus ``global_step``.  Top-level so
     ProcessPoolExecutor can pickle it.
     """
+    if spec.get("stream"):
+        return _merge_rank_shard_streaming(spec, rank)
     config = ModelConfig.from_dict(spec["config"])
     stats = RankMergeStats(rank=rank)
     cache = _ShardCache(rank=rank, cache_mode=spec["cache_mode"], stats=stats)
 
-    num_groups = config.num_param_groups_tailored
     groups_header: dict[int, dict] = {}
     hyperparams: dict[int, dict] = {}
     fp32: dict[int, Any] = {}
@@ -115,30 +303,28 @@ def merge_rank_shard(spec: dict[str, Any], rank: int) -> dict[str, Any]:
     for slot in model_slots(config):
         source_dir = spec["slot_sources"][slot]
         shard = cache.load(source_dir)
-        if shard.get("format_version") != SHARD_FORMAT_VERSION:
-            raise MergeError(
-                f"{source_dir}: unsupported shard format "
-                f"{shard.get('format_version')} for rank {rank}"
-            )
-        if int(shard.get("world_size", -1)) != int(spec["world_size"]):
-            raise MergeError(
-                f"{source_dir}: shard world_size {shard.get('world_size')} != "
-                f"plan world_size {spec['world_size']}"
-            )
-        available = {h["index"]: h for h in shard["groups"]}
-        available_hyper = {h["index"]: h for h in shard.get("hyperparams", [])}
-        for g in groups_for_slot(config, slot):
-            if g not in available:
-                raise MergeError(
-                    f"{source_dir}: rank {rank} shard lacks group {g} "
-                    f"(slot {slot!r}); the checkpoint is more partial than its manifest claims"
-                )
-            groups_header[g] = available[g]
-            hyperparams[g] = available_hyper.get(g, {})
-            fp32[g] = shard["fp32_flat_groups"][g]
-            state[g] = shard["state"][g]
+        _validate_shard(shard, spec, source_dir, rank)
+        _take_groups(
+            shard, source_dir, rank, slot, groups_for_slot(config, slot),
+            groups_header, hyperparams, fp32, state,
+        )
         stats.slots_copied += 1
+    return _write_merged_shard(spec, rank, config, stats, groups_header,
+                               hyperparams, fp32, state)
 
+
+def _write_merged_shard(
+    spec: dict[str, Any],
+    rank: int,
+    config: ModelConfig,
+    stats: RankMergeStats,
+    groups_header: dict[int, dict],
+    hyperparams: dict[int, dict],
+    fp32: dict[int, Any],
+    state: dict[int, Any],
+) -> dict[str, Any]:
+    """Assemble the canonical merged payload and write it (both engines)."""
+    num_groups = config.num_param_groups_tailored
     if set(groups_header) != set(range(num_groups)):
         missing = sorted(set(range(num_groups)) - set(groups_header))
         raise MergeError(f"merge produced incomplete group set; missing {missing[:8]}")
@@ -183,9 +369,13 @@ def merge_optimizer_shards(
     Returns per-rank stats in rank order (stable regardless of worker
     scheduling).
     """
-    jobs = [(spec, r) for r in range(world_size)]
     results: list[dict[str, Any]]
     max_workers = min(workers, world_size, os.cpu_count() or 1)
+    # Split the worker budget across the two levels of parallelism: with
+    # P rank processes in flight, each streaming rank gets workers/P
+    # threads, so total concurrency never exceeds the requested fan-out.
+    spec = dict(spec, stream_threads=max(1, workers // max(1, max_workers)))
+    jobs = [(spec, r) for r in range(world_size)]
     if max_workers > 1:
         try:
             with ProcessPoolExecutor(max_workers=max_workers) as pool:

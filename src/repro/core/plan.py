@@ -73,6 +73,7 @@ class MergePlan:
             "options": {
                 "workers": self.options.workers,
                 "cache_mode": self.options.cache_mode,
+                "stream": self.options.stream,
             },
         }
 
@@ -83,6 +84,8 @@ class MergePlan:
             "world_size": self.world_size,
             "slot_sources": {s: str(cp.dir) for s, cp in self.slot_sources.items()},
             "cache_mode": self.options.cache_mode,
+            "stream": self.options.stream,
+            "workers": self.options.workers,
             "output": str(self.output),
         }
 

@@ -5,6 +5,11 @@ container, so assembling a Frankenstein weight file touches only the
 bytes of the tensors being copied ("lazy loading, as in the case of
 model weights" — paper §5.4).  Tensors pass through bit-exactly: they
 are already quantized to the storage dtype, so re-encoding is lossless.
+
+With ``plan.options.stream`` the merge pipes raw tensor bytes from the
+source readers straight into a :class:`TensorFileWriter`, one tensor in
+memory at a time, instead of materializing the whole merged state dict
+before writing.  Both paths emit byte-identical files.
 """
 
 from __future__ import annotations
@@ -14,8 +19,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..io.layout import CheckpointPaths, WEIGHTS_NAME
-from ..io.tensorfile import TensorFile, write_tensorfile
+from ..io.tensorfile import TensorFile, TensorFileWriter, write_tensorfile
 from ..nn.slots import model_slots, slot_parameter_shapes
+from ..numerics.dtypes import DType, unpack_bits
 from ..util.errors import MergeError
 from ..util.timer import WallTimer
 from .plan import MergePlan
@@ -33,16 +39,20 @@ class WeightMergeStats:
     per_slot_bytes: dict[str, int] = field(default_factory=dict)
 
 
-def merge_weight_files(plan: MergePlan) -> WeightMergeStats:
-    """Assemble ``<output>/model.tsr`` from the plan's slot sources."""
-    stats = WeightMergeStats()
-    timer = WallTimer()
-    timer.start()
+def _merge_metadata(plan: MergePlan) -> dict:
+    return {
+        "model": plan.config.name,
+        "merged_by": "llmtailor",
+        "slots": model_slots(plan.config),
+        "sources": {s: str(cp.dir) for s, cp in plan.slot_sources.items()},
+    }
 
+
+def _iter_slot_tensors(plan: MergePlan, stats: WeightMergeStats):
+    """Yield ``(slot, name, reader)`` per tensor in canonical model order,
+    validating presence/shape and keeping the per-slot byte accounting."""
     expected = slot_parameter_shapes(plan.config)
     readers: dict[str, TensorFile] = {}
-    merged: dict[str, np.ndarray] = {}
-
     for slot in model_slots(plan.config):
         source = plan.slot_sources[slot]
         key = str(source.dir)
@@ -62,25 +72,49 @@ def merge_weight_files(plan: MergePlan) -> WeightMergeStats:
                     f"tensor {name!r} in {source.dir} has shape {reader.shape(name)}, "
                     f"model expects {tuple(shape)}"
                 )
-            merged[name] = reader.read(name)  # lazy: reads only this tensor
             nbytes = reader.nbytes(name)
             slot_bytes += nbytes
             stats.bytes_read += nbytes
             stats.tensors_copied += 1
+            yield slot, name, reader
         stats.per_slot_bytes[slot] = slot_bytes
 
+
+def merge_weight_files(plan: MergePlan) -> WeightMergeStats:
+    """Assemble ``<output>/model.tsr`` from the plan's slot sources."""
+    stats = WeightMergeStats()
+    timer = WallTimer()
+    timer.start()
     plan.output.mkdir(parents=True, exist_ok=True)
-    stats.bytes_written = write_tensorfile(
-        plan.output / WEIGHTS_NAME,
-        merged,
-        dtype=plan.config.storage_dtype,
-        metadata={
-            "model": plan.config.name,
-            "merged_by": "llmtailor",
-            "slots": model_slots(plan.config),
-            "sources": {s: str(cp.dir) for s, cp in plan.slot_sources.items()},
-        },
-    )
+    target_dtype = plan.config.storage_dtype
+
+    if plan.options.stream:
+        # Streaming: raw bytes flow source -> writer, one tensor resident.
+        with TensorFileWriter(
+            plan.output / WEIGHTS_NAME, metadata=_merge_metadata(plan)
+        ) as writer:
+            for _slot, name, reader in _iter_slot_tensors(plan, stats):
+                raw, entry = reader.read_raw(name)
+                if entry["dtype"] == target_dtype.value:
+                    writer.add_raw(name, raw, entry)
+                else:  # stored at another precision: re-encode like serial,
+                    # decoding the bytes already fetched (no second read)
+                    src_dtype = DType.parse(entry["dtype"])
+                    decoded = unpack_bits(
+                        np.frombuffer(raw, dtype=src_dtype.packed_numpy), src_dtype
+                    ).reshape(entry["shape"])
+                    writer.add(name, decoded, target_dtype)
+        stats.bytes_written = (plan.output / WEIGHTS_NAME).stat().st_size
+    else:
+        merged: dict[str, np.ndarray] = {}
+        for _slot, name, reader in _iter_slot_tensors(plan, stats):
+            merged[name] = reader.read(name)  # lazy: reads only this tensor
+        stats.bytes_written = write_tensorfile(
+            plan.output / WEIGHTS_NAME,
+            merged,
+            dtype=target_dtype,
+            metadata=_merge_metadata(plan),
+        )
     stats.seconds = timer.stop()
     return stats
 

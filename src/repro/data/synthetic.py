@@ -12,7 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..util.rng import RngTree
-from .facts import Disease, GeneralFact, MedicalKB
+from .facts import Disease, MedicalKB
 
 __all__ = ["QAPair", "pubmed_like_corpus", "medqa_like_pairs", "general_fact_sentences"]
 

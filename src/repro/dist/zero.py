@@ -22,14 +22,21 @@ Shard payload (``SHARD_FORMAT_VERSION``)::
     world_size, rank  int
     num_total_groups  int   (2L + x for the tailored layout)
     groups            [ {index, name, slot, weight_decay, param_names,
-                         shapes, numel, padded_numel} ]
+                         shapes, numel, padded_numel, crc32} ]
     hyperparams       [ {index, lr, betas, eps, weight_decay} ]
     fp32_flat_groups  {group index -> fp32 master shard (shard_numel,)}
     state             {group index -> {step, exp_avg, exp_avg_sq}}
+
+``crc32`` covers the group's fp32 master + both moment buffers (see
+:func:`group_payload_crc`), giving each group the same per-item
+integrity that weight tensors get from the tensor-file format — which
+is what lets a selective reader verify exactly the groups it
+materializes without decoding the whole monolithic blob.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Any, Iterable
 
@@ -45,9 +52,18 @@ from ..util.errors import CheckpointError, ConfigError, DistError
 from .comm import SimComm
 from .partition import GroupPartition, flatten_arrays, unflatten_array
 
-__all__ = ["SHARD_FORMAT_VERSION", "GroupMeta", "ZeroStage3Engine"]
+__all__ = ["SHARD_FORMAT_VERSION", "GroupMeta", "ZeroStage3Engine", "group_payload_crc"]
 
 SHARD_FORMAT_VERSION = 1
+
+
+def group_payload_crc(
+    fp32: np.ndarray, exp_avg: np.ndarray, exp_avg_sq: np.ndarray
+) -> int:
+    """CRC-32 over one group's shard data (master + moments, in order)."""
+    crc = zlib.crc32(np.ascontiguousarray(fp32).tobytes())
+    crc = zlib.crc32(np.ascontiguousarray(exp_avg).tobytes(), crc)
+    return zlib.crc32(np.ascontiguousarray(exp_avg_sq).tobytes(), crc)
 
 
 @dataclass(frozen=True)
@@ -277,18 +293,27 @@ class ZeroStage3Engine:
                     "weight_decay": float(group["weight_decay"]),
                 }
             )
+        fp32_flat_groups = {
+            g: self._shard_params[g][rank].data.copy() for g in selected
+        }
+        state = {g: self._moment_state(rank, g) for g in selected}
+        groups = []
+        for g in selected:
+            header = self.group_meta[g].header()
+            header["crc32"] = group_payload_crc(
+                fp32_flat_groups[g], state[g]["exp_avg"], state[g]["exp_avg_sq"]
+            )
+            groups.append(header)
         return {
             "format_version": SHARD_FORMAT_VERSION,
             "zero_stage": 3,
             "world_size": self.world_size,
             "rank": rank,
             "num_total_groups": len(self.group_meta),
-            "groups": [self.group_meta[g].header() for g in selected],
+            "groups": groups,
             "hyperparams": hyperparams,
-            "fp32_flat_groups": {
-                g: self._shard_params[g][rank].data.copy() for g in selected
-            },
-            "state": {g: self._moment_state(rank, g) for g in selected},
+            "fp32_flat_groups": fp32_flat_groups,
+            "state": state,
         }
 
     def load_rank_state_dict(

@@ -21,6 +21,15 @@ Payload encoding (tag-length-value):
 ``N`` none, ``T``/``F`` bool, ``I`` int64, ``D`` float64, ``S`` utf-8
 string, ``B`` raw bytes, ``L`` list, ``M`` dict (keys: str or int),
 ``A`` ndarray (dtype-string, ndim, dims, raw C-order buffer).
+
+Because every value carries its length up front, the payload can also be
+decoded *selectively*: :func:`read_blob_selected` walks the TLV stream
+sequentially (decompressing in bounded chunks) and skips any subtree a
+predicate rejects, so a merge tool can pull a handful of parameter
+groups out of a multi-gigabyte shard without ever materializing the
+whole checkpoint.  Writes stream symmetrically: :func:`write_blob`
+pushes encoded chunks through an incremental compressor and patches the
+header afterwards, so no full payload buffer exists at any point.
 """
 
 from __future__ import annotations
@@ -28,58 +37,84 @@ from __future__ import annotations
 import struct
 import zlib
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable, Iterator
 
 import numpy as np
 
 from ..util.errors import CheckpointFormatError
 
-__all__ = ["write_blob", "read_blob", "encode", "decode", "BLOB_VERSION"]
+__all__ = [
+    "write_blob",
+    "read_blob",
+    "read_blob_selected",
+    "encode",
+    "iter_encode",
+    "decode",
+    "BLOB_VERSION",
+]
 
 MAGIC = b"REPROBLB"
 BLOB_VERSION = 1
 _FLAG_COMPRESSED = 0x01
+_HEADER_LEN = len(MAGIC) + 4 + 1 + 8 + 8 + 4
+# Small-value staging threshold for streaming writes; big tensor buffers
+# bypass staging entirely, so this also bounds the writer's peak memory.
+_WRITE_CHUNK = 256 << 10
+# Reads inflate in smaller steps so a ``stop_after`` early exit skips a
+# meaningful tail of the payload instead of having decompressed it all.
+_READ_CHUNK = 128 << 10
+_U8 = struct.Struct("<B")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
 
 
 # ---------------------------------------------------------------------------
 # Encoding
 # ---------------------------------------------------------------------------
 
-def _encode_into(obj: Any, out: list[bytes]) -> None:
+def iter_encode(obj: Any) -> Iterator[bytes]:
+    """Yield the TLV encoding of ``obj`` as a chunk stream.
+
+    Large ndarray buffers are yielded as separate chunks, so a writer can
+    push them straight into a compressor without concatenating the whole
+    payload in memory first.
+    """
     if obj is None:
-        out.append(b"N")
+        yield b"N"
     elif obj is True:
-        out.append(b"T")
+        yield b"T"
     elif obj is False:
-        out.append(b"F")
+        yield b"F"
     elif isinstance(obj, (int, np.integer)):
-        out.append(b"I" + struct.pack("<q", int(obj)))
+        yield b"I" + struct.pack("<q", int(obj))
     elif isinstance(obj, (float, np.floating)):
-        out.append(b"D" + struct.pack("<d", float(obj)))
+        yield b"D" + struct.pack("<d", float(obj))
     elif isinstance(obj, str):
         raw = obj.encode("utf-8")
-        out.append(b"S" + struct.pack("<I", len(raw)) + raw)
+        yield b"S" + struct.pack("<I", len(raw)) + raw
     elif isinstance(obj, bytes):
-        out.append(b"B" + struct.pack("<Q", len(obj)) + obj)
+        yield b"B" + struct.pack("<Q", len(obj)) + obj
     elif isinstance(obj, (list, tuple)):
-        out.append(b"L" + struct.pack("<I", len(obj)))
+        yield b"L" + struct.pack("<I", len(obj))
         for item in obj:
-            _encode_into(item, out)
+            yield from iter_encode(item)
     elif isinstance(obj, dict):
-        out.append(b"M" + struct.pack("<I", len(obj)))
+        yield b"M" + struct.pack("<I", len(obj))
         for key, value in obj.items():
             if not isinstance(key, (str, int, np.integer)):
                 raise CheckpointFormatError(
                     f"blob dict keys must be str or int, got {type(key).__name__}"
                 )
-            _encode_into(int(key) if isinstance(key, np.integer) else key, out)
-            _encode_into(value, out)
+            yield from iter_encode(int(key) if isinstance(key, np.integer) else key)
+            yield from iter_encode(value)
     elif isinstance(obj, np.ndarray):
         arr = np.ascontiguousarray(obj)
         if obj.ndim == 0:  # ascontiguousarray promotes 0-dim to 1-D
             arr = arr.reshape(())
         dtype_str = arr.dtype.str.encode("ascii")
-        out.append(
+        yield (
             b"A"
             + struct.pack("<B", len(dtype_str))
             + dtype_str
@@ -87,15 +122,13 @@ def _encode_into(obj: Any, out: list[bytes]) -> None:
             + struct.pack(f"<{arr.ndim}q", *arr.shape)
             + struct.pack("<Q", arr.nbytes)
         )
-        out.append(arr.tobytes())
+        yield arr.tobytes()
     else:
         raise CheckpointFormatError(f"cannot serialize object of type {type(obj).__name__}")
 
 
 def encode(obj: Any) -> bytes:
-    parts: list[bytes] = []
-    _encode_into(obj, parts)
-    return b"".join(parts)
+    return b"".join(iter_encode(obj))
 
 
 # ---------------------------------------------------------------------------
@@ -177,32 +210,410 @@ def decode(payload: bytes) -> Any:
 
 
 # ---------------------------------------------------------------------------
+# Streaming (selective) decoding
+# ---------------------------------------------------------------------------
+
+class _StreamSource:
+    """Sequential byte source over a (possibly compressed) blob payload.
+
+    Decompresses in bounded chunks; the running CRC of the uncompressed
+    stream is folded in once per produced chunk (not per token read), so
+    selective reads keep :func:`read_blob`'s corruption detection at a
+    negligible per-value cost.  ``skip`` is pointer arithmetic within
+    the current chunk — skipped tensor buffers are never copied.
+    """
+
+    def __init__(self, fh, payload_len: int, compressed: bool) -> None:
+        self._fh = fh
+        self._remaining_file = payload_len
+        self._inflater = zlib.decompressobj() if compressed else None
+        self._buf = bytearray()  # += amortizes; take() of an N-byte value stays O(N)
+        self._pos = 0  # consumed prefix of _buf
+        self.crc = 0
+        self.produced = 0  # uncompressed bytes that entered the buffer
+        self.consumed = 0  # uncompressed bytes handed out or skipped
+
+    def _produce(self) -> bool:
+        """Decompress the next file chunk into the buffer; False at EOF."""
+        while True:
+            if self._remaining_file <= 0:
+                if self._inflater is not None and not self._inflater.eof:
+                    tail = self._inflater.flush()
+                    if tail:
+                        self._append(tail)
+                        return True
+                return False
+            chunk = self._fh.read(min(_READ_CHUNK, self._remaining_file))
+            if not chunk:
+                raise CheckpointFormatError("blob payload truncated")
+            self._remaining_file -= len(chunk)
+            if self._inflater is not None:
+                try:
+                    chunk = self._inflater.decompress(chunk)
+                except zlib.error as exc:
+                    raise CheckpointFormatError(f"decompression failed: {exc}") from exc
+                if not chunk:
+                    continue  # compressed chunk produced no output yet
+            self._append(chunk)
+            return True
+
+    def _append(self, chunk: bytes) -> None:
+        self.crc = zlib.crc32(chunk, self.crc)
+        self.produced += len(chunk)
+        if self._pos:  # drop the consumed prefix before growing
+            del self._buf[: self._pos]
+            self._pos = 0
+        self._buf += chunk
+
+    def take(self, n: int) -> bytes:
+        while len(self._buf) - self._pos < n:
+            if not self._produce():
+                raise CheckpointFormatError("blob payload truncated")
+        out = bytes(self._buf[self._pos : self._pos + n])
+        self._pos += n
+        self.consumed += n
+        return out
+
+    def skip(self, n: int) -> None:
+        """Consume ``n`` bytes without retaining or copying them."""
+        self.consumed += n
+        while n > 0:
+            avail = len(self._buf) - self._pos
+            if avail == 0:
+                if not self._produce():
+                    self.consumed -= n
+                    raise CheckpointFormatError("blob payload truncated")
+                continue
+            step = avail if avail < n else n
+            self._pos += step
+            n -= step
+
+    def unpack(self, fmt: str) -> tuple:
+        return struct.unpack(fmt, self.take(struct.calcsize(fmt)))
+
+    def at_end(self) -> bool:
+        if len(self._buf) - self._pos > 0:
+            return False
+        try:
+            return not self._produce()
+        except CheckpointFormatError:
+            return True
+
+
+def _skip_value(src: _StreamSource) -> None:
+    """Consume one TLV value without materializing it."""
+    tag = src.take(1)
+    if tag in (b"N", b"T", b"F"):
+        return
+    if tag == b"I" or tag == b"D":
+        src.skip(8)
+    elif tag == b"S":
+        (n,) = _U32.unpack(src.take(4))
+        src.skip(n)
+    elif tag == b"B":
+        (n,) = _U64.unpack(src.take(8))
+        src.skip(n)
+    elif tag == b"L":
+        (n,) = _U32.unpack(src.take(4))
+        for _ in range(n):
+            _skip_value(src)
+    elif tag == b"M":
+        (n,) = _U32.unpack(src.take(4))
+        for _ in range(n):
+            _skip_value(src)  # key
+            _skip_value(src)  # value
+    elif tag == b"A":
+        (dtype_len,) = _U8.unpack(src.take(1))
+        src.skip(dtype_len)
+        (ndim,) = _U8.unpack(src.take(1))
+        if ndim:
+            src.skip(8 * ndim)
+        (nbytes,) = _U64.unpack(src.take(8))
+        src.skip(nbytes)
+    else:
+        raise CheckpointFormatError(f"unknown blob tag {tag!r}")
+
+
+# Distinguishes "element pruned by the indexed filter" from a literal
+# decoded None element, which must survive the filter untouched.
+_SKIPPED = object()
+
+
+class _EarlyStop(Exception):
+    """Internal: unwinds a selective decode once ``stop_after`` is met.
+
+    Each map frame catches it, grafts its partially built dict into the
+    carried value, and re-raises, so the top level receives the decoded
+    prefix of the document.
+    """
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+def _decode_indexed_element(
+    src: _StreamSource,
+    want: Callable[[tuple], bool],
+    path: tuple,
+    keep: "set",
+) -> Any:
+    """Decode one list element of ``{"index": i, ...}`` maps, or skip it.
+
+    The shard format's ``groups``/``hyperparams`` lists lead every entry
+    with its ``index`` key; peeking at that first pair lets a selective
+    read discard the (comparatively token-dense) header maps of groups
+    it does not want without walking their fields.  Non-map elements and
+    maps not led by ``index`` fall back to a full decode.  Returns the
+    ``_SKIPPED`` sentinel (never ``None``, which is a legal element) for
+    pruned entries.
+    """
+    tag = src.take(1)
+    if tag != b"M":
+        return _decode_value_of_tag(src, want, path, tag)
+    (n,) = _U32.unpack(src.take(4))
+    out: dict[Any, Any] = {}
+    for i in range(n):
+        key = _decode_selected(src, want, path)
+        if not isinstance(key, (str, int)):
+            raise CheckpointFormatError(f"invalid blob dict key type {type(key).__name__}")
+        value = _decode_selected(src, want, path + (key,))
+        out[key] = value
+        if i == 0 and key == "index" and value not in keep:
+            for _ in range(n - 1):
+                _skip_value(src)  # key
+                _skip_value(src)  # value
+            return _SKIPPED
+    return out
+
+
+def _decode_selected(
+    src: _StreamSource,
+    want: Callable[[tuple], bool],
+    path: tuple,
+    indexed_filter: Callable[[tuple], "set | None"] | None = None,
+    stop_after: tuple | None = None,
+) -> Any:
+    """Decode one value, pruning map subtrees the predicate rejects."""
+    tag = src.take(1)
+    return _decode_value_of_tag(src, want, path, tag, indexed_filter, stop_after)
+
+
+def _decode_value_of_tag(
+    src: _StreamSource,
+    want: Callable[[tuple], bool],
+    path: tuple,
+    tag: bytes,
+    indexed_filter: Callable[[tuple], "set | None"] | None = None,
+    stop_after: tuple | None = None,
+) -> Any:
+    if tag == b"N":
+        return None
+    if tag == b"T":
+        return True
+    if tag == b"F":
+        return False
+    if tag == b"I":
+        return _I64.unpack(src.take(8))[0]
+    if tag == b"D":
+        return _F64.unpack(src.take(8))[0]
+    if tag == b"S":
+        (n,) = _U32.unpack(src.take(4))
+        return src.take(n).decode("utf-8")
+    if tag == b"B":
+        (n,) = _U64.unpack(src.take(8))
+        return src.take(n)
+    if tag == b"L":
+        (n,) = _U32.unpack(src.take(4))
+        keep = indexed_filter(path) if indexed_filter is not None else None
+        if keep is not None:
+            out_list = []
+            for _ in range(n):
+                element = _decode_indexed_element(src, want, path, keep)
+                if element is not _SKIPPED:
+                    out_list.append(element)
+            return out_list
+        return [
+            _decode_selected(src, want, path + (i,), indexed_filter)
+            for i in range(n)
+        ]
+    if tag == b"M":
+        (n,) = _U32.unpack(src.take(4))
+        out: dict[Any, Any] = {}
+        for _ in range(n):
+            key = _decode_selected(src, want, path)
+            if not isinstance(key, (str, int)):
+                raise CheckpointFormatError(
+                    f"invalid blob dict key type {type(key).__name__}"
+                )
+            child = path + (key,)
+            if want(child):
+                try:
+                    out[key] = _decode_selected(
+                        src, want, child, indexed_filter, stop_after
+                    )
+                except _EarlyStop as stop:
+                    out[key] = stop.value
+                    raise _EarlyStop(out) from None
+                if stop_after is not None and child == stop_after:
+                    raise _EarlyStop(out)
+            else:
+                _skip_value(src)
+        return out
+    if tag == b"A":
+        (dtype_len,) = _U8.unpack(src.take(1))
+        dtype = np.dtype(src.take(dtype_len).decode("ascii"))
+        (ndim,) = _U8.unpack(src.take(1))
+        shape = src.unpack(f"<{ndim}q") if ndim else ()
+        (nbytes,) = _U64.unpack(src.take(8))
+        raw = src.take(nbytes)
+        arr = np.frombuffer(raw, dtype=dtype)
+        expected = int(np.prod(shape)) if shape else 1
+        if arr.size != expected:
+            raise CheckpointFormatError(
+                f"blob array size mismatch: buffer has {arr.size}, shape wants {expected}"
+            )
+        return arr.reshape(shape).copy()
+    raise CheckpointFormatError(f"unknown blob tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
 # File I/O
 # ---------------------------------------------------------------------------
 
 def write_blob(path: str | Path, obj: Any, *, compress: bool = True, level: int = 1) -> int:
-    """Serialize ``obj`` to a blob file; returns bytes written to disk."""
+    """Serialize ``obj`` to a blob file; returns bytes written to disk.
+
+    The payload is streamed through an incremental compressor chunk by
+    chunk (the header is patched in place afterwards), so writing never
+    holds the full encoded payload in memory.  The emitted bytes are
+    identical to a monolithic ``zlib.compress(encode(obj), level)``: a
+    single deflate stream with one terminal flush.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    payload = encode(obj)
-    crc = zlib.crc32(payload)
-    raw_len = len(payload)
-    flags = 0
-    if compress:
-        payload = zlib.compress(payload, level)
-        flags |= _FLAG_COMPRESSED
+    flags = _FLAG_COMPRESSED if compress else 0
     tmp = path.with_suffix(path.suffix + ".tmp")
+    try:
+        _write_blob_tmp(tmp, obj, flags, compress, level)
+    except BaseException:
+        tmp.unlink(missing_ok=True)  # no orphan debris on failed saves
+        raise
+    tmp.replace(path)
+    return path.stat().st_size
+
+
+def _write_blob_tmp(tmp: Path, obj: Any, flags: int, compress: bool, level: int) -> None:
+    crc = 0
+    raw_len = 0
+    payload_len = 0
     with tmp.open("wb") as fh:
+        fh.write(b"\x00" * _HEADER_LEN)  # placeholder, patched below
+        deflater = zlib.compressobj(level) if compress else None
+
+        def push(raw, *, final: bool = False) -> int:
+            out = b""
+            if deflater is not None:
+                if raw:
+                    out = deflater.compress(raw)
+                if final:
+                    out += deflater.flush()
+            else:
+                out = bytes(raw)
+            fh.write(out)
+            return len(out)
+
+        pending = bytearray()
+        for chunk in iter_encode(obj):
+            crc = zlib.crc32(chunk, crc)
+            raw_len += len(chunk)
+            if len(chunk) >= _WRITE_CHUNK:
+                # Large buffers (tensor data) go straight through without
+                # being staged — no payload-sized copies at any point.
+                if pending:
+                    payload_len += push(pending)
+                    pending = bytearray()
+                payload_len += push(chunk)
+            else:
+                pending += chunk
+                if len(pending) >= _WRITE_CHUNK:
+                    payload_len += push(pending)
+                    pending = bytearray()
+        payload_len += push(pending, final=True)
+        fh.seek(0)
         fh.write(MAGIC)
         fh.write(struct.pack("<I", BLOB_VERSION))
         fh.write(struct.pack("<B", flags))
-        fh.write(struct.pack("<Q", len(payload)))
+        fh.write(struct.pack("<Q", payload_len))
         fh.write(struct.pack("<Q", raw_len))
         fh.write(struct.pack("<I", crc))
-        fh.write(payload)
         fh.flush()
-    tmp.replace(path)
-    return path.stat().st_size
+
+
+def _open_payload(path: Path):
+    """Open a blob file and position the handle at the payload start."""
+    if not path.exists():
+        raise CheckpointFormatError(f"blob file not found: {path}")
+    fh = path.open("rb")
+    try:
+        magic = fh.read(len(MAGIC))
+        if magic != MAGIC:
+            raise CheckpointFormatError(f"{path}: bad magic {magic!r} (not a repro blob)")
+        (version,) = struct.unpack("<I", fh.read(4))
+        if version != BLOB_VERSION:
+            raise CheckpointFormatError(f"{path}: unsupported blob version {version}")
+        (flags,) = struct.unpack("<B", fh.read(1))
+        (payload_len,) = struct.unpack("<Q", fh.read(8))
+        (raw_len,) = struct.unpack("<Q", fh.read(8))
+        (crc,) = struct.unpack("<I", fh.read(4))
+    except Exception:
+        fh.close()
+        raise
+    return fh, flags, payload_len, raw_len, crc
+
+
+def read_blob_selected(
+    path: str | Path,
+    want: Callable[[tuple], bool],
+    *,
+    indexed_filter: Callable[[tuple], "set | None"] | None = None,
+    stop_after: tuple | None = None,
+) -> Any:
+    """Decode a blob, materializing only subtrees the predicate accepts.
+
+    ``want`` receives the key path of every map entry as a tuple (e.g.
+    ``("fp32_flat_groups", 3)``) and returns whether to decode it;
+    rejected subtrees are skipped in the byte stream without building
+    numpy arrays or containers.  ``indexed_filter`` optionally maps a
+    *list* path (e.g. ``("groups",)``) to a set of wanted ``index``
+    values: elements whose leading ``index`` key is not in the set are
+    dropped after that one peek, which avoids walking the token-dense
+    header maps of unwanted groups.  The whole payload still flows
+    through the decompressor sequentially (the format is monolithic by
+    design — paper §5.4), but peak memory is bounded by the *selected*
+    data, not the shard size.  CRC and length checks match
+    :func:`read_blob`.
+
+    ``stop_after`` names a map-entry path after whose completed decode
+    the read returns immediately with the prefix decoded so far —
+    nothing past it is read or decompressed.  The trade-off is explicit:
+    an early-stopped read cannot verify the payload CRC or total length
+    (the unread tail carries them), exactly as if the file ended there.
+    """
+    path = Path(path)
+    fh, flags, payload_len, raw_len, crc = _open_payload(path)
+    with fh:
+        src = _StreamSource(fh, payload_len, bool(flags & _FLAG_COMPRESSED))
+        try:
+            obj = _decode_selected(src, want, (), indexed_filter, stop_after)
+        except _EarlyStop as stop:
+            return stop.value
+        if not src.at_end() or src.consumed != raw_len:
+            raise CheckpointFormatError(
+                f"{path}: payload length mismatch ({src.consumed} vs {raw_len})"
+            )
+        if src.crc != crc:
+            raise CheckpointFormatError(f"{path}: CRC mismatch (corrupt blob)")
+    return obj
 
 
 def read_blob(path: str | Path) -> Any:

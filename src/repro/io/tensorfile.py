@@ -25,18 +25,20 @@ carries a CRC-32 so corruption is detected at read time.
 
 from __future__ import annotations
 
+import io
 import json
+import shutil
 import struct
 import zlib
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from ..numerics.dtypes import DType, pack_bits, unpack_bits
 from ..util.errors import CheckpointFormatError
 
-__all__ = ["write_tensorfile", "TensorFile", "TENSORFILE_VERSION"]
+__all__ = ["write_tensorfile", "TensorFile", "TensorFileWriter", "TENSORFILE_VERSION"]
 
 MAGIC = b"REPROTSR"
 TENSORFILE_VERSION = 1
@@ -45,6 +47,127 @@ _ALIGN = 64
 
 def _aligned(offset: int) -> int:
     return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class TensorFileWriter:
+    """Incremental tensor-file writer: one tensor in memory at a time.
+
+    Small files accumulate their data section in memory and are written
+    in a single pass; once the section crosses ``SPILL_THRESHOLD`` it
+    spills to a side file, and ``close()`` assembles the final container
+    (header first, then a chunked copy of the spill) — so peak memory
+    stays bounded for huge files while ordinary checkpoint saves keep
+    their one-sequential-write cost.  Either way the target is replaced
+    atomically, and feeding the same tensors in the same order produces
+    a byte-identical file to :func:`write_tensorfile`, which is itself
+    implemented on top of this class — the streaming merge paths rely on
+    that equivalence.
+    """
+
+    SPILL_THRESHOLD = 64 << 20  # data sections beyond this go to disk
+
+    def __init__(self, path: str | Path, *, metadata: dict[str, Any] | None = None) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.metadata = dict(metadata or {})
+        self._entries: dict[str, dict[str, Any]] = {}
+        self._data_tmp = self.path.with_suffix(self.path.suffix + ".data.tmp")
+        self._buffer: io.BytesIO | None = io.BytesIO()
+        self._data_fh = None  # opened lazily on spill
+        self._offset = 0
+        self._closed = False
+
+    def _sink(self):
+        if self._buffer is not None and self._offset > self.SPILL_THRESHOLD:
+            self._data_fh = self._data_tmp.open("wb")
+            self._data_fh.write(self._buffer.getvalue())
+            self._buffer = None
+        return self._buffer if self._buffer is not None else self._data_fh
+
+    # -- appends -----------------------------------------------------------
+
+    def _append(self, name: str, raw: bytes, dtype_value: str, shape: Sequence[int]) -> None:
+        if self._closed:
+            raise CheckpointFormatError(f"{self.path}: writer already closed")
+        if name in self._entries:
+            raise CheckpointFormatError(f"{self.path}: duplicate tensor {name!r}")
+        sink = self._sink()
+        aligned_offset = _aligned(self._offset)
+        if aligned_offset != self._offset:
+            sink.write(b"\x00" * (aligned_offset - self._offset))
+            self._offset = aligned_offset
+        self._entries[name] = {
+            "dtype": dtype_value,
+            "shape": list(shape),
+            "offset": self._offset,
+            "nbytes": len(raw),
+            "crc32": zlib.crc32(raw),
+        }
+        sink.write(raw)
+        self._offset += len(raw)
+
+    def add(self, name: str, array: np.ndarray, dtype: DType) -> None:
+        """Quantize a float32 tensor to ``dtype`` and append it."""
+        packed = pack_bits(np.asarray(array, dtype=np.float32), dtype)
+        self._append(name, packed.tobytes(), dtype.value, np.asarray(array).shape)
+
+    def add_raw(self, name: str, raw: bytes, entry: Mapping[str, Any]) -> None:
+        """Append already-packed bytes (a lossless copy between files).
+
+        ``entry`` is the source header entry (as returned by
+        :meth:`TensorFile.read_raw`); dtype and shape are taken from it.
+        """
+        self._append(name, raw, str(entry["dtype"]), list(entry["shape"]))
+
+    # -- finalization ------------------------------------------------------
+
+    def close(self) -> int:
+        """Assemble the final file; returns its total size in bytes."""
+        if self._closed:
+            return self.path.stat().st_size
+        self._closed = True
+        if self._data_fh is not None:
+            self._data_fh.flush()
+            self._data_fh.close()
+        header = json.dumps(
+            {"tensors": self._entries, "metadata": self.metadata}, sort_keys=True
+        ).encode("utf-8")
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        try:
+            with tmp.open("wb") as fh:
+                fh.write(MAGIC)
+                fh.write(struct.pack("<I", TENSORFILE_VERSION))
+                fh.write(struct.pack("<Q", len(header)))
+                fh.write(header)
+                if self._buffer is not None:  # never spilled: single pass
+                    fh.write(self._buffer.getvalue())
+                else:
+                    with self._data_tmp.open("rb") as data:
+                        shutil.copyfileobj(data, fh, 1 << 20)
+                fh.flush()
+            tmp.replace(self.path)
+        finally:
+            if self._data_fh is not None:
+                self._data_tmp.unlink(missing_ok=True)
+        return self.path.stat().st_size
+
+    def abort(self) -> None:
+        """Discard the partial write without producing a file."""
+        if not self._closed:
+            self._closed = True
+            if self._data_fh is not None:
+                self._data_fh.close()
+                self._data_tmp.unlink(missing_ok=True)
+            self._buffer = None
+
+    def __enter__(self) -> "TensorFileWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
 
 
 def write_tensorfile(
@@ -59,49 +182,16 @@ def write_tensorfile(
     ``dtype`` may be a single :class:`DType` for every tensor or a
     per-name mapping.  Returns the total bytes written.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
 
     def dtype_for(name: str) -> DType:
         if isinstance(dtype, DType):
             return dtype
         return dtype[name]
 
-    entries: dict[str, dict[str, Any]] = {}
-    buffers: list[bytes] = []
-    offset = 0
-    for name, array in tensors.items():
-        dt = dtype_for(name)
-        packed = pack_bits(np.asarray(array, dtype=np.float32), dt)
-        raw = packed.tobytes()
-        aligned_offset = _aligned(offset)
-        if aligned_offset != offset:
-            buffers.append(b"\x00" * (aligned_offset - offset))
-            offset = aligned_offset
-        entries[name] = {
-            "dtype": dt.value,
-            "shape": list(array.shape),
-            "offset": offset,
-            "nbytes": len(raw),
-            "crc32": zlib.crc32(raw),
-        }
-        buffers.append(raw)
-        offset += len(raw)
-
-    header = json.dumps(
-        {"tensors": entries, "metadata": metadata or {}}, sort_keys=True
-    ).encode("utf-8")
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    with tmp.open("wb") as fh:
-        fh.write(MAGIC)
-        fh.write(struct.pack("<I", TENSORFILE_VERSION))
-        fh.write(struct.pack("<Q", len(header)))
-        fh.write(header)
-        for buf in buffers:
-            fh.write(buf)
-        fh.flush()
-    tmp.replace(path)
-    return path.stat().st_size
+    with TensorFileWriter(path, metadata=metadata) as writer:
+        for name, array in tensors.items():
+            writer.add(name, array, dtype_for(name))
+    return Path(path).stat().st_size
 
 
 class TensorFile:

@@ -17,7 +17,7 @@ so both scales exercise identical merge logic.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from ..numerics.dtypes import DType

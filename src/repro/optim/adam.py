@@ -11,7 +11,6 @@ from typing import Iterable
 
 import numpy as np
 
-from ..autograd.tensor import Tensor
 from ..util.errors import ConfigError
 from .optimizer import Optimizer
 

@@ -9,9 +9,11 @@ from .parity import ParityStrategy
 from .planner import (
     OPTIMIZER_BYTES_PER_PARAM,
     ComputeCostModel,
+    MergeCostPlan,
     StrategyPlan,
     checkpoint_event_nbytes,
     checkpoint_event_seconds,
+    plan_merge_cost,
     plan_strategy,
 )
 
@@ -22,6 +24,7 @@ __all__ = [
     "DecisionLog",
     "FilteredStrategy",
     "FullStrategy",
+    "MergeCostPlan",
     "OPTIMIZER_BYTES_PER_PARAM",
     "ParityStrategy",
     "StrategyPlan",
@@ -29,6 +32,7 @@ __all__ = [
     "build_strategy",
     "checkpoint_event_nbytes",
     "checkpoint_event_seconds",
+    "plan_merge_cost",
     "plan_strategy",
     "plan_strategy_async",
     "register_strategy",

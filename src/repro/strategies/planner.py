@@ -29,9 +29,11 @@ from .base import CheckpointStrategy
 __all__ = [
     "OPTIMIZER_BYTES_PER_PARAM",
     "ComputeCostModel",
+    "MergeCostPlan",
     "StrategyPlan",
     "checkpoint_event_nbytes",
     "checkpoint_event_seconds",
+    "plan_merge_cost",
     "plan_strategy",
 ]
 
@@ -88,6 +90,90 @@ def checkpoint_event_seconds(
         volume["optim_bytes"], files=world_size, parallel=world_size
     )
     return t_weights + t_optim
+
+
+@dataclass
+class MergeCostPlan:
+    """Analytic LLMTailor merge cost at paper scale (extends Table 7).
+
+    Mirrors the real engine's knobs: ``cache_mode`` fixes the load
+    schedule (one load per checkpoint vs one per layer slot), ``workers``
+    fans rank shards across processes, and ``stream`` switches decode
+    cost from *every* group of every loaded shard to only the groups the
+    plan takes from that load.  I/O is charged through the same
+    :class:`StorageCostModel` the checkpoint planner uses.
+    """
+
+    model: str
+    world_size: int
+    num_checkpoints: int
+    cache_mode: str
+    workers: int
+    stream: bool
+    loads_per_rank: int
+    bytes_loaded: int
+    bytes_decoded: int
+    bytes_written: int
+    seconds: float
+
+    def describe(self) -> dict:
+        return dict(self.__dict__)
+
+
+def plan_merge_cost(
+    config: ModelConfig,
+    *,
+    world_size: int = 8,
+    num_checkpoints: int = 2,
+    cache_mode: str = "per-checkpoint",
+    workers: int = 1,
+    stream: bool = False,
+    storage: StorageCostModel | None = None,
+) -> MergeCostPlan:
+    """Estimate the wall time of merging ``num_checkpoints`` sources.
+
+    Works from the config alone (no files), so the published-model
+    scales in the paper can be planned without instantiating anything.
+    """
+    storage = storage or StorageCostModel()
+    counts = slot_param_counts(config)
+    slots = model_slots(config)
+    num_params = sum(counts[s] for s in slots)
+    optim_bytes = num_params * OPTIMIZER_BYTES_PER_PARAM
+    shard_bytes = optim_bytes // max(1, world_size)
+
+    loads_per_rank = len(slots) if cache_mode == "none" else max(1, num_checkpoints)
+    bytes_loaded_rank = loads_per_rank * shard_bytes
+    # Serial decode materializes every group of every load; streaming only
+    # the groups taken from it — across all loads that sums to one shard.
+    bytes_decoded_rank = shard_bytes if stream else bytes_loaded_rank
+
+    read_s = storage.read_time(bytes_loaded_rank, files=loads_per_rank, parallel=1)
+    decode_s = bytes_decoded_rank / storage.decompress_bandwidth
+    write_s = storage.write_time(shard_bytes, files=1, parallel=1)
+    per_rank_s = read_s + decode_s + write_s
+    waves = -(-world_size // max(1, workers))  # ceil division
+    optim_s = per_rank_s * waves
+
+    # Weight merge: lazy per-tensor copies, read + write of the bf16 file.
+    weight_bytes = num_params * config.storage_dtype.itemsize
+    weights_s = storage.read_time(weight_bytes, files=num_checkpoints) + storage.write_time(
+        weight_bytes, files=1
+    )
+
+    return MergeCostPlan(
+        model=config.name,
+        world_size=world_size,
+        num_checkpoints=num_checkpoints,
+        cache_mode=cache_mode,
+        workers=workers,
+        stream=stream,
+        loads_per_rank=loads_per_rank,
+        bytes_loaded=bytes_loaded_rank * world_size,
+        bytes_decoded=bytes_decoded_rank * world_size,
+        bytes_written=shard_bytes * world_size + weight_bytes,
+        seconds=optim_s + weights_s,
+    )
 
 
 @dataclass

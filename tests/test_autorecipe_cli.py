@@ -113,6 +113,39 @@ class TestCLI:
         rc = main(["merge", "-r", str(recipe_path), "-o", str(tmp_path / "m")])
         assert rc == 0
 
+    def test_merge_command_stream_flags_match_serial(self, parity_trail, tmp_path, capsys):
+        """`merge --stream --workers` emits the identical checkpoint."""
+        recipe = recipe_from_run(parity_trail.storage.root, failure_step=14)
+        recipe_path = tmp_path / "recipe.yaml"
+        recipe.save(recipe_path)
+        assert main(["merge", "-r", str(recipe_path), "-o", str(tmp_path / "s")]) == 0
+        assert main([
+            "merge", "-r", str(recipe_path), "-o", str(tmp_path / "t"),
+            "--stream", "--workers", "4", "--cache-mode", "per-checkpoint",
+        ]) == 0
+        serial, streamed = CheckpointPaths(tmp_path / "s"), CheckpointPaths(tmp_path / "t")
+        assert serial.weights.read_bytes() == streamed.weights.read_bytes()
+        for rank in range(2):
+            assert serial.shard(rank).read_bytes() == streamed.shard(rank).read_bytes()
+
+    def test_auto_merge_stream_flag(self, parity_trail, tmp_path, capsys):
+        out_dir = str(tmp_path / "cli-streamed")
+        rc = main([
+            "auto-merge", str(parity_trail.storage.root),
+            "--failure-step", "14", "-o", out_dir, "--stream", "--workers", "2",
+        ])
+        assert rc == 0
+        assert CheckpointPaths(out_dir).read_manifest()["complete"]
+
+    def test_plan_merge_estimate(self, capsys):
+        rc = main([
+            "plan", "llama3.1-8b", "parity", "--interval", "100", "--steps", "400",
+            "--merge-checkpoints", "2", "--stream", "--workers", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "merge estimate" in out and "bytes decoded" in out
+
     def test_verify_reports_issues_nonzero(self, parity_trail, tmp_path, capsys):
         # A partial checkpoint fails completeness verification.
         rc = main(["verify", str(parity_trail.storage.root / "checkpoint-8")])

@@ -1,0 +1,149 @@
+"""The unified benchmark runner: discovery, normalization, gating."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.runner import (
+    ARTIFACT_SCHEMA,
+    DEFAULT_THRESHOLD,
+    Scenario,
+    compare_artifacts,
+    discover_scenarios,
+    load_artifact,
+    normalize_raw,
+    render_summary,
+)
+
+
+def _raw_doc(means: dict[str, float], version: str = "5.0.0") -> dict:
+    return {
+        "version": version,
+        "machine_info": {"node": "x"},
+        "commit_info": {"id": "abc", "branch": "main", "dirty": False},
+        "benchmarks": [
+            {
+                "name": name,
+                "fullname": f"benchmarks/bench_x.py::{name}",
+                "group": None,
+                "params": {"case": name},
+                "stats": {"min": mean, "max": mean * 1.1, "mean": mean,
+                          "stddev": 0.01, "median": mean, "rounds": 3,
+                          "iterations": 1, "ops": 1.0 / mean},
+            }
+            for name, mean in means.items()
+        ],
+    }
+
+
+class TestDiscovery:
+    def test_discovers_repo_benchmarks(self):
+        scenarios = discover_scenarios("benchmarks")
+        names = [s.name for s in scenarios]
+        assert "table7_loading_time" in names
+        assert "ablation_merge" in names
+        assert names == sorted(names)
+        assert all(s.path.name.startswith("bench_") for s in scenarios)
+
+    def test_only_filter_and_unknown_name(self, tmp_path):
+        (tmp_path / "bench_a.py").write_text("")
+        (tmp_path / "bench_b.py").write_text("")
+        only = discover_scenarios(tmp_path, only=["b"])
+        assert [s.name for s in only] == ["b"]
+        with pytest.raises(SystemExit):
+            discover_scenarios(tmp_path, only=["nope"])
+
+    def test_artifact_name(self):
+        s = Scenario(name="table7", path=__import__("pathlib").Path("x"))
+        assert s.artifact_name == "BENCH_table7.json"
+
+
+class TestNormalization:
+    def test_schema_and_stats_subset(self):
+        artifact = normalize_raw(
+            _raw_doc({"t1": 0.5}), scenario="x", quick=True, commit=None
+        )
+        assert artifact["schema"] == ARTIFACT_SCHEMA
+        assert artifact["scenario"] == "x"
+        assert artifact["quick"] is True
+        assert artifact["env"]["python"]
+        bench = artifact["benchmarks"][0]
+        assert bench["stats"]["mean"] == 0.5
+        assert "ops" not in bench["stats"]  # normalized subset only
+
+    def test_load_artifact_adapts_raw_format(self, tmp_path):
+        raw_path = tmp_path / "BENCH_legacy.json"
+        raw_path.write_text(json.dumps(_raw_doc({"t1": 0.25})))
+        doc = load_artifact(raw_path)
+        assert doc["schema"] == ARTIFACT_SCHEMA
+        assert doc["scenario"] == "legacy"
+        assert doc["commit"] == {"id": "abc", "branch": "main", "dirty": False}
+        assert doc["benchmarks"][0]["stats"]["mean"] == 0.25
+
+    def test_load_artifact_passthrough(self, tmp_path):
+        artifact = normalize_raw(_raw_doc({"t": 1.0}), scenario="s", quick=False)
+        path = tmp_path / "BENCH_s.json"
+        path.write_text(json.dumps(artifact))
+        assert load_artifact(path) == artifact
+
+    def test_render_summary_includes_every_benchmark(self, tmp_path):
+        path = tmp_path / "BENCH_s.json"
+        path.write_text(json.dumps(
+            normalize_raw(_raw_doc({"fast": 0.1, "slow": 2.0}),
+                          scenario="s", quick=False)
+        ))
+        table = render_summary([path])
+        assert "fast" in table and "slow" in table and "s" in table
+
+
+class TestCompare:
+    def _artifacts(self, base_means, cur_means):
+        base = normalize_raw(_raw_doc(base_means), scenario="s", quick=False)
+        cur = normalize_raw(_raw_doc(cur_means), scenario="s", quick=True)
+        return cur, base
+
+    def test_within_threshold_ok(self):
+        cur, base = self._artifacts({"t": 1.0}, {"t": 1.2})
+        rows = compare_artifacts(cur, base, threshold=DEFAULT_THRESHOLD)
+        assert rows[0]["status"] == "ok"
+        assert rows[0]["ratio"] == pytest.approx(1.2)
+
+    def test_regression_flagged(self):
+        cur, base = self._artifacts({"t": 1.0}, {"t": 1.3})
+        rows = compare_artifacts(cur, base, threshold=0.25)
+        assert rows[0]["status"] == "regression"
+
+    def test_improvement_flagged(self):
+        cur, base = self._artifacts({"t": 1.0}, {"t": 0.5})
+        rows = compare_artifacts(cur, base, threshold=0.25)
+        assert rows[0]["status"] == "improvement"
+
+    def test_invalid_mean_surfaces_instead_of_vanishing(self):
+        cur, base = self._artifacts({"t": 1.0}, {"t": 1.0})
+        cur["benchmarks"][0]["stats"]["mean"] = None  # broken stat collection
+        cur["benchmarks"][0]["stats"]["min"] = None
+        rows = compare_artifacts(cur, base, threshold=0.25)
+        assert rows[0]["status"] == "invalid"
+        assert rows[0]["baseline"] == 1.0 and rows[0]["current"] is None
+
+    def test_noise_floor_skips_tiny_baselines(self):
+        cur, base = self._artifacts({"t": 0.0001}, {"t": 0.001})
+        rows = compare_artifacts(cur, base, threshold=0.25, min_seconds=0.005)
+        assert rows[0]["status"] == "skipped"
+
+    def test_new_and_missing_never_gate(self):
+        cur, base = self._artifacts({"old": 1.0}, {"old": 1.0, "added": 9.0})
+        # "added" only exists in current; "gone" only in baseline.
+        cur["benchmarks"][0]["fullname"] = "benchmarks/bench_x.py::old"
+        base_doc = normalize_raw(_raw_doc({"old": 1.0, "gone": 2.0}),
+                                 scenario="s", quick=False)
+        cur_doc = normalize_raw(_raw_doc({"old": 1.0, "added": 3.0}),
+                                scenario="s", quick=False)
+        rows = compare_artifacts(cur_doc, base_doc, threshold=0.25)
+        statuses = {r["fullname"].split("::")[-1]: r["status"] for r in rows}
+        assert statuses["added"] == "new"
+        assert statuses["gone"] == "missing"
+        assert statuses["old"] == "ok"
+        assert not any(r["status"] == "regression" for r in rows)

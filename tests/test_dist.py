@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 
 from repro.core.groups import tailored_param_groups
 from repro.dist import GroupPartition, SimComm, ZeroStage3Engine, flatten_arrays, unflatten_array
-from repro.nn import build_model, get_config
+from repro.nn import build_model
 from repro.util.errors import CheckpointError, DistError, ShapeError
 
 from conftest import make_engine, train_steps

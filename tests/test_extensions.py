@@ -13,7 +13,6 @@ from repro.evalbench import generate, generate_text, greedy_continuations
 from repro.io import Storage, save_checkpoint
 from repro.nn import build_model, get_config
 from repro.strategies import (
-    AsyncCheckpointModel,
     FullStrategy,
     ParityStrategy,
     plan_strategy,

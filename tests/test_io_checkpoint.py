@@ -18,7 +18,7 @@ from repro.io import (
     save_checkpoint,
     write_latest,
 )
-from repro.nn import get_config, model_slots
+from repro.nn import model_slots
 from repro.util.errors import CheckpointError
 
 from conftest import make_engine, train_steps

@@ -7,7 +7,6 @@ import pytest
 
 from repro.autograd import Tensor, check_gradients
 from repro.nn import (
-    CausalLM,
     Embedding,
     Linear,
     ModelConfig,

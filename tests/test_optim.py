@@ -5,8 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.autograd import Tensor
-from repro.nn import Parameter, build_model, get_config
+from repro.nn import Parameter, build_model
 from repro.optim import (
     SGD,
     Adam,

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.nn import build_model, get_config, model_slots
@@ -14,6 +13,7 @@ from repro.strategies import (
     UpdateMagnitudeStrategy,
     build_strategy,
     checkpoint_event_nbytes,
+    plan_merge_cost,
     plan_strategy,
 )
 from repro.util.errors import ConfigError
@@ -226,3 +226,38 @@ class TestPlanner:
         for e in plan.events:
             assert e["total_bytes"] == e["weight_bytes"] + e["optim_bytes"]
             assert e["num_slots"] == len(e["slots"])
+
+
+class TestMergeCostPlan:
+    """The analytic merge estimator mirrors the real engine's knobs."""
+
+    def test_interleaved_loads_per_slot(self):
+        config = get_config("llama3.1-8b")
+        cached = plan_merge_cost(config, num_checkpoints=2)
+        interleaved = plan_merge_cost(config, num_checkpoints=2, cache_mode="none")
+        assert cached.loads_per_rank == 2
+        assert interleaved.loads_per_rank == config.num_model_slots
+        assert interleaved.bytes_loaded > cached.bytes_loaded
+        assert interleaved.seconds > cached.seconds
+
+    def test_stream_cuts_decode_not_io(self):
+        config = get_config("llama3.1-8b")
+        serial = plan_merge_cost(config, num_checkpoints=2, cache_mode="none")
+        stream = plan_merge_cost(config, num_checkpoints=2, cache_mode="none", stream=True)
+        assert stream.bytes_loaded == serial.bytes_loaded  # same schedule
+        assert stream.bytes_decoded < serial.bytes_decoded
+        assert stream.seconds < serial.seconds
+
+    def test_workers_divide_rank_waves(self):
+        config = get_config("llama3.1-8b")
+        one = plan_merge_cost(config, world_size=8, num_checkpoints=2, workers=1)
+        four = plan_merge_cost(config, world_size=8, num_checkpoints=2, workers=4)
+        eight = plan_merge_cost(config, world_size=8, num_checkpoints=2, workers=8)
+        assert one.seconds > four.seconds > eight.seconds
+
+    def test_describe_round_trips(self):
+        config = get_config("llama3.1-8b")
+        plan = plan_merge_cost(config, stream=True, workers=2)
+        doc = plan.describe()
+        assert doc["model"] == config.name
+        assert doc["stream"] is True and doc["workers"] == 2

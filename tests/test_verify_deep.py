@@ -8,7 +8,6 @@ import pytest
 from repro.core import LLMTailor, MergeRecipe, verify_checkpoint
 from repro.io import Storage, read_blob, save_checkpoint, write_blob, write_tensorfile
 from repro.io.tensorfile import TensorFile
-from repro.nn import get_config
 
 from conftest import make_engine, train_steps
 
