@@ -452,6 +452,19 @@ def _cmd_compare(args) -> int:
     current_dir = Path(args.current)
     only = _split_only(args.only)
     if only is not None:
+        # A typo'd scenario name must fail the gate loudly: without this
+        # check it would fall through to per-name "no baseline" errors —
+        # or, worse, silently compare stale artifacts left behind by a
+        # retired scenario.  Validation needs the bench directory, so a
+        # missing one is equally fatal here: skipping it would reopen
+        # the silent-gating hole from the wrong working directory.
+        bench_dir = Path(args.bench_dir)
+        if not bench_dir.is_dir():
+            raise SystemExit(
+                f"bench dir {bench_dir} not found; cannot validate --only "
+                "scenario names (pass --bench-dir or run from the repo root)"
+            )
+        discover_scenarios(bench_dir, only=only)
         names = only
     else:
         # Bare compare gates the intersection: baseline-only names (e.g.

@@ -6,6 +6,9 @@ Mirrors the paper artifact's workflow:
   checkpoint from a YAML recipe;
 * ``llmtailor auto-merge RUN_DIR --failure-step N -o OUT`` — scan a
   partial-checkpoint trail and merge automatically (workflow T2);
+* ``llmtailor reshard CKPT_DIR -o OUT -w M`` — elastically re-partition
+  a complete checkpoint's optimizer shards to a new world size (N→M,
+  streaming by default);
 * ``llmtailor verify CKPT_DIR`` — structural verification;
 * ``llmtailor describe CKPT_DIR`` — sizes and slot coverage;
 * ``llmtailor groups MODEL`` — print the tailored 2L+x group layout
@@ -67,6 +70,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-mode", choices=("per-checkpoint", "none"), default="per-checkpoint"
     )
 
+    p_reshard = sub.add_parser(
+        "reshard", help="reshard a complete checkpoint to a new world size (N -> M)"
+    )
+    p_reshard.add_argument("checkpoint", help="source checkpoint directory")
+    p_reshard.add_argument("-o", "--output", required=True,
+                           help="output checkpoint directory")
+    p_reshard.add_argument("-w", "--target-world-size", type=int, required=True,
+                           help="number of ranks the output should have")
+    p_reshard.add_argument("--workers", type=int, default=1,
+                           help="parallel target-rank transfers")
+    p_reshard.add_argument("--stream", action=argparse.BooleanOptionalAction,
+                           default=True,
+                           help="streaming engine (bounded peak memory; default on)")
+
     p_verify = sub.add_parser("verify", help="verify a checkpoint structurally")
     p_verify.add_argument("checkpoint", help="checkpoint directory")
 
@@ -86,10 +103,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="model an overlapped (CheckFreq-style) writer")
     p_plan.add_argument("--merge-checkpoints", type=int, default=None, metavar="N",
                         help="also estimate merging N source checkpoints")
+    p_plan.add_argument("--reshard-to", type=int, default=None, metavar="M",
+                        help="also estimate resharding a --world-size checkpoint "
+                             "to M ranks")
     p_plan.add_argument("--workers", type=int, default=1,
-                        help="merge estimate: parallel workers")
-    p_plan.add_argument("--stream", action="store_true",
-                        help="merge estimate: streaming engine")
+                        help="merge/reshard estimate: parallel workers")
+    # Default None so each estimate can apply its engine's own default:
+    # merge is serial unless --stream, reshard streams unless --no-stream
+    # (matching the `merge` and `reshard` commands themselves).
+    p_plan.add_argument("--stream", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="merge/reshard estimate: streaming engine")
     p_plan.add_argument("--cache-mode", choices=("per-checkpoint", "none"),
                         default="per-checkpoint", help="merge estimate: load policy")
 
@@ -140,6 +164,20 @@ def _cmd_auto_merge(args) -> int:
     )
     result = LLMTailor(recipe).merge(output=args.output)
     print(result.summary())
+    return 0
+
+
+def _cmd_reshard(args) -> int:
+    from .dist.reshard import reshard_checkpoint
+
+    report = reshard_checkpoint(
+        args.checkpoint,
+        args.output,
+        args.target_world_size,
+        stream=args.stream,
+        workers=args.workers,
+    )
+    print(report.summary())
     return 0
 
 
@@ -202,7 +240,7 @@ def _cmd_plan(args) -> int:
             num_checkpoints=args.merge_checkpoints,
             cache_mode=args.cache_mode,
             workers=args.workers,
-            stream=args.stream,
+            stream=bool(args.stream),
         )
         mode = "stream" if merge.stream else "serial"
         print(
@@ -213,6 +251,26 @@ def _cmd_plan(args) -> int:
         print(f"  bytes loaded           : {format_bytes(merge.bytes_loaded)}")
         print(f"  bytes decoded          : {format_bytes(merge.bytes_decoded)}")
         print(f"  merge time             : {merge.seconds:.1f}s simulated")
+    if args.reshard_to is not None:
+        from .strategies import plan_reshard_cost
+
+        reshard = plan_reshard_cost(
+            config,
+            source_world_size=args.world_size,
+            target_world_size=args.reshard_to,
+            workers=args.workers,
+            stream=args.stream if args.stream is not None else True,
+        )
+        mode = "stream" if reshard.stream else "materialize"
+        print(
+            f"reshard estimate ({reshard.source_world_size} -> "
+            f"{reshard.target_world_size} ranks, {mode}, workers={reshard.workers}):"
+        )
+        print(f"  shard loads            : {reshard.loads}")
+        print(f"  bytes loaded           : {format_bytes(reshard.bytes_loaded)}")
+        print(f"  bytes written          : {format_bytes(reshard.bytes_written)}")
+        print(f"  peak memory            : {format_bytes(reshard.peak_bytes)}")
+        print(f"  reshard time           : {reshard.seconds:.1f}s simulated")
     return 0
 
 
@@ -260,6 +318,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "merge": _cmd_merge,
         "auto-merge": _cmd_auto_merge,
+        "reshard": _cmd_reshard,
         "verify": _cmd_verify,
         "describe": _cmd_describe,
         "groups": _cmd_groups,

@@ -39,14 +39,24 @@ from typing import Any
 
 from ..dist.zero import SHARD_FORMAT_VERSION, group_payload_crc
 from ..io.blobfile import read_blob, read_blob_selected, write_blob
-from ..io.layout import CheckpointPaths
+from ..io.layout import CheckpointPaths, shard_filename
 from ..nn.config import ModelConfig
 from ..nn.slots import model_slots
 from ..util.errors import MergeError
 from ..util.timer import WallTimer
 from .groups import groups_for_slot
 
-__all__ = ["RankMergeStats", "merge_optimizer_shards", "merge_rank_shard"]
+__all__ = ["RankMergeStats", "merge_optimizer_shards", "merge_rank_shard", "worker_budget"]
+
+
+def worker_budget(workers: int, tasks: int) -> int:
+    """Clamp a requested fan-out to the task count and machine size.
+
+    The single worker-pool policy shared by the merge engine and the
+    resharder: never more workers than independent tasks, never
+    oversubscribe a small machine, never less than one.
+    """
+    return max(1, min(workers, tasks, os.cpu_count() or 1))
 
 
 @dataclass
@@ -99,7 +109,7 @@ class _ShardCache:
 def _shard_path(ckpt_dir: str, rank: int) -> Path:
     cp = CheckpointPaths(ckpt_dir)
     step = cp.step
-    return Path(ckpt_dir) / f"global_step{step}" / f"zero_pp_rank_{rank}_mp_rank_00_optim_states.blob"
+    return Path(ckpt_dir) / f"global_step{step}" / shard_filename(rank)
 
 
 def _validate_shard(shard: dict, spec: dict[str, Any], source_dir: str, rank: int) -> None:
@@ -243,7 +253,7 @@ def _merge_rank_shard_streaming(spec: dict[str, Any], rank: int) -> dict[str, An
     # rank-level process pool is active, ``stream_threads`` carries this
     # rank's share of the worker budget so the levels do not multiply.
     budget = int(spec.get("stream_threads", spec.get("workers", 1)))
-    workers = min(budget, len(tasks), os.cpu_count() or 1)
+    workers = worker_budget(budget, len(tasks))
     if workers > 1:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             loads = list(
@@ -348,7 +358,7 @@ def _write_merged_shard(
 
     out_dir = Path(spec["output"]) / f"global_step{spec['global_step']}"
     out_dir.mkdir(parents=True, exist_ok=True)
-    out_path = out_dir / f"zero_pp_rank_{rank}_mp_rank_00_optim_states.blob"
+    out_path = out_dir / shard_filename(rank)
     timer = WallTimer()
     with timer:
         stats.bytes_written = write_blob(out_path, merged)
@@ -370,7 +380,7 @@ def merge_optimizer_shards(
     scheduling).
     """
     results: list[dict[str, Any]]
-    max_workers = min(workers, world_size, os.cpu_count() or 1)
+    max_workers = worker_budget(workers, world_size)
     # Split the worker budget across the two levels of parallelism: with
     # P rank processes in flight, each streaming rank gets workers/P
     # threads, so total concurrency never exceeds the requested fan-out.

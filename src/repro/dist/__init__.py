@@ -8,20 +8,35 @@ in a single process:
 * :class:`GroupPartition` (+ :func:`flatten_arrays` /
   :func:`unflatten_array`) — the flatten/pad/shard arithmetic;
 * :class:`ZeroStage3Engine` — per-rank AdamW over sharded fp32 masters,
-  emitting/consuming the per-rank optimizer shard files LLMTailor merges.
+  emitting/consuming the per-rank optimizer shard files LLMTailor merges;
+* :func:`reshard_checkpoint` / :func:`reshard_state_dicts` — elastic
+  N→M re-partitioning of those shard files (streaming, bounded memory).
 """
 
 from .comm import CommStats, SimComm
 from .partition import GroupPartition, flatten_arrays, unflatten_array
 from .zero import SHARD_FORMAT_VERSION, GroupMeta, ZeroStage3Engine
 
+# Imported last: reshard pulls in repro.io, which itself imports the
+# modules above from this (then partially initialized) package.
+from .reshard import (  # noqa: E402
+    ReshardReport,
+    reshard_checkpoint,
+    reshard_rank_state_dict,
+    reshard_state_dicts,
+)
+
 __all__ = [
     "CommStats",
     "GroupMeta",
     "GroupPartition",
+    "ReshardReport",
     "SHARD_FORMAT_VERSION",
     "SimComm",
     "ZeroStage3Engine",
     "flatten_arrays",
     "unflatten_array",
+    "reshard_checkpoint",
+    "reshard_rank_state_dict",
+    "reshard_state_dicts",
 ]

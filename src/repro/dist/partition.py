@@ -82,6 +82,36 @@ class GroupPartition:
             raise DistError(f"rank {rank} out of range for world_size {self.world_size}")
         return rank * self.shard_numel, (rank + 1) * self.shard_numel
 
+    def master_bounds(self, rank: int) -> tuple[int, int]:
+        """Rank's half-open slice of the *unpadded* master vector.
+
+        Clipped to ``numel``: a tail rank whose slice is pure padding gets
+        an empty range.  This is the coordinate system two partitions of
+        the same group share, which is what makes N→M resharding a set of
+        interval intersections.
+        """
+        start, stop = self.bounds(rank)
+        return min(start, self.numel), min(stop, self.numel)
+
+    def overlapping_ranks(self, rank: int, other: "GroupPartition") -> list[int]:
+        """Ranks of ``other`` whose master slices intersect this rank's.
+
+        The partitions must describe the same group (equal ``numel``).
+        Slices are contiguous and sorted, so the result is a consecutive
+        run — for equal partitions of P elements over N and M ranks there
+        are ``N + M - gcd(N, M)`` intersecting pairs in total.
+        """
+        if other.numel != self.numel:
+            raise DistError(
+                f"cannot intersect partitions of {self.numel} and {other.numel} elements"
+            )
+        lo, hi = self.master_bounds(rank)
+        if lo >= hi or other.shard_numel == 0:
+            return []
+        first = lo // other.shard_numel
+        last = (hi - 1) // other.shard_numel
+        return list(range(first, min(last, other.world_size - 1) + 1))
+
     def pad(self, flat: np.ndarray) -> np.ndarray:
         """Zero-pad a flat ``numel`` vector to ``padded_numel`` (a copy)."""
         flat = np.asarray(flat)

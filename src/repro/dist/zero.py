@@ -280,10 +280,16 @@ class ZeroStage3Engine:
             for g, meta in enumerate(self.group_meta)
             if slot_set is None or meta.slot in slot_set
         ]
-        opt = self.optimizers[rank]
         hyperparams = []
         for g in selected:
-            group = opt.param_groups[g]
+            # Hyper-parameters come from the scheduler-driven *reference*
+            # optimizer for every rank: ranks >= 1 only mirror its LR at
+            # the top of the next step, so their own copy can be one
+            # schedule tick stale at save time.  Emitting the reference
+            # makes shards canonical (all ranks agree), which is what
+            # lets the elastic resharder re-partition hyperparams
+            # losslessly at any N->M.
+            group = self.reference_optimizer.param_groups[g]
             hyperparams.append(
                 {
                     "index": g,
@@ -323,6 +329,7 @@ class ZeroStage3Engine:
         require_full: bool = True,
         *,
         materialize: bool = True,
+        peers: "list[dict[str, Any]] | None" = None,
     ) -> None:
         """Restore one rank's shard payload (inverse of :meth:`rank_state_dict`).
 
@@ -332,6 +339,13 @@ class ZeroStage3Engine:
         every group must be present; partial payloads are only loadable
         when the caller explicitly opts in (the merge tool assembles
         full ones instead).
+
+        A shard written at a *different* world size is accepted when
+        ``peers`` carries the complete set of source rank payloads (rank
+        order): the engine reshards them N→world_size in memory via
+        :func:`repro.dist.reshard.reshard_state_dicts` and loads this
+        rank's slice.  Without ``peers`` a mismatch is an error — one
+        mismatched shard alone cannot be re-partitioned.
 
         ``materialize=False`` skips rewriting the model weights from the
         masters — callers restoring every rank in a loop (the checkpoint
@@ -346,9 +360,17 @@ class ZeroStage3Engine:
                 f"(engine speaks {SHARD_FORMAT_VERSION})"
             )
         if int(state.get("world_size", -1)) != self.world_size:
-            raise CheckpointError(
-                f"shard world_size {state.get('world_size')} != engine "
-                f"world_size {self.world_size}"
+            if peers is None:
+                raise CheckpointError(
+                    f"shard world_size {state.get('world_size')} != engine "
+                    f"world_size {self.world_size} (pass peers=<all source rank "
+                    "payloads> to reshard elastically, or run `llmtailor reshard`)"
+                )
+            from .reshard import reshard_rank_state_dict  # imported after this module
+
+            resharded = reshard_rank_state_dict(list(peers), self.world_size, rank)
+            return self.load_rank_state_dict(
+                rank, resharded, require_full, materialize=materialize
             )
         if int(state.get("rank", -1)) != rank:
             raise CheckpointError(

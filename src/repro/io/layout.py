@@ -34,10 +34,21 @@ __all__ = [
     "checkpoint_dir",
     "list_checkpoint_steps",
     "read_latest",
+    "shard_filename",
     "write_latest",
     "MANIFEST_NAME",
     "WEIGHTS_NAME",
 ]
+
+
+def shard_filename(rank: "int | str") -> str:
+    """The on-disk name of one rank's optimizer shard (DeepSpeed layout).
+
+    Accepts ``"*"`` for glob patterns.  The single owner of the format —
+    the merge tool and the resharder build shard paths without a
+    manifest, so this lives outside :class:`CheckpointPaths`.
+    """
+    return f"zero_pp_rank_{rank}_mp_rank_00_optim_states.blob"
 
 WEIGHTS_NAME = "model.tsr"
 CONFIG_NAME = "config.json"
@@ -119,7 +130,7 @@ class CheckpointPaths:
         return self.dir / f"global_step{self.step}"
 
     def shard(self, rank: int) -> Path:
-        return self.optim_dir / f"zero_pp_rank_{rank}_mp_rank_00_optim_states.blob"
+        return self.optim_dir / shard_filename(rank)
 
     def shard_paths(self, world_size: int) -> list[Path]:
         return [self.shard(r) for r in range(world_size)]

@@ -3,6 +3,11 @@
 Only *complete* checkpoints are resumable — a partial checkpoint must
 first be merged into a Frankenstein checkpoint by LLMTailor.  The reader
 enforces this via the manifest and gives an actionable error otherwise.
+
+Resume is *elastic*: a checkpoint written at world size N loads into an
+engine running at world size M — the reader reshards the optimizer
+payloads N→M in memory (:mod:`repro.dist.reshard`) before handing them
+to the engine.
 """
 
 from __future__ import annotations
@@ -60,11 +65,12 @@ def load_checkpoint(
             f"checkpoint was written for model {manifest.get('model_config')!r}, "
             f"attempting to load into {config.name!r}"
         )
-    if manifest.get("world_size") != engine.world_size:
+    if "world_size" not in manifest:
         raise CheckpointError(
-            f"checkpoint world_size {manifest.get('world_size')} != engine "
-            f"world_size {engine.world_size}"
+            f"{paths.dir} manifest carries no world_size; the checkpoint "
+            "cannot be validated against the engine"
         )
+    source_world = int(manifest["world_size"])
 
     # Model weights (informational only for training — the fp32 masters in
     # the shards are authoritative — but loaded for inference parity).
@@ -73,23 +79,44 @@ def load_checkpoint(
     if storage is not None:
         storage.charge_read(weights.total_nbytes(), files=1, category="checkpoint_read.weights")
 
-    # Optimizer shards: full files, one per rank (no lazy load).
+    # Optimizer shards: full files, one per rank (no lazy load).  When
+    # the checkpoint's world size differs from the engine's, reshard the
+    # payloads in memory first (elastic resume).
     shard_bytes = 0
-    for rank in range(engine.world_size):
-        shard_path = paths.shard(rank)
-        shard = read_blob(shard_path)
+    if source_world != engine.world_size:
+        from ..dist.reshard import reshard_state_dicts  # avoid import cycle
+
+        sources = []
+        for rank in range(source_world):
+            shard_path = paths.shard(rank)
+            sources.append(read_blob(shard_path))
+            shard_bytes += shard_path.stat().st_size
+        # consume=True drains the source arrays as they are re-sliced,
+        # so peak memory stays near one optimizer state, not two.
+        shards = iter(reshard_state_dicts(sources, engine.world_size, consume=True))
+        del sources
+    else:
+        def _read_shards():
+            nonlocal shard_bytes
+            for rank in range(engine.world_size):
+                shard_path = paths.shard(rank)
+                shard = read_blob(shard_path)  # one shard resident at a time
+                shard_bytes += shard_path.stat().st_size
+                yield shard
+
+        shards = _read_shards()
+    for rank, shard in enumerate(shards):
         # Re-materializing weights gathers every rank's shard, so defer
         # it until the last rank is in place instead of doing it N times.
         engine.load_rank_state_dict(
             rank, shard, require_full=True,
             materialize=rank == engine.world_size - 1,
         )
-        shard_bytes += shard_path.stat().st_size
     if storage is not None:
         storage.charge_read(
             shard_bytes,
-            files=engine.world_size,
-            parallel=engine.world_size,
+            files=source_world,
+            parallel=source_world,
             decompress=True,
             category="checkpoint_read.optimizer",
         )

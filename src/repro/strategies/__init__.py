@@ -10,10 +10,12 @@ from .planner import (
     OPTIMIZER_BYTES_PER_PARAM,
     ComputeCostModel,
     MergeCostPlan,
+    ReshardCostPlan,
     StrategyPlan,
     checkpoint_event_nbytes,
     checkpoint_event_seconds,
     plan_merge_cost,
+    plan_reshard_cost,
     plan_strategy,
 )
 
@@ -27,12 +29,14 @@ __all__ = [
     "MergeCostPlan",
     "OPTIMIZER_BYTES_PER_PARAM",
     "ParityStrategy",
+    "ReshardCostPlan",
     "StrategyPlan",
     "UpdateMagnitudeStrategy",
     "build_strategy",
     "checkpoint_event_nbytes",
     "checkpoint_event_seconds",
     "plan_merge_cost",
+    "plan_reshard_cost",
     "plan_strategy",
     "plan_strategy_async",
     "register_strategy",

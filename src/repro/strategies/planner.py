@@ -18,6 +18,7 @@ P-parameter decoder, divided by an effective per-GPU throughput.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..io.storage import StorageCostModel
@@ -30,10 +31,12 @@ __all__ = [
     "OPTIMIZER_BYTES_PER_PARAM",
     "ComputeCostModel",
     "MergeCostPlan",
+    "ReshardCostPlan",
     "StrategyPlan",
     "checkpoint_event_nbytes",
     "checkpoint_event_seconds",
     "plan_merge_cost",
+    "plan_reshard_cost",
     "plan_strategy",
 ]
 
@@ -173,6 +176,91 @@ def plan_merge_cost(
         bytes_decoded=bytes_decoded_rank * world_size,
         bytes_written=shard_bytes * world_size + weight_bytes,
         seconds=optim_s + weights_s,
+    )
+
+
+@dataclass
+class ReshardCostPlan:
+    """Analytic elastic-reshard cost at paper scale.
+
+    Mirrors :func:`repro.dist.reshard.reshard_checkpoint`'s knobs.  The
+    streaming engine's load count follows from interval intersections of
+    two even partitions — ``N + M - gcd(N, M)`` group-transfer reads —
+    plus one metadata pass over source rank 0, fanned over ``workers``
+    target-rank transfers.  ``peak_bytes`` is the memory guarantee, not
+    a time input: one target shard plus one source shard *per concurrent
+    worker* when streaming, the whole optimizer state (plus one
+    target-rank copy) when materializing.
+    """
+
+    model: str
+    source_world_size: int
+    target_world_size: int
+    stream: bool
+    workers: int
+    loads: int
+    bytes_loaded: int
+    bytes_written: int
+    peak_bytes: int
+    seconds: float
+
+    def describe(self) -> dict:
+        return dict(self.__dict__)
+
+
+def plan_reshard_cost(
+    config: ModelConfig,
+    *,
+    source_world_size: int = 8,
+    target_world_size: int = 1,
+    workers: int = 1,
+    stream: bool = True,
+    storage: StorageCostModel | None = None,
+) -> ReshardCostPlan:
+    """Estimate the wall time and peak memory of an N→M reshard.
+
+    Works from the config alone (no files), like :func:`plan_merge_cost`,
+    so published-model scales can be planned without instantiating
+    anything.  Weights are not charged: the consolidated weight file is
+    world-size independent and carried over verbatim.
+    """
+    if source_world_size < 1 or target_world_size < 1:
+        raise ValueError("world sizes must be >= 1")
+    storage = storage or StorageCostModel()
+    counts = slot_param_counts(config)
+    num_params = sum(counts[s] for s in model_slots(config))
+    optim_bytes = num_params * OPTIMIZER_BYTES_PER_PARAM
+    N, M = int(source_world_size), int(target_world_size)
+    src_shard = optim_bytes // N
+    dst_shard = optim_bytes // M
+
+    parallel = min(workers, M)
+    if stream:
+        # One selective read per intersecting (target, source) rank
+        # pair, plus the headers/hyperparams metadata pass over rank 0.
+        loads = N + M - math.gcd(N, M) + 1
+        # Each concurrent target-rank transfer holds its own target
+        # shard plus one source shard's selected groups.
+        peak_bytes = parallel * (dst_shard + src_shard)
+    else:
+        loads = N
+        peak_bytes = optim_bytes + dst_shard
+    bytes_loaded = loads * src_shard
+    read_s = storage.read_time(
+        bytes_loaded, files=loads, parallel=parallel, decompress=True
+    )
+    write_s = storage.write_time(optim_bytes, files=M, parallel=parallel)
+    return ReshardCostPlan(
+        model=config.name,
+        source_world_size=N,
+        target_world_size=M,
+        stream=bool(stream),
+        workers=int(workers),
+        loads=loads,
+        bytes_loaded=bytes_loaded,
+        bytes_written=dst_shard * M,
+        peak_bytes=peak_bytes,
+        seconds=read_s + write_s,
     )
 
 

@@ -10,7 +10,11 @@ Responsibilities:
 * write full/partial checkpoints per the strategy, with simulated-clock
   charging for compute and I/O;
 * resume from any *complete* checkpoint (including LLMTailor merges),
-  and auto-recover from partial trails via :meth:`auto_recover`.
+  and auto-recover from partial trails via :meth:`auto_recover`; resume
+  is *elastic* — a run configured with ``world_size=M`` loads a
+  checkpoint written at any world size N (the reader reshards the
+  optimizer payloads N→M via :mod:`repro.dist.reshard`), and the
+  world-size-invariant training math keeps the loss curve unchanged.
 """
 
 from __future__ import annotations
@@ -246,7 +250,13 @@ class Trainer:
     # -- resume / recovery -----------------------------------------------------------------------------
 
     def resume_from(self, checkpoint: str | Path | CheckpointPaths) -> int:
-        """Load a complete checkpoint and position the trainer after it."""
+        """Load a complete checkpoint and position the trainer after it.
+
+        The checkpoint's world size need not match this run's: a
+        mismatch is resharded in memory during the load (elastic
+        resume), so shrinking or growing the simulated fleet between
+        runs needs no separate conversion step.
+        """
         paths = checkpoint if isinstance(checkpoint, CheckpointPaths) else CheckpointPaths(checkpoint)
         loaded = load_checkpoint(
             paths,

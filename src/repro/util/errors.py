@@ -32,6 +32,10 @@ class MergeError(ReproError):
     """Checkpoint merging could not produce a consistent result."""
 
 
+class ReshardError(CheckpointError):
+    """Elastic N→M resharding could not produce a consistent result."""
+
+
 class ShapeError(ReproError):
     """Tensor shapes are incompatible for the requested operation."""
 

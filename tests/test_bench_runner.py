@@ -147,3 +147,64 @@ class TestCompare:
         assert statuses["gone"] == "missing"
         assert statuses["old"] == "ok"
         assert not any(r["status"] == "regression" for r in rows)
+
+
+class TestCompareCli:
+    """The compare subcommand itself: --only must never gate on nothing."""
+
+    def _write_artifact(self, directory, scenario, means):
+        directory.mkdir(parents=True, exist_ok=True)
+        doc = normalize_raw(_raw_doc(means), scenario=scenario, quick=False)
+        (directory / f"BENCH_{scenario}.json").write_text(json.dumps(doc))
+
+    def test_unknown_only_name_fails_loudly(self, tmp_path):
+        """A typo'd --only scenario aborts even when stale artifacts match.
+
+        Stale BENCH_<typo>.json files on both sides would otherwise be
+        compared "successfully" while the real scenario goes ungated.
+        """
+        from repro.bench.runner import main
+
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        (bench_dir / "bench_real.py").write_text("")
+        # Stale artifacts for a scenario that no longer exists:
+        self._write_artifact(tmp_path / "base", "retired", {"t": 1.0})
+        self._write_artifact(tmp_path / "cur", "retired", {"t": 1.0})
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main([
+                "--bench-dir", str(bench_dir), "compare",
+                "--baseline", str(tmp_path / "base"),
+                "--current", str(tmp_path / "cur"),
+                "--only", "retired",
+            ])
+
+    def test_only_with_missing_bench_dir_fails_loudly(self, tmp_path):
+        """No bench dir means --only names cannot be validated: abort."""
+        from repro.bench.runner import main
+
+        self._write_artifact(tmp_path / "base", "real", {"t": 1.0})
+        self._write_artifact(tmp_path / "cur", "real", {"t": 1.0})
+        with pytest.raises(SystemExit, match="bench dir"):
+            main([
+                "--bench-dir", str(tmp_path / "nowhere"), "compare",
+                "--baseline", str(tmp_path / "base"),
+                "--current", str(tmp_path / "cur"),
+                "--only", "real",
+            ])
+
+    def test_known_only_name_still_gates(self, tmp_path):
+        from repro.bench.runner import main
+
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        (bench_dir / "bench_real.py").write_text("")
+        self._write_artifact(tmp_path / "base", "real", {"t": 1.0})
+        self._write_artifact(tmp_path / "cur", "real", {"t": 1.0})
+        rc = main([
+            "--bench-dir", str(bench_dir), "compare",
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"),
+            "--only", "real",
+        ])
+        assert rc == 0

@@ -177,15 +177,24 @@ class TestSaveLoad:
         with pytest.raises(CheckpointError, match="LLMTailor"):
             load_checkpoint(paths, model=model, config=untied_config, engine=engine)
 
-    def test_wrong_world_size_rejected(self, tmp_path, untied_config):
+    def test_mismatched_world_size_resharded_on_load(self, tmp_path, untied_config):
+        """Elastic resume: a ws-2 checkpoint loads into a ws-3 engine.
+
+        (Before the resharder existed this combination was rejected; it
+        is now re-partitioned in memory during the load.)
+        """
+        import numpy as np
+
         model, engine = make_engine(untied_config, world_size=2)
         storage = Storage(tmp_path)
         paths = save_checkpoint(
             storage, step=1, model=model, config=untied_config, engine=engine, trainer_state={}
         )
-        model3, engine3 = make_engine(untied_config, world_size=3)
-        with pytest.raises(CheckpointError, match="world_size"):
-            load_checkpoint(paths, model=model3, config=untied_config, engine=engine3)
+        model3, engine3 = make_engine(untied_config, world_size=3, seed=9)
+        loaded = load_checkpoint(paths, model=model3, config=untied_config, engine=engine3)
+        assert loaded.step == 1
+        for name, value in engine.master_state_dict().items():
+            np.testing.assert_array_equal(value, engine3.master_state_dict()[name])
 
     def test_wrong_model_config_rejected(self, tmp_path, untied_config, tied_config):
         model, engine = make_engine(untied_config)
