@@ -40,7 +40,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     def backward(g: np.ndarray) -> None:
         # d softmax: s * (g - sum(g * s))
         dot = (g * out_data).sum(axis=axis, keepdims=True)
-        x._accum(out_data * (g - dot))
+        x._accum(out_data * (g - dot), owned=True)
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -52,7 +52,7 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     probs = np.exp(out_data)
 
     def backward(g: np.ndarray) -> None:
-        x._accum(g - probs * g.sum(axis=axis, keepdims=True))
+        x._accum(g - probs * g.sum(axis=axis, keepdims=True), owned=True)
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -92,7 +92,7 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, ignore_index: int = IGNOR
         grad[np.arange(flat_targets.size), safe_targets] -= 1.0
         grad *= (valid / count)[:, None]
         grad *= np.asarray(g)  # scalar chain factor
-        logits._accum(grad.reshape(logits.shape))
+        logits._accum(grad.reshape(logits.shape), owned=True)
 
     return Tensor._make(out_data, (logits,), backward)
 
@@ -103,7 +103,7 @@ def silu(x: Tensor) -> Tensor:
     out_data = x.data * sig
 
     def backward(g: np.ndarray) -> None:
-        x._accum(g * (sig + x.data * sig * (1.0 - sig)))
+        x._accum(g * (sig + x.data * sig * (1.0 - sig)), owned=True)
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -113,7 +113,7 @@ def relu(x: Tensor) -> Tensor:
     out_data = x.data * mask
 
     def backward(g: np.ndarray) -> None:
-        x._accum(g * mask)
+        x._accum(g * mask, owned=True)
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -128,7 +128,7 @@ def gelu(x: Tensor) -> Tensor:
     def backward(g: np.ndarray) -> None:
         d_inner = c * (1.0 + 3 * 0.044715 * x.data**2)
         dt = (1.0 - t * t) * d_inner
-        x._accum(g * (0.5 * (1.0 + t) + 0.5 * x.data * dt))
+        x._accum(g * (0.5 * (1.0 + t) + 0.5 * x.data * dt), owned=True)
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -147,12 +147,12 @@ def rms_norm(x: Tensor, weight: Tensor, eps: float = 1e-6) -> Tensor:
 
     def backward(g: np.ndarray) -> None:
         if weight.requires_grad:
-            weight._accum((g * normed).reshape(-1, x.shape[-1]).sum(axis=0))
+            weight._accum((g * normed).reshape(-1, x.shape[-1]).sum(axis=0), owned=True)
         if x.requires_grad:
             gw = g * weight.data
             n = x.shape[-1]
             dot = (gw * x.data).sum(axis=-1, keepdims=True)
-            x._accum(inv * gw - (inv**3 / n) * dot * x.data)
+            x._accum(inv * gw - (inv**3 / n) * dot * x.data, owned=True)
 
     return Tensor._make(out_data, (x, weight), backward)
 
@@ -169,14 +169,14 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
     def backward(g: np.ndarray) -> None:
         n = x.shape[-1]
         if weight.requires_grad:
-            weight._accum((g * normed).reshape(-1, n).sum(axis=0))
+            weight._accum((g * normed).reshape(-1, n).sum(axis=0), owned=True)
         if bias.requires_grad:
-            bias._accum(g.reshape(-1, n).sum(axis=0))
+            bias._accum(g.reshape(-1, n).sum(axis=0), owned=True)
         if x.requires_grad:
             gw = g * weight.data
             mean_g = gw.mean(axis=-1, keepdims=True)
             mean_gx = (gw * normed).mean(axis=-1, keepdims=True)
-            x._accum(inv * (gw - mean_g - normed * mean_gx))
+            x._accum(inv * (gw - mean_g - normed * mean_gx), owned=True)
 
     return Tensor._make(out_data, (x, weight, bias), backward)
 
@@ -193,7 +193,7 @@ def embedding(weight: Tensor, ids: np.ndarray) -> Tensor:
             return
         full = np.zeros_like(weight.data)
         np.add.at(full, ids.reshape(-1), g.reshape(-1, weight.data.shape[1]))
-        weight._accum(full)
+        weight._accum(full, owned=True)
 
     return Tensor._make(out_data, (weight,), backward)
 
@@ -234,7 +234,7 @@ def apply_rope(x: Tensor, cos: np.ndarray, sin: np.ndarray) -> Tensor:
     out_data = x.data * cos + _rotate_half(x.data) * sin
 
     def backward(g: np.ndarray) -> None:
-        x._accum(g * cos + _rotate_half_t(g * sin))
+        x._accum(g * cos + _rotate_half_t(g * sin), owned=True)
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -250,6 +250,6 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
     out_data = x.data * mask
 
     def backward(g: np.ndarray) -> None:
-        x._accum(g * mask)
+        x._accum(g * mask, owned=True)
 
     return Tensor._make(out_data, (x,), backward)

@@ -136,18 +136,54 @@ class Tensor:
         backward: Callable[[np.ndarray], None] | None,
     ) -> "Tensor":
         requires = _grad_enabled and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires)
-        if requires:
-            out._prev = tuple(parents)
-            out._backward = backward
+        # Hot path: ops always hand us a float ndarray, so skip __init__'s
+        # coercion and build the node directly.
+        out = Tensor.__new__(Tensor)
+        out.data = (
+            data
+            if type(data) is np.ndarray and data.dtype.kind == "f"
+            else _as_array(data)
+        )
+        out.grad = None
+        out.requires_grad = requires
+        out._backward = backward if requires else None
+        out._prev = tuple(parents) if requires else ()
+        out.name = None
         return out
 
-    def _accum(self, g: np.ndarray) -> None:
+    def _accum(self, g: np.ndarray, owned: bool = False) -> None:
+        """Accumulate ``g`` into ``self.grad``.
+
+        ``owned=True`` is a closure's promise that ``g`` is a freshly
+        allocated array nobody else references (the overwhelmingly common
+        case: ufunc results computed inside the backward closure), which
+        lets the first accumulation adopt the array instead of defensively
+        copying it.  Closures that pass a *shared* or *view* gradient
+        (add/sub reusing the incoming ``g``, reshape/transpose/slice
+        views, read-only ``broadcast_to`` results) keep the default and
+        get the copy.  Values are bitwise-unchanged either way.
+        """
         if not self.requires_grad:
             return
-        g = unbroadcast(np.asarray(g, dtype=self.data.dtype), self.data.shape)
+        data = self.data
+        if not isinstance(g, np.ndarray) or g.dtype != data.dtype:
+            g = np.asarray(g, dtype=data.dtype)
+            owned = True  # the cast allocated a fresh array
+        shape = data.shape
+        if g.shape != shape:
+            # Inline unbroadcast so ownership tracks whether a reduction
+            # actually allocated (a pure reshape view would not).
+            extra = g.ndim - len(shape)
+            if extra > 0:
+                g = g.sum(axis=tuple(range(extra)))
+                owned = True
+            axes = tuple(i for i, s in enumerate(shape) if s == 1 and g.shape[i] != 1)
+            if axes:
+                g = g.sum(axis=axes, keepdims=True)
+                owned = True
+            g = g.reshape(shape)  # view of the reduction; ownership unchanged
         if self.grad is None:
-            self.grad = g.copy()
+            self.grad = g if owned else g.copy()
         else:
             self.grad += g
 
@@ -213,7 +249,7 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         def backward(g: np.ndarray) -> None:
-            self._accum(-g)
+            self._accum(-g, owned=True)
 
         return Tensor._make(-self.data, (self,), backward)
 
@@ -223,7 +259,7 @@ class Tensor:
 
         def backward(g: np.ndarray) -> None:
             self._accum(g)
-            other._accum(-g)
+            other._accum(-g, owned=True)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -235,8 +271,8 @@ class Tensor:
         out_data = self.data * other.data
 
         def backward(g: np.ndarray) -> None:
-            self._accum(g * other.data)
-            other._accum(g * self.data)
+            self._accum(g * other.data, owned=True)
+            other._accum(g * self.data, owned=True)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -247,8 +283,8 @@ class Tensor:
         out_data = self.data / other.data
 
         def backward(g: np.ndarray) -> None:
-            self._accum(g / other.data)
-            other._accum(-g * self.data / (other.data * other.data))
+            self._accum(g / other.data, owned=True)
+            other._accum(-g * self.data / (other.data * other.data), owned=True)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -261,7 +297,7 @@ class Tensor:
         out_data = self.data**exponent
 
         def backward(g: np.ndarray) -> None:
-            self._accum(g * exponent * self.data ** (exponent - 1))
+            self._accum(g * exponent * self.data ** (exponent - 1), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -275,14 +311,14 @@ class Tensor:
                 if b.data.ndim == 1:
                     ga = np.multiply.outer(g, b.data) if g.ndim else g * b.data
                 else:
-                    ga = g @ np.swapaxes(b.data, -1, -2)
-                a._accum(ga)
+                    ga = g @ b.data.swapaxes(-1, -2)
+                a._accum(ga, owned=True)
             if b.requires_grad:
                 if a.data.ndim == 1:
                     gb = np.multiply.outer(a.data, g)
                 else:
-                    gb = np.swapaxes(a.data, -1, -2) @ g
-                b._accum(gb)
+                    gb = a.data.swapaxes(-1, -2) @ g
+                b._accum(gb, owned=True)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -292,7 +328,7 @@ class Tensor:
         out_data = np.exp(self.data)
 
         def backward(g: np.ndarray) -> None:
-            self._accum(g * out_data)
+            self._accum(g * out_data, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -300,7 +336,7 @@ class Tensor:
         out_data = np.log(self.data)
 
         def backward(g: np.ndarray) -> None:
-            self._accum(g / self.data)
+            self._accum(g / self.data, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -308,7 +344,7 @@ class Tensor:
         out_data = np.sqrt(self.data)
 
         def backward(g: np.ndarray) -> None:
-            self._accum(g * 0.5 / out_data)
+            self._accum(g * 0.5 / out_data, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -316,7 +352,7 @@ class Tensor:
         out_data = np.tanh(self.data)
 
         def backward(g: np.ndarray) -> None:
-            self._accum(g * (1.0 - out_data * out_data))
+            self._accum(g * (1.0 - out_data * out_data), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -325,7 +361,7 @@ class Tensor:
         out_data = 0.5 * (np.tanh(0.5 * self.data) + 1.0)
 
         def backward(g: np.ndarray) -> None:
-            self._accum(g * out_data * (1.0 - out_data))
+            self._accum(g * out_data * (1.0 - out_data), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -333,7 +369,7 @@ class Tensor:
         out_data = np.abs(self.data)
 
         def backward(g: np.ndarray) -> None:
-            self._accum(g * np.sign(self.data))
+            self._accum(g * np.sign(self.data), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -377,11 +413,12 @@ class Tensor:
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.data.ndim)))
-        inverse = np.argsort(axes)
         out_data = self.data.transpose(axes)
 
         def backward(g: np.ndarray) -> None:
-            self._accum(g.transpose(inverse))
+            # argsort deferred into the closure: it only matters on the
+            # grad-requiring path, and forward calls dominate.
+            self._accum(g.transpose(np.argsort(axes)))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -409,7 +446,7 @@ class Tensor:
                 np.add.at(full, idx, g)
             else:
                 full[idx] = g
-            self._accum(full)
+            self._accum(full, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -420,7 +457,7 @@ class Tensor:
         mask = (self.data >= low) & (self.data <= high)
 
         def backward(g: np.ndarray) -> None:
-            self._accum(g * mask)
+            self._accum(g * mask, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -429,7 +466,7 @@ class Tensor:
         mask = self.data > other
 
         def backward(g: np.ndarray) -> None:
-            self._accum(g * mask)
+            self._accum(g * mask, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 

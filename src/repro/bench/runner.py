@@ -235,32 +235,74 @@ def run_scenario(
     results_dir: str | Path,
     repo_root: str | Path | None = None,
     pytest_args: list[str] | None = None,
+    profile: bool = False,
 ) -> ScenarioResult:
-    """Execute one scenario under pytest and write its artifact."""
+    """Execute one scenario under pytest and write its artifact.
+
+    With ``profile``, pytest-benchmark's native cProfile support is
+    enabled (``--benchmark-cprofile`` + ``--benchmark-cprofile-dump``):
+    after the normal timing rounds it runs each benchmark once more
+    under the profiler and dumps one ``.prof`` per benchmark, which are
+    aggregated into a top-20-by-cumulative-time table written next to
+    the artifact as ``PROFILE_<scenario>.txt`` — the CI-archivable
+    breadcrumb that makes a hot-path regression diagnosable without
+    reproducing it locally.  The recorded stats come from the unprofiled
+    rounds, so profiler overhead never leaks into the artifact.
+    """
     results_dir = Path(results_dir)
     results_dir.mkdir(parents=True, exist_ok=True)
     repo_root = Path(repo_root) if repo_root else scenario.path.resolve().parents[1]
+    env = _subprocess_env(quick, results_dir)
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         raw_path = Path(tmp) / "raw.json"
+        prof_prefix = Path(tmp) / "prof" / "bench"
         cmd = [
             sys.executable, "-m", "pytest", str(scenario.path),
             "--benchmark-json", str(raw_path),
             "-q", "-p", "no:cacheprovider", *(pytest_args or []),
         ]
+        if profile:
+            cmd += [
+                "--benchmark-cprofile", "cumtime",
+                "--benchmark-cprofile-dump", str(prof_prefix),
+            ]
         proc = subprocess.run(
-            cmd, cwd=str(repo_root), env=_subprocess_env(quick, results_dir),
-            capture_output=True, text=True,
+            cmd, cwd=str(repo_root), env=env, capture_output=True, text=True,
         )
         if proc.returncode != 0 or not raw_path.exists():
             tail = "\n".join((proc.stdout + proc.stderr).splitlines()[-25:])
             return ScenarioResult(scenario, ok=False, error=tail)
         raw = json.loads(raw_path.read_text(encoding="utf-8"))
+        if profile:
+            dumps = sorted(prof_prefix.parent.glob("*.prof"))
+            if dumps:
+                _write_profile_dump(
+                    dumps, results_dir / f"PROFILE_{scenario.name}.txt"
+                )
+            else:
+                print(f"[bench] {scenario.name}: no cProfile dumps produced; "
+                      "timing artifact unaffected", file=sys.stderr)
     artifact = normalize_raw(
         raw, scenario=scenario.name, quick=quick, commit=collect_commit(repo_root)
     )
     out_path = results_dir / scenario.artifact_name
     out_path.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
     return ScenarioResult(scenario, ok=True, artifact=out_path)
+
+
+def _write_profile_dump(
+    prof_paths: list[Path], out_path: Path, top: int = 20
+) -> None:
+    """Merge per-benchmark cProfile dumps into one top-N cumulative table."""
+    import io
+    import pstats
+
+    stream = io.StringIO()
+    stats = pstats.Stats(str(prof_paths[0]), stream=stream)
+    for extra in prof_paths[1:]:
+        stats.add(str(extra))
+    stats.sort_stats("cumulative").print_stats(top)
+    out_path.write_text(stream.getvalue(), encoding="utf-8")
 
 
 def render_summary(artifact_paths: list[Path]) -> str:
@@ -392,6 +434,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="artifact directory (default: <bench-dir>/results)")
     p_run.add_argument("--summary", default=None,
                        help="write the rendered summary table here as well")
+    p_run.add_argument("--profile", action="store_true",
+                       help="run each scenario under cProfile and write a "
+                            "top-20 cumulative dump (PROFILE_<scenario>.txt)")
 
     p_cmp = sub.add_parser("compare", help="gate current artifacts against baselines")
     p_cmp.add_argument("--baseline", required=True,
@@ -429,7 +474,10 @@ def _cmd_run(args) -> int:
     for scenario in scenarios:
         print(f"[bench] running {scenario.name} "
               f"({'quick' if args.quick else 'full'})...", flush=True)
-        result = run_scenario(scenario, quick=args.quick, results_dir=results_dir)
+        result = run_scenario(
+            scenario, quick=args.quick, results_dir=results_dir,
+            profile=args.profile,
+        )
         if result.ok:
             print(f"[bench]   -> {result.artifact}")
             artifacts.append(result.artifact)

@@ -231,6 +231,17 @@ def _cmd_plan(args) -> int:
     print(f"  total checkpoint bytes : {format_bytes(plan.total_bytes)}")
     print(f"  checkpoint time        : {plan.checkpoint_seconds:.1f}s simulated")
     print(f"  ckpt time proportion   : {format_pct(plan.checkpoint_time_fraction)}%")
+    from .strategies import plan_step_traffic
+
+    traffic = plan_step_traffic(config, world_size=args.world_size)
+    print(
+        f"step traffic (ring model, {traffic.num_groups} groups, "
+        f"world size {traffic.world_size}):"
+    )
+    print(f"  reduce-scatter / step  : {format_bytes(traffic.reduce_scatter_bytes)}")
+    print(f"  all-gather / step      : {format_bytes(traffic.all_gather_bytes)}")
+    print(f"  total / step           : {format_bytes(traffic.total_bytes)}")
+    print(f"  {f'over {args.steps} steps':<23s}: {format_bytes(traffic.total_bytes * args.steps)}")
     if args.merge_checkpoints is not None:
         from .strategies import plan_merge_cost
 

@@ -128,6 +128,43 @@ class SimComm:
             return [mean]
         return [chunk.copy() for chunk in np.split(mean, self.world_size)]
 
+    def reduce_scatter_mean_into(
+        self, buffers: Sequence[np.ndarray], out: np.ndarray
+    ) -> list[np.ndarray]:
+        """Buffer-donating :meth:`reduce_scatter_mean`.
+
+        Writes the element-wise mean into ``out`` (a flat buffer of the
+        same shape/dtype as each input) and returns one zero-copy slice
+        view of ``out`` per rank.  ``out`` may be ``buffers[0]`` itself —
+        the engine's case, where every simulated rank already shares one
+        gradient buffer and the whole collective degenerates to slicing —
+        but must not alias any *other* input buffer.  Byte accounting is
+        identical to the allocating variant.
+        """
+        bufs = self._check_buffers(buffers, "reduce_scatter")
+        flat = bufs[0]
+        if flat.ndim != 1:
+            raise DistError(f"reduce_scatter: buffers must be flat, got shape {flat.shape}")
+        if flat.size % self.world_size:
+            raise DistError(
+                f"reduce_scatter: buffer length {flat.size} not divisible by "
+                f"world_size {self.world_size}"
+            )
+        if out.shape != flat.shape or out.dtype != flat.dtype:
+            raise DistError(
+                f"reduce_scatter: out buffer shape/dtype {out.shape}/{out.dtype} "
+                f"!= input {flat.shape}/{flat.dtype}"
+            )
+        self.stats.charge("reduce_scatter", self._ring_fraction() * flat.nbytes)
+        if out is not flat:
+            np.copyto(out, flat)
+        if not all(b is flat for b in bufs[1:]):
+            for buf in bufs[1:]:
+                out += buf
+            out /= self.world_size
+        shard = flat.size // self.world_size
+        return [out[r * shard : (r + 1) * shard] for r in range(self.world_size)]
+
     def all_gather(self, shards: Sequence[np.ndarray]) -> np.ndarray:
         """Concatenate every rank's shard; every rank gets the whole."""
         bufs = self._check_buffers(shards, "all_gather")
@@ -136,6 +173,33 @@ class SimComm:
         if self.world_size == 1:
             return bufs[0].copy()
         return np.concatenate(bufs, axis=0)
+
+    def all_gather_into(
+        self, shards: Sequence[np.ndarray], out: np.ndarray
+    ) -> np.ndarray:
+        """Buffer-donating :meth:`all_gather`: concatenate into ``out``.
+
+        ``out`` must be a flat buffer of ``world_size * shard_numel``
+        elements.  A shard that already *is* its destination slice of
+        ``out`` (the engine's case: master shards are views into one
+        contiguous group buffer) is skipped rather than copied, so the
+        gather is free when the data never moved.  Byte accounting is
+        identical to the allocating variant.
+        """
+        bufs = self._check_buffers(shards, "all_gather")
+        total_nbytes = sum(b.nbytes for b in bufs)
+        shard = bufs[0].size
+        if out.ndim != 1 or out.size != shard * self.world_size or out.dtype != bufs[0].dtype:
+            raise DistError(
+                f"all_gather: out buffer shape/dtype {out.shape}/{out.dtype} cannot "
+                f"hold {self.world_size} x {bufs[0].shape}/{bufs[0].dtype} shards"
+            )
+        self.stats.charge("all_gather", self._ring_fraction() * total_nbytes)
+        for rank, buf in enumerate(bufs):
+            dest = out[rank * shard : (rank + 1) * shard]
+            if buf.ctypes.data != dest.ctypes.data:
+                np.copyto(dest, buf)
+        return out
 
     def broadcast(self, buffer: np.ndarray, root: int = 0) -> list[np.ndarray]:
         """Every rank receives an independent copy of ``root``'s buffer."""

@@ -112,14 +112,31 @@ class GroupPartition:
         last = (hi - 1) // other.shard_numel
         return list(range(first, min(last, other.world_size - 1) + 1))
 
-    def pad(self, flat: np.ndarray) -> np.ndarray:
-        """Zero-pad a flat ``numel`` vector to ``padded_numel`` (a copy)."""
+    def pad(self, flat: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Zero-pad a flat ``numel`` vector to ``padded_numel``.
+
+        Without ``out`` this allocates a fresh copy.  With ``out`` (a flat
+        ``padded_numel`` buffer) the vector is written into the caller's
+        buffer — tail re-zeroed, values copied — and ``out`` is returned.
+        (The fused engine performs the equivalent copies inline while
+        flattening per-parameter gradients into its staging buffer;
+        ``out=`` is the buffer-donating form for callers that already
+        hold a flat vector.)
+        """
         flat = np.asarray(flat)
         if flat.shape != (self.numel,):
             raise ShapeError(
                 f"expected a flat vector of {self.numel} elements, got shape {flat.shape}"
             )
-        out = np.zeros(self.padded_numel, dtype=flat.dtype)
+        if out is None:
+            out = np.zeros(self.padded_numel, dtype=flat.dtype)
+        else:
+            if out.shape != (self.padded_numel,):
+                raise ShapeError(
+                    f"pad out= must be a flat vector of {self.padded_numel} "
+                    f"elements, got shape {out.shape}"
+                )
+            out[self.numel:] = 0
         out[: self.numel] = flat
         return out
 
@@ -128,6 +145,26 @@ class GroupPartition:
         padded = self.pad(flat)
         return [
             padded[start:stop].copy()
+            for start, stop in (self.bounds(r) for r in range(self.world_size))
+        ]
+
+    def shard_views(self, padded: np.ndarray) -> list[np.ndarray]:
+        """One zero-copy view per rank into a flat ``padded_numel`` buffer.
+
+        The inverse relationship ``np.concatenate(shard_views(b)) == b``
+        holds by construction; mutating a view mutates the buffer.  This
+        is what lets the engine keep every rank's master shard inside one
+        contiguous per-group buffer, making gather a slice instead of a
+        concatenation.
+        """
+        padded = np.asarray(padded)
+        if padded.shape != (self.padded_numel,):
+            raise ShapeError(
+                f"expected a flat padded vector of {self.padded_numel} "
+                f"elements, got shape {padded.shape}"
+            )
+        return [
+            padded[start:stop]
             for start, stop in (self.bounds(r) for r in range(self.world_size))
         ]
 

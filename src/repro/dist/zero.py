@@ -15,6 +15,18 @@ anatomy — :meth:`ZeroStage3Engine.rank_state_dict` emits exactly the
 monolithic per-rank shard payload that LLMTailor's merge tool,
 checkpoint writer/reader, and verifier all operate on.
 
+The training step runs in one of two bitwise-identical modes.  The
+default ``fused=True`` pipeline owns persistent per-group buffers: a
+contiguous padded fp32 master buffer whose per-rank shards are slice
+views (gather = a slice), a padded gradient staging buffer the
+reduce-scatter slices in place, and a shared quantize scratch for the
+single vectorized re-quantize pass per group — so a step allocates
+nothing proportional to the model size.  ``fused=False`` preserves the
+original allocate-per-step implementation as the executable reference;
+``tests/test_step_fused.py`` pins the two bit-for-bit against each
+other.  Because fused shards are *views*, any payload that outlives the
+step must copy (the copy-on-save rule in :meth:`rank_state_dict`).
+
 Shard payload (``SHARD_FORMAT_VERSION``)::
 
     format_version    int
@@ -106,6 +118,7 @@ class ZeroStage3Engine:
         lr: float = 1e-3,
         betas: tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
+        fused: bool = True,
     ) -> None:
         groups = list(groups)
         if not groups:
@@ -120,9 +133,19 @@ class ZeroStage3Engine:
         self.comm = SimComm(world_size)  # validates world_size
         self.world_size = self.comm.world_size
         self._dtype: DType = config.storage_dtype
+        self.fused = bool(fused)
 
         self._params: list[list[Tensor]] = []
         self._shard_params: list[list[Tensor]] = []  # [group][rank]
+        # Fused-mode persistent buffers, one per group:
+        #   _master_bufs[g]  padded fp32 masters; every rank's shard is a
+        #                    slice view, so gather is ``buf[:numel]``
+        #   _grad_bufs[g]    padded fp32 gradient staging buffer; the
+        #                    reduce-scatter hands each rank a slice view
+        # plus one shared quantize scratch sized to the largest group.
+        self._master_bufs: list[np.ndarray] = []
+        self._grad_bufs: list[np.ndarray] = []
+        self._quant_buf: np.ndarray = np.zeros(0, dtype=np.float32)
         metas: list[GroupMeta] = []
         seen: set[int] = set()
         for index, group in enumerate(groups):
@@ -154,10 +177,21 @@ class ZeroStage3Engine:
             self._params.append(params)
             # fp32 masters: shard the flattened initial weights per rank.
             master_flat = flatten_arrays([p.data for p in params])
-            self._shard_params.append(
-                [Tensor(shard) for shard in partition.shards(master_flat)]
-            )
+            if self.fused:
+                master_buf = partition.pad(master_flat)
+                self._master_bufs.append(master_buf)
+                self._grad_bufs.append(np.zeros(partition.padded_numel, dtype=np.float32))
+                self._shard_params.append(
+                    [Tensor(view) for view in partition.shard_views(master_buf)]
+                )
+            else:
+                self._shard_params.append(
+                    [Tensor(shard) for shard in partition.shards(master_flat)]
+                )
         self.group_meta: tuple[GroupMeta, ...] = tuple(metas)
+        if self.fused:
+            max_padded = max(m.partition.padded_numel for m in self.group_meta)
+            self._quant_buf = np.zeros(max_padded, dtype=np.float32)
 
         # One AdamW per rank over that rank's shard of every group.
         self.optimizers: list[AdamW] = []
@@ -172,7 +206,9 @@ class ZeroStage3Engine:
                 }
                 for g, meta in enumerate(self.group_meta)
             ]
-            self.optimizers.append(AdamW(rank_groups, lr=lr, betas=betas, eps=eps))
+            self.optimizers.append(
+                AdamW(rank_groups, lr=lr, betas=betas, eps=eps, fused=self.fused)
+            )
 
         # Schedulers drive rank 0; engine.step() mirrors its LR everywhere.
         self.reference_optimizer: AdamW = self.optimizers[0]
@@ -184,12 +220,37 @@ class ZeroStage3Engine:
     # -- weight re-materialization -----------------------------------------
 
     def _gathered_master(self, g: int) -> np.ndarray:
+        """The group's unpadded fp32 master vector.
+
+        Fused mode returns a zero-copy view into the group's contiguous
+        master buffer (callers that persist it must copy — see
+        :meth:`rank_state_dict`); reference mode concatenates a copy.
+        """
         meta = self.group_meta[g]
+        if self.fused:
+            return self._master_bufs[g][: meta.numel]
         return meta.partition.gather([t.data for t in self._shard_params[g]])
 
     def _materialize_group(self, g: int, *, via_comm: bool = False) -> None:
         """Write ``quantize(master)`` back into the group's model weights."""
         meta = self.group_meta[g]
+        if self.fused:
+            if via_comm:
+                # Shards are views into the master buffer, so the gather
+                # moves no data — only the ring-model bytes are charged.
+                self.comm.all_gather_into(
+                    [t.data for t in self._shard_params[g]], self._master_bufs[g]
+                )
+            master = self._master_bufs[g][: meta.numel]
+            # One vectorized quantize pass per group into the shared
+            # scratch, then zero-copy reshaped views per parameter.
+            quantized = quantize(master, self._dtype, out=self._quant_buf[: meta.numel])
+            offset = 0
+            for param in self._params[g]:
+                n = param.data.size
+                param.data[...] = quantized[offset : offset + n].reshape(param.data.shape)
+                offset += n
+            return
         if via_comm:
             padded = self.comm.all_gather([t.data for t in self._shard_params[g]])
             master = padded[: meta.numel]
@@ -220,14 +281,31 @@ class ZeroStage3Engine:
             params = self._params[g]
             if all(p.grad is None for p in params):
                 continue  # untouched group: AdamW would skip it too
-            grads = [
-                p.grad if p.grad is not None else np.zeros_like(p.data)
-                for p in params
-            ]
-            padded = meta.partition.pad(flatten_arrays(grads))
-            # Every simulated rank holds the same (already averaged)
-            # gradient; reduce-scatter hands each rank its slice.
-            shards = self.comm.reduce_scatter_mean([padded] * self.world_size)
+            if self.fused:
+                # Flatten straight into the persistent padded buffer (the
+                # tail is zero by construction and never written).
+                buf = self._grad_bufs[g]
+                offset = 0
+                for p in params:
+                    n = p.data.size
+                    if p.grad is None:
+                        buf[offset : offset + n] = 0.0
+                    else:
+                        np.copyto(buf[offset : offset + n], p.grad.reshape(-1))
+                    offset += n
+                # Every simulated rank holds the same (already averaged)
+                # gradient; the in-place reduce-scatter hands each rank a
+                # slice view of the buffer instead of a copy.
+                shards = self.comm.reduce_scatter_mean_into(
+                    [buf] * self.world_size, out=buf
+                )
+            else:
+                grads = [
+                    p.grad if p.grad is not None else np.zeros_like(p.data)
+                    for p in params
+                ]
+                padded = meta.partition.pad(flatten_arrays(grads))
+                shards = self.comm.reduce_scatter_mean([padded] * self.world_size)
             for rank, shard in enumerate(shards):
                 self._shard_params[g][rank].grad = shard
             stepped.append(g)
@@ -259,12 +337,20 @@ class ZeroStage3Engine:
         param = self._shard_params[g][rank]
         state = self.optimizers[rank].state.get(id(param)) or {}
         shard_numel = self.group_meta[g].partition.shard_numel
-        zeros = lambda: np.zeros(shard_numel, dtype=np.float32)  # noqa: E731
-        return {
-            "step": int(state.get("step", 0)),
-            "exp_avg": np.asarray(state.get("exp_avg", zeros()), dtype=np.float32).copy(),
-            "exp_avg_sq": np.asarray(state.get("exp_avg_sq", zeros()), dtype=np.float32).copy(),
-        }
+        out: dict[str, Any] = {"step": int(state.get("step", 0))}
+        for key in ("exp_avg", "exp_avg_sq"):
+            value = state.get(key)
+            # Exactly one allocation either way: a fresh zero buffer when
+            # the moment was never created, or a single copy-with-cast of
+            # the live buffer (np.array copies once even when casting —
+            # the old asarray().copy() spelling copied twice for missing
+            # or non-fp32 entries).
+            out[key] = (
+                np.zeros(shard_numel, dtype=np.float32)
+                if value is None
+                else np.array(value, dtype=np.float32)
+            )
+        return out
 
     # -- checkpoint hooks --------------------------------------------------
 
@@ -299,6 +385,9 @@ class ZeroStage3Engine:
                     "weight_decay": float(group["weight_decay"]),
                 }
             )
+        # Copy-on-save: in fused mode the shard tensors are views into the
+        # group's live master buffer, which the next step mutates in place
+        # — a payload holding views would silently change after save.
         fp32_flat_groups = {
             g: self._shard_params[g][rank].data.copy() for g in selected
         }
@@ -439,10 +528,12 @@ class ZeroStage3Engine:
             entry = moment_state.get(g) or {}
             restored: dict[str, Any] = {"step": int(entry.get("step", 0))}
             for key in ("exp_avg", "exp_avg_sq"):
-                value = np.asarray(
-                    entry.get(key, np.zeros(shard_numel, dtype=np.float32)),
-                    dtype=np.float32,
-                ).copy()
+                raw = entry.get(key)
+                value = (
+                    np.zeros(shard_numel, dtype=np.float32)
+                    if raw is None
+                    else np.array(raw, dtype=np.float32)  # one copy, owned
+                )
                 if value.shape != (shard_numel,):
                     raise CheckpointError(
                         f"group {g} {key} has shape {value.shape}, "

@@ -56,12 +56,18 @@ class DType(enum.Enum):
             raise ValueError(f"unknown dtype {value!r}; expected one of: {valid}") from exc
 
 
-def bf16_rne(x: np.ndarray) -> np.ndarray:
+def bf16_rne(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """Round float32 to bfloat16 (round-to-nearest-even), as float32.
 
     Works on the raw bit pattern: bf16 keeps the top 16 bits of the fp32
     representation.  RNE adds ``0x7FFF + lsb`` before truncation, which is
     exactly the rounding hardware performs.  NaNs are preserved (quiet).
+
+    With ``out`` the rounded values are written into the caller's float32
+    buffer (same number of elements as ``x``) and ``out`` is returned —
+    the buffer-donating path the fused training step uses to re-quantize
+    a whole parameter group without allocating a result per parameter.
+    ``out`` may alias ``x``.
     """
     x = np.ascontiguousarray(x, dtype=np.float32)
     bits = x.view(np.uint32)
@@ -69,25 +75,46 @@ def bf16_rne(x: np.ndarray) -> np.ndarray:
     lsb = (bits >> np.uint32(16)) & np.uint32(1)
     rounded = bits + np.uint32(0x7FFF) + lsb
     rounded &= np.uint32(0xFFFF0000)
-    out = rounded.view(np.float32).copy()
+    result = rounded.view(np.float32)  # fresh buffer, never aliases x/out
     if nan_mask.any():
-        out[nan_mask] = np.float32(np.nan)
-    return out.reshape(x.shape)
+        result[nan_mask] = np.float32(np.nan)
+    if out is None:
+        return result.reshape(x.shape)
+    if out.dtype != np.float32 or out.size != x.size:
+        raise ValueError(
+            f"bf16_rne out= must be float32 with {x.size} elements, "
+            f"got {out.dtype} with {out.size}"
+        )
+    # Elementwise assignment works for any out layout — reshaping a
+    # non-contiguous out would silently write into a throwaway copy.
+    out[...] = result.reshape(out.shape)
+    return out
 
 
-def quantize(x: np.ndarray, dtype: DType) -> np.ndarray:
+def quantize(
+    x: np.ndarray, dtype: DType, out: np.ndarray | None = None
+) -> np.ndarray:
     """Quantize a float32 array to the storage dtype, returned as float32.
 
     The result is the value that would survive a serialize/deserialize
-    round trip at the given precision.
+    round trip at the given precision.  With ``out`` (a float32 buffer of
+    the same number of elements) the result is written in place and
+    ``out`` is returned, allocating nothing.
     """
     x = np.asarray(x, dtype=np.float32)
     if dtype is DType.FP32:
-        return x.copy()
+        if out is None:
+            return x.copy()
+        out[...] = x.reshape(out.shape)
+        return out
     if dtype is DType.BF16:
-        return bf16_rne(x)
+        return bf16_rne(x, out=out)
     if dtype is DType.FP16:
-        return x.astype(np.float16).astype(np.float32)
+        result = x.astype(np.float16).astype(np.float32)
+        if out is None:
+            return result
+        out[...] = result.reshape(out.shape)
+        return out
     raise AssertionError(f"unhandled dtype {dtype}")
 
 

@@ -3,6 +3,26 @@
 AdamW is the paper's default (via DeepSpeed); it keeps two fp32 moment
 tensors per parameter (``exp_avg``, ``exp_avg_sq``) plus a step counter —
 the state that makes optimizer files dominate checkpoint size (§2.2).
+
+The update runs in one of two bitwise-identical modes:
+
+* ``fused=True`` (default): every elementwise operation writes through
+  ``out=`` into either the moment buffers, the parameter, or one of two
+  persistent scratch buffers, so a step allocates nothing proportional
+  to the parameter count.  The operation order is exactly the reference
+  mode's, which is what keeps the two modes bit-for-bit equal (pinned by
+  ``tests/test_step_fused.py``).
+* ``fused=False``: the original expression-per-line implementation, kept
+  as the executable reference the fused path is tested against.
+
+Bias corrections ``1 - beta**step`` are served from a one-entry-per-beta
+cache keyed by ``(beta, step)``: within a step every parameter group at
+the same step shares one ``pow`` call instead of recomputing it per
+group.  The cache *recomputes* the closed form rather than maintaining a
+running product ``bias *= beta`` because the running product is NOT
+bitwise-equal to ``beta**step`` (it drifts from the closed form within a
+handful of steps — see the divergence canary in the test suite), and
+bitwise stability of the training trajectory is a repo invariant.
 """
 
 from __future__ import annotations
@@ -29,6 +49,8 @@ class Adam(Optimizer):
         betas: tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
         weight_decay: float = 0.0,
+        *,
+        fused: bool = True,
     ) -> None:
         if lr < 0:
             raise ConfigError(f"invalid learning rate {lr}")
@@ -38,6 +60,47 @@ class Adam(Optimizer):
             raise ConfigError(f"invalid eps {eps}")
         defaults = dict(lr=lr, betas=tuple(betas), eps=eps, weight_decay=weight_decay)
         super().__init__(params, defaults)
+        self.fused = bool(fused)
+        # Two persistent scratch buffers, grown to the largest parameter
+        # ever stepped; views of their prefixes serve every parameter.
+        self._scratch1: np.ndarray | None = None
+        self._scratch2: np.ndarray | None = None
+        # beta -> (step, beta**step); one pow per (beta, step) per step.
+        self._pow_cache: dict[float, tuple[int, float]] = {}
+
+    # -- bias-correction cache ---------------------------------------------
+
+    def _beta_pow(self, beta: float, step: int) -> float:
+        """``beta**step``, computed once per (beta, step).
+
+        Parameters step in lockstep in steady state, so this turns
+        ``2 * num_groups`` pow calls per step into 2 — while staying
+        bitwise-identical to the closed form (a running ``p *= beta``
+        product would not be).
+        """
+        cached = self._pow_cache.get(beta)
+        if cached is not None and cached[0] == step:
+            return cached[1]
+        value = beta**step
+        self._pow_cache[beta] = (step, value)
+        return value
+
+    # -- scratch management ------------------------------------------------
+
+    def _scratches(self, numel: int, dtype, shape) -> tuple[np.ndarray, np.ndarray]:
+        if (
+            self._scratch1 is None
+            or self._scratch1.size < numel
+            or self._scratch1.dtype != dtype
+        ):
+            self._scratch1 = np.empty(numel, dtype=dtype)
+            self._scratch2 = np.empty(numel, dtype=dtype)
+        return (
+            self._scratch1[:numel].reshape(shape),
+            self._scratch2[:numel].reshape(shape),
+        )
+
+    # -- the update --------------------------------------------------------
 
     def step(self) -> None:
         for group in self.param_groups:
@@ -58,6 +121,20 @@ class Adam(Optimizer):
                 step = state["step"]
                 m, v = state["exp_avg"], state["exp_avg_sq"]
 
+                bias1 = 1.0 - self._beta_pow(beta1, step)
+                bias2 = 1.0 - self._beta_pow(beta2, step)
+
+                if (
+                    self.fused
+                    and grad.dtype == p.data.dtype
+                    and m.dtype == p.data.dtype
+                ):
+                    self._step_fused(p, grad, m, v, lr, beta1, beta2, eps, wd,
+                                     bias1, bias2)
+                    continue
+
+                # Reference path (also the mixed-dtype fallback, where the
+                # fused cast points would differ from these expressions).
                 if wd != 0 and not self.DECOUPLED_DECAY:
                     grad = grad + wd * p.data
 
@@ -67,14 +144,49 @@ class Adam(Optimizer):
                 v *= beta2
                 v += (1.0 - beta2) * grad * grad
 
-                bias1 = 1.0 - beta1**step
-                bias2 = 1.0 - beta2**step
                 denom = np.sqrt(v / bias2) + eps
 
                 if wd != 0 and self.DECOUPLED_DECAY:
                     p.data *= 1.0 - lr * wd
 
                 p.data -= lr * (m / bias1) / denom
+
+    def _step_fused(self, p, grad, m, v, lr, beta1, beta2, eps, wd,
+                    bias1, bias2) -> None:
+        """Allocation-free update, operation-for-operation identical to the
+        reference path (same ufuncs, same operand order, same rounding
+        points) — only the destinations changed from fresh arrays to the
+        two scratch buffers."""
+        s1, s2 = self._scratches(p.data.size, p.data.dtype, p.data.shape)
+
+        if wd != 0 and not self.DECOUPLED_DECAY:
+            # grad_eff = grad + wd * p.data, parked in s2 (kept live
+            # through both moment updates; s1 serves as the temporary).
+            np.multiply(p.data, wd, out=s2)
+            np.add(grad, s2, out=s2)
+            grad = s2
+
+        np.multiply(m, beta1, out=m)
+        np.multiply(grad, 1.0 - beta1, out=s1)
+        np.add(m, s1, out=m)
+        np.multiply(grad, 1.0 - beta2, out=s1)
+        np.multiply(s1, grad, out=s1)
+        np.multiply(v, beta2, out=v)
+        np.add(v, s1, out=v)
+
+        # denom = sqrt(v / bias2) + eps, in s1 (grad_eff in s2 is dead now).
+        np.divide(v, bias2, out=s1)
+        np.sqrt(s1, out=s1)
+        np.add(s1, eps, out=s1)
+
+        if wd != 0 and self.DECOUPLED_DECAY:
+            np.multiply(p.data, 1.0 - lr * wd, out=p.data)
+
+        # p -= lr * (m / bias1) / denom
+        np.divide(m, bias1, out=s2)
+        np.multiply(s2, lr, out=s2)
+        np.divide(s2, s1, out=s2)
+        np.subtract(p.data, s2, out=p.data)
 
 
 class AdamW(Adam):
@@ -95,5 +207,8 @@ class AdamW(Adam):
         betas: tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
         weight_decay: float = 0.01,
+        *,
+        fused: bool = True,
     ) -> None:
-        super().__init__(params, lr=lr, betas=betas, eps=eps, weight_decay=weight_decay)
+        super().__init__(params, lr=lr, betas=betas, eps=eps,
+                         weight_decay=weight_decay, fused=fused)

@@ -180,12 +180,31 @@ def _copy_value(value: Any) -> Any:
     return value
 
 
+# Reused float64 staging buffer for clip_grad_norm_: the norm must be
+# accumulated in double precision (bitwise-pinned behaviour), but casting
+# every gradient to a fresh float64 copy each step is two full-model
+# allocations per step.  Only the trainer's step loop calls this, so a
+# module-level scratch is safe; it grows to the largest gradient seen.
+_clip_scratch = np.zeros(0, dtype=np.float64)
+
+
 def clip_grad_norm_(params: Sequence[Tensor], max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is <= max_norm."""
+    global _clip_scratch
     total_sq = 0.0
     grads = [p.grad for p in params if p.grad is not None]
     for g in grads:
-        total_sq += float(np.sum(g.astype(np.float64) ** 2))
+        # Same values and summation order as np.sum(g.astype(f64) ** 2):
+        # the cast lands in the scratch, the square happens in place, and
+        # np.sum over a C-contiguous buffer pairwise-sums identically
+        # whether the array is 1-D or the original n-D.
+        n = g.size
+        if _clip_scratch.size < n:
+            _clip_scratch = np.zeros(n, dtype=np.float64)
+        buf = _clip_scratch[:n]
+        np.copyto(buf, g.reshape(-1))
+        np.square(buf, out=buf)
+        total_sq += float(np.sum(buf))
     total = float(np.sqrt(total_sq))
     if max_norm > 0 and total > max_norm:
         scale = max_norm / (total + 1e-12)

@@ -11,11 +11,13 @@ from .planner import (
     ComputeCostModel,
     MergeCostPlan,
     ReshardCostPlan,
+    StepTrafficPlan,
     StrategyPlan,
     checkpoint_event_nbytes,
     checkpoint_event_seconds,
     plan_merge_cost,
     plan_reshard_cost,
+    plan_step_traffic,
     plan_strategy,
 )
 
@@ -30,6 +32,7 @@ __all__ = [
     "OPTIMIZER_BYTES_PER_PARAM",
     "ParityStrategy",
     "ReshardCostPlan",
+    "StepTrafficPlan",
     "StrategyPlan",
     "UpdateMagnitudeStrategy",
     "build_strategy",
@@ -37,6 +40,7 @@ __all__ = [
     "checkpoint_event_seconds",
     "plan_merge_cost",
     "plan_reshard_cost",
+    "plan_step_traffic",
     "plan_strategy",
     "plan_strategy_async",
     "register_strategy",

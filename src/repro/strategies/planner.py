@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 from ..io.storage import StorageCostModel
 from ..nn.config import ModelConfig
-from ..nn.slots import model_slots, slot_param_counts
+from ..nn.slots import model_slots, parameter_shapes, slot_param_counts
 from ..numerics.dtypes import DType
 from .base import CheckpointStrategy
 
@@ -32,11 +32,13 @@ __all__ = [
     "ComputeCostModel",
     "MergeCostPlan",
     "ReshardCostPlan",
+    "StepTrafficPlan",
     "StrategyPlan",
     "checkpoint_event_nbytes",
     "checkpoint_event_seconds",
     "plan_merge_cost",
     "plan_reshard_cost",
+    "plan_step_traffic",
     "plan_strategy",
 ]
 
@@ -93,6 +95,70 @@ def checkpoint_event_seconds(
         volume["optim_bytes"], files=world_size, parallel=world_size
     )
     return t_weights + t_optim
+
+
+@dataclass(frozen=True)
+class StepTrafficPlan:
+    """Per-optimizer-step collective traffic under the ring cost model.
+
+    This is the analytic twin of the live accounting in
+    :class:`repro.dist.comm.CommStats`: every training step the ZeRO-3
+    engine reduce-scatters each group's padded fp32 gradient and
+    all-gathers the updated masters, each moving ``(n-1)/n`` of the
+    buffer per rank around the ring.  ``llmtailor plan`` prints it so the
+    sharding tax of a world size is visible without running anything.
+    """
+
+    world_size: int
+    num_groups: int
+    padded_numel: int  # sum of per-group padded group sizes
+    reduce_scatter_bytes: float  # per step, per rank
+    all_gather_bytes: float  # per step, per rank
+
+    @property
+    def total_bytes(self) -> float:
+        return self.reduce_scatter_bytes + self.all_gather_bytes
+
+    def describe(self) -> dict:
+        return {
+            "world_size": self.world_size,
+            "num_groups": self.num_groups,
+            "padded_numel": self.padded_numel,
+            "reduce_scatter_bytes": self.reduce_scatter_bytes,
+            "all_gather_bytes": self.all_gather_bytes,
+            "total_bytes": self.total_bytes,
+        }
+
+
+def plan_step_traffic(
+    config: ModelConfig, *, world_size: int, weight_decay: float = 0.01
+) -> StepTrafficPlan:
+    """Ring-model bytes one optimizer step moves at the given world size.
+
+    Derived from the tailored 2L+x group layout analytically (no model
+    instantiation): each group's flat fp32 gradient is padded to a
+    multiple of ``world_size``, reduce-scattered, and the updated master
+    all-gathered — ``2 * (n-1)/n * 4 * padded_numel`` bytes per step in
+    total.  At ``world_size == 1`` every collective is local and the
+    traffic is zero, matching :class:`repro.dist.comm.SimComm`.
+    """
+    from ..core.groups import tailored_group_specs  # lazy: avoids a cycle
+
+    shapes = parameter_shapes(config)
+    specs = tailored_group_specs(config, weight_decay)
+    fraction = (world_size - 1) / world_size
+    padded_total = 0
+    for spec in specs:
+        numel = sum(math.prod(shapes[name]) for name in spec.param_names)
+        padded_total += -(-numel // world_size) * world_size
+    per_collective = fraction * 4.0 * padded_total  # fp32 buffers
+    return StepTrafficPlan(
+        world_size=world_size,
+        num_groups=len(specs),
+        padded_numel=padded_total,
+        reduce_scatter_bytes=per_collective,
+        all_gather_bytes=per_collective,
+    )
 
 
 @dataclass

@@ -38,8 +38,11 @@ class LoggingCallback(Callback):
     def on_step_end(self, trainer: "Trainer", step: int, loss: float) -> None:
         if step % self.every == 0 or step == trainer.config.total_steps:
             lr = trainer.scheduler.get_last_lr()[0]
-            trainer.state.log(step, loss=loss, lr=lr)
-            log.info("step %d loss %.4f lr %.2e", step, loss, lr)
+            # Cumulative ring-model bytes the engine's collectives moved
+            # so far — per-step traffic is the delta between log entries.
+            comm_bytes = trainer.engine.comm.stats.total_bytes()
+            trainer.state.log(step, loss=loss, lr=lr, comm_bytes=comm_bytes)
+            log.info("step %d loss %.4f lr %.2e comm %.0fB", step, loss, lr, comm_bytes)
 
 
 class CheckpointCallback(Callback):

@@ -63,6 +63,9 @@ class TrainResult:
     clock: dict[str, float] = field(default_factory=dict)
     checkpoint_time_fraction: float = 0.0
     total_checkpoint_bytes: float = 0.0
+    # Cumulative ring-model collective traffic from the engine's SimComm
+    # (bytes/calls per op), so the sharding tax is part of the run record.
+    comm_traffic: dict[str, dict] = field(default_factory=dict)
 
     def summary(self) -> str:
         status = (
@@ -223,6 +226,7 @@ class Trainer:
         final_train = self.state.recent_loss() or float("nan")
         final_eval = self.eval_loss()
         clock = self.storage.clock.snapshot()
+        comm = self.engine.comm.stats
         return TrainResult(
             final_step=self.state.global_step,
             final_train_loss=final_train,
@@ -232,6 +236,10 @@ class Trainer:
             clock=clock,
             checkpoint_time_fraction=self.storage.clock.fraction("checkpoint_write"),
             total_checkpoint_bytes=self.storage.stats.category_bytes("checkpoint_write"),
+            comm_traffic={
+                "bytes_by_op": dict(comm.bytes_by_op),
+                "calls_by_op": dict(comm.calls_by_op),
+            },
         )
 
     # -- evaluation -------------------------------------------------------------------------------

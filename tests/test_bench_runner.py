@@ -15,6 +15,7 @@ from repro.bench.runner import (
     load_artifact,
     normalize_raw,
     render_summary,
+    run_scenario,
 )
 
 
@@ -36,6 +37,34 @@ def _raw_doc(means: dict[str, float], version: str = "5.0.0") -> dict:
             for name, mean in means.items()
         ],
     }
+
+
+class TestProfilePass:
+    def test_profile_writes_dump_without_touching_timing_stats(self, tmp_path):
+        """--profile enables pytest-benchmark's native cProfile dump: the
+        timing artifact must keep its benchmark stats, benchmark.stats
+        must stay usable inside the test (real scenarios read it after
+        the run — a --benchmark-disable-based pass broke exactly that),
+        and a PROFILE_<scenario>.txt must appear."""
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        (bench_dir / "bench_toy.py").write_text(
+            "def test_toy(benchmark):\n"
+            "    assert benchmark(sum, range(100)) == 4950\n"
+            "    assert benchmark.stats['min'] >= 0  # scenarios read stats post-run\n",
+            encoding="utf-8",
+        )
+        scenario = discover_scenarios(bench_dir)[0]
+        result = run_scenario(
+            scenario, quick=True, results_dir=tmp_path / "out",
+            repo_root=bench_dir.parent, profile=True,
+        )
+        assert result.ok, result.error
+        doc = json.loads(result.artifact.read_text(encoding="utf-8"))
+        assert doc["benchmarks"], "profiled run must keep timing stats"
+        dump = tmp_path / "out" / "PROFILE_toy.txt"
+        assert dump.exists()
+        assert "cumulative" in dump.read_text(encoding="utf-8")
 
 
 class TestDiscovery:
