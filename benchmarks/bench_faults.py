@@ -1,0 +1,112 @@
+"""Chaos overhead: clean vs rank-failure vs straggler training runs.
+
+The fault-injection engine's cost has two components this scenario
+separates:
+
+* **real wall time** — the chaos machinery itself (plan checks, the
+  wrapping communicator, supervisor legs, elastic resume) measured by
+  pytest-benchmark against an identical clean run;
+* **simulated time** — what the faults cost the *fleet*: replayed
+  steps, straggler tax, and recovery reads, read off the deterministic
+  SimClock and reported in the emitted table (identical on every
+  machine).
+
+A failure at step 14 of 18 (interval 6) loses 2 steps and reshards
+2 → 1; the straggler run slows rank 0 by 3× for 6 steps.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from _bench_common import ROUNDS, WARMUP_ROUNDS, emit
+
+from repro.dist.faults import FaultPlan, rank_failure, straggler
+from repro.train import ChaosSupervisor, TrainConfig, Trainer
+from repro.util.tables import Table
+
+_counter = itertools.count()
+_rows: dict[str, dict] = {}
+
+TOTAL_STEPS = 18
+INTERVAL = 6
+
+
+def _config(tmp_path, tag: str) -> TrainConfig:
+    return TrainConfig(
+        model="tiny-untied", task="cpt", total_steps=TOTAL_STEPS,
+        checkpoint_strategy="full", checkpoint_interval=INTERVAL,
+        output_dir=str(tmp_path / f"{tag}-{next(_counter)}"), world_size=2,
+        micro_batch_size=2, grad_accum_steps=1, seq_len=32, log_every=6,
+    )
+
+
+def _record(name: str, mean: float, result) -> None:
+    clock = result.clock
+    _rows[name] = {
+        "wall": mean,
+        "sim_total": clock.get("__total__", 0.0),
+        "straggler": clock.get("fault_straggler", 0.0),
+        "lost": (
+            result.fault_timeline.lost_steps
+            if result.fault_timeline is not None
+            else 0
+        ),
+    }
+    if len(_rows) == 3:
+        table = Table(
+            ["Scenario", "Wall (s)", "Sim clock (s)", "Straggler tax (s)",
+             "Lost steps"],
+            title=f"Fault-injection overhead ({TOTAL_STEPS} steps, ws 2, "
+            f"interval {INTERVAL})",
+        )
+        for scenario, row in _rows.items():
+            table.add_row([
+                scenario, round(row["wall"], 4), round(row["sim_total"], 3),
+                round(row["straggler"], 3), row["lost"],
+            ])
+        emit("fault_overhead", table.render())
+
+
+def test_faults_clean(benchmark, tmp_path):
+    """Baseline: the same run with no fault plan attached at all."""
+    holder = {}
+
+    def run():
+        holder["result"] = Trainer(_config(tmp_path, "clean")).train()
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1, warmup_rounds=WARMUP_ROUNDS)
+    assert holder["result"].interrupted_at is None
+    _record("clean", benchmark.stats["mean"], holder["result"])
+
+
+def test_faults_rank_failure(benchmark, tmp_path):
+    """One rank death at step 14: shrink 2 → 1 and elastically resume."""
+    plan = FaultPlan(events=(rank_failure(14, 1),))
+    holder = {}
+
+    def run():
+        holder["result"] = ChaosSupervisor(_config(tmp_path, "fail"), plan).run()
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1, warmup_rounds=WARMUP_ROUNDS)
+    result = holder["result"]
+    assert result.interrupted_at is None
+    assert result.fault_timeline.recoveries == 1
+    assert result.fault_timeline.lost_steps == 2  # 14 -> checkpoint-12
+    _record("1 rank failure", benchmark.stats["mean"], result)
+
+
+def test_faults_straggler(benchmark, tmp_path):
+    """Rank 0 runs 3x slow for 6 steps: pure sim-clock tax, no recovery."""
+    plan = FaultPlan(events=(straggler(7, 0, 3.0, duration=6),))
+    holder = {}
+
+    def run():
+        holder["result"] = ChaosSupervisor(_config(tmp_path, "slow"), plan).run()
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1, warmup_rounds=WARMUP_ROUNDS)
+    result = holder["result"]
+    assert result.interrupted_at is None
+    # 6 active steps x (3 - 1) x 1 sim-sec.
+    assert result.clock["fault_straggler"] == 12.0
+    _record("straggler 3x/6 steps", benchmark.stats["mean"], result)

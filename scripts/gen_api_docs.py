@@ -1,0 +1,319 @@
+#!/usr/bin/env python3
+"""Generate (and check) the committed API reference under ``docs/api/``.
+
+Stdlib only (``inspect`` + ``importlib``): walks every module under
+``src/repro/``, renders one deterministic Markdown page per module —
+module docstring, public classes with their public methods and
+properties, public functions, public constants — plus an index page.
+
+Two modes:
+
+* default — (re)write ``docs/api/``; exits non-zero if any public
+  module, class, function, method, or property lacks a docstring, so
+  an undocumented API surface cannot be rendered into the reference;
+* ``--check`` — render in memory and diff against the committed pages;
+  exits non-zero on stale/missing/extra files *or* undocumented
+  symbols.  This is the CI ``docs`` job.
+
+Public means: listed in the module's ``__all__`` (or, without
+``__all__``, top-level names not starting with ``_``) and *defined* in
+that module — re-exports are documented where they are defined and
+rendered as links.  Inherited method docstrings count (``inspect.getdoc``
+resolves the MRO), so overriding without re-documenting is fine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import importlib
+import inspect
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src"
+DEFAULT_OUT = REPO_ROOT / "docs" / "api"
+PACKAGE = "repro"
+
+sys.path.insert(0, str(SRC_ROOT))
+
+
+# ---------------------------------------------------------------------------
+# Discovery
+# ---------------------------------------------------------------------------
+
+def discover_modules() -> list[str]:
+    """Dotted names of every module under ``src/repro/``, sorted."""
+    names = []
+    for path in sorted((SRC_ROOT / PACKAGE).rglob("*.py")):
+        rel = path.relative_to(SRC_ROOT)
+        parts = list(rel.with_suffix("").parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        names.append(".".join(parts))
+    return sorted(set(names))
+
+
+def public_names(module) -> list[str]:
+    """The module's public surface, in stable (alphabetical) order."""
+    declared = getattr(module, "__all__", None)
+    if declared is not None:
+        return sorted(declared)
+    return sorted(
+        name for name in vars(module)
+        if not name.startswith("_") and not inspect.ismodule(getattr(module, name))
+    )
+
+
+def _defined_here(obj, module_name: str) -> bool:
+    return getattr(obj, "__module__", None) == module_name
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def _signature(obj) -> str:
+    try:
+        sig = str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+    return sig
+
+
+def _first_line(doc: str | None) -> str:
+    if not doc:
+        return ""
+    return doc.strip().splitlines()[0]
+
+
+def _indent_doc(doc: str) -> str:
+    return "\n".join(doc.rstrip().splitlines())
+
+
+class Collector:
+    """Walks modules, renders pages, and records undocumented symbols."""
+
+    def __init__(self) -> None:
+        self.undocumented: list[str] = []  # "module: symbol" entries
+        self.pages: dict[str, str] = {}  # filename -> content
+        self.summaries: dict[str, str] = {}  # module -> first doc line
+
+    # -- recording ----------------------------------------------------------
+
+    def _require_doc(self, doc: str | None, where: str) -> str:
+        if not doc or not doc.strip():
+            self.undocumented.append(where)
+            return "*(undocumented)*"
+        return _indent_doc(doc)
+
+    # -- per-kind rendering -------------------------------------------------
+
+    def _render_function(self, name: str, obj, module_name: str, out: list[str],
+                         *, heading: str = "###") -> None:
+        out.append(f"{heading} `{name}{_signature(obj)}`")
+        out.append("")
+        out.append(self._require_doc(inspect.getdoc(obj), f"{module_name}: {name}"))
+        out.append("")
+
+    def _render_class(self, name: str, cls, module_name: str, out: list[str]) -> None:
+        bases = [
+            b.__name__ for b in cls.__bases__
+            if b is not object and b.__module__.startswith(PACKAGE)
+        ]
+        suffix = f"({', '.join(bases)})" if bases else ""
+        out.append(f"### class `{name}{suffix}`")
+        out.append("")
+        out.append(self._require_doc(inspect.getdoc(cls), f"{module_name}: {name}"))
+        out.append("")
+        try:
+            out.append(f"Constructor: `{name}{_signature(cls)}`")
+            out.append("")
+        except (TypeError, ValueError):  # pragma: no cover - exotic metaclass
+            pass
+        if dataclasses.is_dataclass(cls):
+            fields = [
+                f"`{f.name}`" for f in dataclasses.fields(cls)
+            ]
+            if fields:
+                out.append(f"Dataclass fields: {', '.join(fields)}")
+                out.append("")
+        members = []
+        for attr_name in sorted(vars(cls)):
+            if attr_name.startswith("_"):
+                continue
+            raw = vars(cls)[attr_name]
+            if isinstance(raw, (staticmethod, classmethod)):
+                members.append((attr_name, raw.__func__, "method"))
+            elif inspect.isfunction(raw):
+                members.append((attr_name, raw, "method"))
+            elif isinstance(raw, property):
+                members.append((attr_name, raw, "property"))
+        for attr_name, member, kind in members:
+            where = f"{module_name}: {name}.{attr_name}"
+            if kind == "property":
+                out.append(f"- **`.{attr_name}`** (property) — "
+                           + self._summary_or_flag(inspect.getdoc(member), where))
+            else:
+                out.append(f"- **`.{attr_name}{_signature(member)}`** — "
+                           + self._summary_or_flag(
+                               inspect.getdoc(getattr(cls, attr_name)), where))
+        if members:
+            out.append("")
+
+    def _summary_or_flag(self, doc: str | None, where: str) -> str:
+        if not doc or not doc.strip():
+            self.undocumented.append(where)
+            return "*(undocumented)*"
+        return _first_line(doc)
+
+    # -- per-module rendering -----------------------------------------------
+
+    def render_module(self, module_name: str) -> None:
+        module = importlib.import_module(module_name)
+        out: list[str] = []
+        out.append(f"# `{module_name}`")
+        out.append("")
+        out.append(self._require_doc(module.__doc__, f"{module_name}: (module docstring)"))
+        out.append("")
+        self.summaries[module_name] = _first_line(module.__doc__)
+
+        reexports: list[tuple[str, str]] = []
+        constants: list[tuple[str, object]] = []
+        classes: list[tuple[str, type]] = []
+        functions: list[tuple[str, object]] = []
+        for name in public_names(module):
+            obj = getattr(module, name, None)
+            if obj is None and name not in vars(module):
+                continue
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if _defined_here(obj, module_name):
+                    (classes if inspect.isclass(obj) else functions).append((name, obj))
+                else:
+                    reexports.append((name, obj.__module__))
+            elif inspect.ismodule(obj):
+                continue
+            else:
+                constants.append((name, obj))
+
+        if reexports:
+            out.append("## Re-exports")
+            out.append("")
+            for name, origin in reexports:
+                out.append(f"- `{name}` — see [`{origin}`]({origin}.md)")
+            out.append("")
+        if constants:
+            out.append("## Constants")
+            out.append("")
+            for name, value in constants:
+                out.append(f"- `{name} = {value!r}`")
+            out.append("")
+        if classes:
+            out.append("## Classes")
+            out.append("")
+            for name, cls in classes:
+                self._render_class(name, cls, module_name, out)
+        if functions:
+            out.append("## Functions")
+            out.append("")
+            for name, fn in functions:
+                self._render_function(name, fn, module_name, out)
+
+        content = "\n".join(out).rstrip() + "\n"
+        self.pages[f"{module_name}.md"] = content
+
+    def render_index(self) -> None:
+        out = [
+            "# API reference",
+            "",
+            "One page per module under `src/repro/`, generated by",
+            "`scripts/gen_api_docs.py` (run it after changing any public API;",
+            "CI's `docs` job runs it with `--check`).",
+            "",
+            "| Module | Summary |",
+            "| --- | --- |",
+        ]
+        for module_name in sorted(self.summaries):
+            summary = self.summaries[module_name].replace("|", "\\|")
+            out.append(f"| [`{module_name}`]({module_name}.md) | {summary} |")
+        self.pages["README.md"] = "\n".join(out) + "\n"
+
+    def run(self) -> None:
+        for module_name in discover_modules():
+            self.render_module(module_name)
+        self.render_index()
+
+
+# ---------------------------------------------------------------------------
+# Modes
+# ---------------------------------------------------------------------------
+
+def _report_undocumented(undocumented: list[str]) -> None:
+    print(f"ERROR: {len(undocumented)} undocumented public symbol(s):",
+          file=sys.stderr)
+    for entry in undocumented:
+        print(f"  - {entry}", file=sys.stderr)
+
+
+def write_mode(out_dir: Path, collector: Collector) -> int:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    expected = set(collector.pages)
+    for name, content in sorted(collector.pages.items()):
+        (out_dir / name).write_text(content, encoding="utf-8")
+    removed = 0
+    for stale in sorted(out_dir.glob("*.md")):
+        if stale.name not in expected:
+            stale.unlink()
+            removed += 1
+    print(f"wrote {len(collector.pages)} page(s) to {out_dir}"
+          + (f", removed {removed} stale" if removed else ""))
+    if collector.undocumented:
+        _report_undocumented(collector.undocumented)
+        return 1
+    return 0
+
+
+def check_mode(out_dir: Path, collector: Collector) -> int:
+    problems = 0
+    on_disk = {p.name for p in out_dir.glob("*.md")} if out_dir.is_dir() else set()
+    for name, content in sorted(collector.pages.items()):
+        path = out_dir / name
+        if name not in on_disk:
+            print(f"MISSING: {path} (run scripts/gen_api_docs.py)", file=sys.stderr)
+            problems += 1
+        elif path.read_text(encoding="utf-8") != content:
+            print(f"STALE: {path} (run scripts/gen_api_docs.py)", file=sys.stderr)
+            problems += 1
+    for name in sorted(on_disk - set(collector.pages)):
+        print(f"EXTRA: {out_dir / name} (module gone? run scripts/gen_api_docs.py)",
+              file=sys.stderr)
+        problems += 1
+    if collector.undocumented:
+        _report_undocumented(collector.undocumented)
+        problems += len(collector.undocumented)
+    if problems:
+        print(f"docs check FAILED ({problems} problem(s))", file=sys.stderr)
+        return 1
+    print(f"docs check OK ({len(collector.pages)} page(s) up to date, "
+          "0 undocumented public symbols)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help="output directory (default: docs/api)")
+    parser.add_argument("--check", action="store_true",
+                        help="verify committed pages are current instead of writing")
+    args = parser.parse_args(argv)
+    collector = Collector()
+    collector.run()
+    out_dir = Path(args.out)
+    if args.check:
+        return check_mode(out_dir, collector)
+    return write_mode(out_dir, collector)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

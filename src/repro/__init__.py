@@ -29,14 +29,17 @@ from .core import (
     tailored_param_groups,
     verify_checkpoint,
 )
+from .dist import FaultPlan
 from .nn import CausalLM, ModelConfig, build_model, get_config, list_configs
 from .strategies import build_strategy, plan_strategy
-from .train import TrainConfig, Trainer, TrainResult
+from .train import ChaosSupervisor, TrainConfig, Trainer, TrainResult, train_with_faults
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CausalLM",
+    "ChaosSupervisor",
+    "FaultPlan",
     "LLMTailor",
     "MergeRecipe",
     "MergeResult",
@@ -44,6 +47,7 @@ __all__ = [
     "TrainConfig",
     "TrainResult",
     "Trainer",
+    "train_with_faults",
     "__version__",
     "build_model",
     "build_strategy",

@@ -33,6 +33,7 @@ IGNORE_INDEX = -100
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Normalized exponentials along ``axis`` (stable: max-shifted)."""
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     exp = np.exp(shifted)
     out_data = exp / exp.sum(axis=axis, keepdims=True)
@@ -46,6 +47,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable ``log(softmax(x))`` along ``axis``."""
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     out_data = shifted - lse
@@ -109,6 +111,7 @@ def silu(x: Tensor) -> Tensor:
 
 
 def relu(x: Tensor) -> Tensor:
+    """Element-wise rectifier ``max(x, 0)``."""
     mask = x.data > 0
     out_data = x.data * mask
 

@@ -43,6 +43,7 @@ def no_grad():
 
 
 def is_grad_enabled() -> bool:
+    """Whether autograd tape recording is currently on (see :func:`no_grad`)."""
     return _grad_enabled
 
 
@@ -94,30 +95,38 @@ class Tensor:
 
     @property
     def shape(self) -> tuple[int, ...]:
+        """The array shape tuple."""
         return self.data.shape
 
     @property
     def ndim(self) -> int:
+        """Number of array dimensions."""
         return self.data.ndim
 
     @property
     def size(self) -> int:
+        """Total number of elements."""
         return self.data.size
 
     @property
     def dtype(self):
+        """The underlying NumPy dtype."""
         return self.data.dtype
 
     def numpy(self) -> np.ndarray:
+        """The raw ``np.ndarray`` backing this tensor (no copy, no graph)."""
         return self.data
 
     def item(self) -> float:
+        """The value of a one-element tensor as a Python float."""
         return float(self.data.reshape(-1)[0]) if self.data.size == 1 else _item_err(self)
 
     def detach(self) -> "Tensor":
+        """A new tensor sharing this data but cut out of the autograd graph."""
         return Tensor(self.data, requires_grad=False)
 
     def zero_grad(self) -> None:
+        """Reset the accumulated gradient to ``None``."""
         self.grad = None
 
     def __repr__(self) -> str:
@@ -325,6 +334,7 @@ class Tensor:
     # -- elementwise functions --------------------------------------------------
 
     def exp(self) -> "Tensor":
+        """Element-wise natural exponential."""
         out_data = np.exp(self.data)
 
         def backward(g: np.ndarray) -> None:
@@ -333,6 +343,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def log(self) -> "Tensor":
+        """Element-wise natural logarithm."""
         out_data = np.log(self.data)
 
         def backward(g: np.ndarray) -> None:
@@ -341,6 +352,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def sqrt(self) -> "Tensor":
+        """Element-wise square root."""
         out_data = np.sqrt(self.data)
 
         def backward(g: np.ndarray) -> None:
@@ -349,6 +361,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def tanh(self) -> "Tensor":
+        """Element-wise hyperbolic tangent."""
         out_data = np.tanh(self.data)
 
         def backward(g: np.ndarray) -> None:
@@ -358,6 +371,7 @@ class Tensor:
 
     def sigmoid(self) -> "Tensor":
         # Numerically stable logistic via tanh.
+        """Element-wise logistic function ``1 / (1 + exp(-x))``."""
         out_data = 0.5 * (np.tanh(0.5 * self.data) + 1.0)
 
         def backward(g: np.ndarray) -> None:
@@ -366,6 +380,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def abs(self) -> "Tensor":
+        """Element-wise absolute value."""
         out_data = np.abs(self.data)
 
         def backward(g: np.ndarray) -> None:
@@ -376,6 +391,7 @@ class Tensor:
     # -- reductions ---------------------------------------------------------------
 
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (or all elements)."""
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(g: np.ndarray) -> None:
@@ -387,10 +403,12 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Mean over ``axis`` (or all elements), with gradient spread evenly."""
         count = self.data.size if axis is None else _axis_count(self.data.shape, axis)
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Variance over ``axis`` (population, ``ddof=0``)."""
         mu = self.mean(axis=axis, keepdims=True)
         sq = (self - mu) * (self - mu)
         return sq.mean(axis=axis, keepdims=keepdims)
@@ -398,6 +416,7 @@ class Tensor:
     # -- shape manipulation ----------------------------------------------------------
 
     def reshape(self, *shape) -> "Tensor":
+        """A reshaped graph-tracked view with the same total size."""
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         original = self.data.shape
@@ -409,6 +428,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def transpose(self, *axes) -> "Tensor":
+        """Permute axes (default: reverse them), tracked for gradients."""
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         if not axes:
@@ -423,6 +443,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
+        """Interchange two axes, tracked for gradients."""
         out_data = np.swapaxes(self.data, a, b)
 
         def backward(g: np.ndarray) -> None:
@@ -432,6 +453,7 @@ class Tensor:
 
     @property
     def T(self) -> "Tensor":
+        """The matrix transpose, as a graph-tracked view (alias of ``transpose()``)."""
         return self.transpose()
 
     def __getitem__(self, idx) -> "Tensor":
@@ -453,6 +475,7 @@ class Tensor:
     # -- misc ------------------------------------------------------------------------
 
     def clip(self, low: float, high: float) -> "Tensor":
+        """Element-wise clamp into ``[min_value, max_value]``."""
         out_data = np.clip(self.data, low, high)
         mask = (self.data >= low) & (self.data <= high)
 
@@ -462,6 +485,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def maximum(self, other: float) -> "Tensor":
+        """Element-wise maximum against another tensor or scalar."""
         out_data = np.maximum(self.data, other)
         mask = self.data > other
 

@@ -48,6 +48,7 @@ from ..util.tables import Table
 
 __all__ = [
     "ARTIFACT_SCHEMA",
+    "LEGACY_SCENARIO_ALIASES",
     "Scenario",
     "ScenarioResult",
     "compare_artifacts",
@@ -66,6 +67,11 @@ RESULTS_DIR_ENV_VAR = "REPRO_BENCH_RESULTS_DIR"
 DEFAULT_THRESHOLD = 0.25
 # Means below this are metadata-rendering noise, not perf signal.
 DEFAULT_MIN_SECONDS = 0.005
+# Retired artifact names still accepted by `compare` (with a deprecation
+# note) so external baseline archives keep working.  The naming rule is
+# BENCH_<scenario>.json where <scenario> is the bench_<scenario>.py stem
+# — see docs/benchmarks.md; BENCH_table7.json predates the runner.
+LEGACY_SCENARIO_ALIASES = {"table7": "table7_loading_time"}
 
 
 @dataclass(frozen=True)
@@ -77,6 +83,7 @@ class Scenario:
 
     @property
     def artifact_name(self) -> str:
+        """The scenario's normalized artifact filename (``BENCH_<name>.json``)."""
         return f"{ARTIFACT_PREFIX}{self.name}.json"
 
 
@@ -460,6 +467,38 @@ def _split_only(value: str | None) -> list[str] | None:
     return [part.strip() for part in value.split(",") if part.strip()]
 
 
+def _canonical_scenario(name: str) -> str:
+    """Map a legacy scenario name to its current one (note on stderr)."""
+    canonical = LEGACY_SCENARIO_ALIASES.get(name)
+    if canonical is None:
+        return name
+    print(f"[gate] note: scenario name {name!r} is deprecated; "
+          f"use {canonical!r}", file=sys.stderr)
+    return canonical
+
+
+def _artifact_path(directory: Path, name: str) -> Path:
+    """A scenario's artifact in ``directory``, accepting legacy filenames.
+
+    Prefers the canonical ``BENCH_<name>.json``; falls back (with a
+    deprecation note) to a retired alias like ``BENCH_table7.json`` so
+    archived baselines produced before a rename keep gating.
+    """
+    path = directory / f"{ARTIFACT_PREFIX}{name}.json"
+    if path.exists():
+        return path
+    for legacy, canonical in LEGACY_SCENARIO_ALIASES.items():
+        if canonical != name:
+            continue
+        legacy_path = directory / f"{ARTIFACT_PREFIX}{legacy}.json"
+        if legacy_path.exists():
+            print(f"[gate] note: {legacy_path.name} uses the deprecated "
+                  f"pre-runner name for scenario {name!r}; rename it to "
+                  f"{path.name} (docs/benchmarks.md)", file=sys.stderr)
+            return legacy_path
+    return path
+
+
 def _cmd_list(args) -> int:
     for scenario in discover_scenarios(args.bench_dir):
         print(f"{scenario.name:32s} {scenario.path}")
@@ -500,6 +539,7 @@ def _cmd_compare(args) -> int:
     current_dir = Path(args.current)
     only = _split_only(args.only)
     if only is not None:
+        only = [_canonical_scenario(n) for n in only]
         # A typo'd scenario name must fail the gate loudly: without this
         # check it would fall through to per-name "no baseline" errors —
         # or, worse, silently compare stale artifacts left behind by a
@@ -516,14 +556,22 @@ def _cmd_compare(args) -> int:
         names = only
     else:
         # Bare compare gates the intersection: baseline-only names (e.g.
-        # legacy aliases or retired scenarios) warn instead of failing.
+        # retired scenarios) warn instead of failing.  Legacy artifact
+        # filenames canonicalize first, so an archived BENCH_table7.json
+        # baseline still gates today's table7_loading_time run.
         base_names = {
-            p.stem[len(ARTIFACT_PREFIX):]
-            for p in baseline_dir.glob(f"{ARTIFACT_PREFIX}*.json")
+            LEGACY_SCENARIO_ALIASES.get(name, name)
+            for name in (
+                p.stem[len(ARTIFACT_PREFIX):]
+                for p in baseline_dir.glob(f"{ARTIFACT_PREFIX}*.json")
+            )
         }
         cur_names = {
-            p.stem[len(ARTIFACT_PREFIX):]
-            for p in current_dir.glob(f"{ARTIFACT_PREFIX}*.json")
+            LEGACY_SCENARIO_ALIASES.get(name, name)
+            for name in (
+                p.stem[len(ARTIFACT_PREFIX):]
+                for p in current_dir.glob(f"{ARTIFACT_PREFIX}*.json")
+            )
         }
         for name in sorted(base_names - cur_names):
             print(f"[gate] note: baseline {name} has no current artifact; skipping",
@@ -535,8 +583,8 @@ def _cmd_compare(args) -> int:
         return 1
     regressions = 0
     for name in names:
-        base_path = baseline_dir / f"{ARTIFACT_PREFIX}{name}.json"
-        cur_path = current_dir / f"{ARTIFACT_PREFIX}{name}.json"
+        base_path = _artifact_path(baseline_dir, name)
+        cur_path = _artifact_path(current_dir, name)
         if not base_path.exists():
             print(f"[gate] {name}: no baseline at {base_path}", file=sys.stderr)
             regressions += 1
@@ -570,6 +618,7 @@ def _cmd_compare(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.bench.runner`` / ``llmtailor bench``)."""
     args = build_parser().parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "compare": _cmd_compare}
     try:

@@ -2,6 +2,9 @@
 
 Mirrors the paper artifact's workflow:
 
+* ``llmtailor train -o RUN_DIR [--faults plan.yaml]`` — run a simulated
+  ZeRO-3 training experiment; with a fault plan, the chaos supervisor
+  injects the scheduled failures and recovers (shrink + elastic resume);
 * ``llmtailor merge -r recipe.yaml [-o OUT]`` — assemble a Frankenstein
   checkpoint from a YAML recipe;
 * ``llmtailor auto-merge RUN_DIR --failure-step N -o OUT`` — scan a
@@ -42,12 +45,40 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``llmtailor`` argument parser (one subparser per command)."""
     parser = argparse.ArgumentParser(
         prog="llmtailor",
         description="Layer-wise checkpoint tailoring (LLMTailor reproduction)",
     )
     parser.add_argument("--version", action="version", version=f"llmtailor {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p_train = sub.add_parser(
+        "train", help="run a training experiment (optionally under a fault plan)"
+    )
+    p_train.add_argument("-o", "--output-dir", required=True,
+                         help="run directory (checkpoints land here)")
+    p_train.add_argument("--model", default="tiny-untied",
+                         help=f"model config ({', '.join(list_configs())})")
+    p_train.add_argument("--task", choices=("cpt", "sft"), default="cpt")
+    p_train.add_argument("--steps", type=int, default=40, help="total optimizer steps")
+    p_train.add_argument("--world-size", type=int, default=2,
+                         help="simulated data-parallel ranks")
+    p_train.add_argument("--strategy",
+                         choices=("full", "parity", "filtered", "magnitude"),
+                         default="full", help="checkpoint strategy")
+    p_train.add_argument("--interval", type=int, default=10,
+                         help="checkpoint interval (steps)")
+    p_train.add_argument("--seq-len", type=int, default=32)
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--max-checkpoints", type=int, default=None,
+                         help="coverage-aware retention limit")
+    p_train.add_argument("--faults", default=None, metavar="PLAN_YAML",
+                         help="fault-injection plan (see docs/faults.md); the "
+                              "chaos supervisor shrinks and resumes on rank "
+                              "failures")
+    p_train.add_argument("--resume", action="store_true",
+                         help="resume from the run's latest checkpoint first")
 
     p_merge = sub.add_parser("merge", help="merge checkpoints from a YAML recipe")
     p_merge.add_argument("-r", "--recipe", required=True, help="recipe YAML path")
@@ -116,6 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="merge/reshard estimate: streaming engine")
     p_plan.add_argument("--cache-mode", choices=("per-checkpoint", "none"),
                         default="per-checkpoint", help="merge estimate: load policy")
+    p_plan.add_argument("--faults", default=None, metavar="PLAN_YAML",
+                        help="also estimate the cost of a fault-injection plan "
+                             "(expected lost steps, reshard traffic, slowdown)")
 
     p_bench = sub.add_parser(
         "bench", help="benchmark runner (discover/run/compare BENCH_*.json artifacts)"
@@ -134,6 +168,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_prune.add_argument("--keep-last", type=int, required=True)
     p_prune.add_argument("--dry-run", action="store_true")
     return parser
+
+
+def _cmd_train(args) -> int:
+    from .dist.faults import FaultPlan
+    from .train import ChaosSupervisor, TrainConfig, Trainer
+
+    config = TrainConfig(
+        model=args.model,
+        task=args.task,
+        output_dir=args.output_dir,
+        seed=args.seed,
+        world_size=args.world_size,
+        seq_len=args.seq_len,
+        total_steps=args.steps,
+        checkpoint_strategy=args.strategy,
+        checkpoint_interval=args.interval,
+        max_checkpoints=args.max_checkpoints,
+    )
+    if args.faults:
+        if args.resume:
+            raise SystemExit(
+                "--resume cannot be combined with --faults: the chaos "
+                "supervisor manages its own resume points (run the plan "
+                "in a fresh output directory)"
+            )
+        plan = FaultPlan.from_yaml(args.faults)
+        supervisor = ChaosSupervisor(config, plan)
+        result = supervisor.run()
+        print(result.summary())
+        if result.fault_timeline is not None:
+            print(result.fault_timeline.summary())
+    else:
+        trainer = Trainer(config)
+        if args.resume:
+            step = trainer.resume_latest()
+            print(f"resumed from step {step}")
+        result = trainer.train()
+        print(result.summary())
+    return 0 if result.interrupted_at is None else 1
 
 
 def _cmd_merge(args) -> int:
@@ -282,6 +355,28 @@ def _cmd_plan(args) -> int:
         print(f"  bytes written          : {format_bytes(reshard.bytes_written)}")
         print(f"  peak memory            : {format_bytes(reshard.peak_bytes)}")
         print(f"  reshard time           : {reshard.seconds:.1f}s simulated")
+    if args.faults is not None:
+        from .dist.faults import FaultPlan
+        from .strategies import plan_fault_cost
+
+        fault_plan = FaultPlan.from_yaml(args.faults)
+        faults = plan_fault_cost(
+            config, fault_plan, world_size=args.world_size,
+            total_steps=args.steps, checkpoint_interval=args.interval,
+        )
+        print(
+            f"fault-plan estimate ({faults.num_failures} failure(s), "
+            f"world {faults.world_size} -> {faults.final_world_size}):"
+        )
+        print(f"  lost (replayed) steps  : {faults.lost_steps}")
+        print(f"  executed steps         : {faults.executed_steps} "
+              f"(of {faults.total_steps})")
+        print(f"  elastic reshard loads  : {faults.reshard_loads} "
+              f"({format_bytes(faults.reshard_bytes)})")
+        print(f"  straggler time         : {faults.straggler_seconds:.1f}s simulated")
+        print(f"  collective time        : {faults.comm_seconds:.3f}s simulated")
+        print(f"  recovery read time     : {faults.recovery_read_seconds:.3f}s simulated")
+        print(f"  total fault overhead   : {faults.overhead_seconds:.1f}s simulated")
     return 0
 
 
@@ -317,6 +412,7 @@ def _cmd_prune(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: dispatch ``argv`` to the matching subcommand handler."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "bench":
@@ -327,6 +423,7 @@ def main(argv: list[str] | None = None) -> int:
         return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     handlers = {
+        "train": _cmd_train,
         "merge": _cmd_merge,
         "auto-merge": _cmd_auto_merge,
         "reshard": _cmd_reshard,
@@ -337,7 +434,10 @@ def main(argv: list[str] | None = None) -> int:
         "diff": _cmd_diff,
         "prune": _cmd_prune,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:  # e.g. `llmtailor describe ... | head`: not an error
+        return 0
 
 
 if __name__ == "__main__":

@@ -52,6 +52,7 @@ class GroupSpec:
 
     @property
     def is_decay(self) -> bool:
+        """Whether this group applies (non-zero) weight decay."""
         return self.weight_decay != 0.0
 
 

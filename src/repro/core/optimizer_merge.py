@@ -73,6 +73,7 @@ class RankMergeStats:
     slots_copied: int = 0
 
     def as_dict(self) -> dict[str, Any]:
+        """Flat dict form for JSON artifacts and result summaries."""
         return dict(self.__dict__)
 
 

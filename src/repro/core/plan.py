@@ -53,6 +53,7 @@ class MergePlan:
         return self.slot_sources[slot_of_group(self.config, group_index)]
 
     def distinct_sources(self) -> list[CheckpointPaths]:
+        """Every checkpoint the plan reads from, deduplicated, base first."""
         seen: dict[Path, CheckpointPaths] = {}
         for cp in [self.base, *self.slot_sources.values()]:
             seen.setdefault(cp.dir, cp)

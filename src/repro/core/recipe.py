@@ -79,6 +79,7 @@ class MergeRecipe:
     options: MergeOptions = field(default_factory=MergeOptions)
 
     def source_for(self, slot: str) -> Path:
+        """The checkpoint directory a layer slot is taken from (base if unassigned)."""
         return self.assignments.get(slot, self.base_checkpoint)
 
     def distinct_sources(self) -> list[Path]:
@@ -89,6 +90,7 @@ class MergeRecipe:
         return list(seen)
 
     def to_yaml(self) -> str:
+        """Serialize the recipe to a YAML document string."""
         doc: dict[str, Any] = {"base_checkpoint": str(self.base_checkpoint)}
         if self.output is not None:
             doc["output"] = str(self.output)
@@ -113,6 +115,7 @@ class MergeRecipe:
         return miniyaml.dumps(doc)
 
     def save(self, path: str | Path) -> None:
+        """Write the recipe as YAML to ``path`` (round-trips :func:`load_recipe`)."""
         Path(path).write_text(self.to_yaml(), encoding="utf-8")
 
 

@@ -51,21 +51,26 @@ class MergeResult:
 
     @property
     def optimizer_files_loaded(self) -> int:
+        """Total shard files read across all ranks."""
         return sum(s.files_loaded for s in self.rank_stats)
 
     @property
     def optimizer_bytes_loaded(self) -> int:
+        """Total shard-file bytes read across all ranks."""
         return sum(s.bytes_loaded for s in self.rank_stats)
 
     @property
     def optimizer_load_seconds(self) -> float:
+        """Wall seconds spent loading shard files (summed over ranks)."""
         return sum(s.load_seconds for s in self.rank_stats)
 
     @property
     def checkpoints_included(self) -> int:
+        """Number of distinct source checkpoints the merge read."""
         return len({v for v in self.plan["slot_sources"].values()})
 
     def summary(self) -> str:
+        """Multi-line human-readable recap of the merge (sizes, times, sources)."""
         lines = [
             f"merged checkpoint: {self.output.dir}",
             f"  checkpoints included : {self.checkpoints_included}",
@@ -90,10 +95,12 @@ class LLMTailor:
 
     @classmethod
     def from_yaml(cls, path: str | Path) -> "LLMTailor":
+        """Build a tailor from a recipe YAML file."""
         return cls(load_recipe(path))
 
     @classmethod
     def from_dict(cls, doc: dict[str, Any]) -> "LLMTailor":
+        """Build a tailor from a parsed recipe document (YAML/JSON dict)."""
         return cls(parse_recipe(doc))
 
     @classmethod

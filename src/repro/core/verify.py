@@ -34,14 +34,17 @@ class VerifyReport:
 
     @property
     def ok(self) -> bool:
+        """True when every recorded check passed."""
         return not self.issues
 
     def note(self, ok: bool, message: str) -> None:
+        """Record one check: increments the counter, collects the failure message."""
         self.checks_run += 1
         if not ok:
             self.issues.append(message)
 
     def raise_if_failed(self) -> None:
+        """Raise :class:`MergeError` summarizing the issues, if any."""
         if self.issues:
             summary = "; ".join(self.issues[:5])
             raise MergeError(f"checkpoint verification failed for {self.path}: {summary}")

@@ -37,6 +37,7 @@ class Batch:
 
     @property
     def num_target_tokens(self) -> int:
+        """Count of label positions that contribute to the loss (non-ignored)."""
         return int((self.labels != IGNORE_INDEX).sum())
 
 
@@ -72,6 +73,7 @@ class CPTDataset:
         return self.num_blocks
 
     def block(self, index: int) -> Batch:
+        """The ``index``-th contiguous ``seq_len`` token block as a batch of one."""
         lo = index * self.seq_len
         window = self._stream[lo : lo + self.seq_len + 1]
         return Batch(input_ids=window[:-1][None, :], labels=window[1:][None, :])
@@ -144,10 +146,12 @@ class SFTDataset:
         return len(self._examples)
 
     def example(self, index: int) -> Batch:
+        """One formatted QA example as a batch of one."""
         inputs, labels = self._examples[index]
         return Batch(input_ids=inputs[None, :], labels=labels[None, :])
 
     def batch_at_step(self, step: int, batch_size: int, *, tag: str = "train") -> Batch:
+        """The deterministic micro-batch for a global step (stateless)."""
         rng = self._tree.generator(tag, step)
         picks = rng.integers(0, len(self._examples), size=batch_size)
         inputs = np.stack([self._examples[p][0] for p in picks])
@@ -155,6 +159,7 @@ class SFTDataset:
         return Batch(input_ids=inputs, labels=labels)
 
     def eval_batches(self, batch_size: int, max_batches: int = 8) -> list[Batch]:
+        """Fixed deterministic evaluation batches (same picks every call)."""
         rng = self._tree.generator("eval")
         out = []
         for _ in range(max_batches):

@@ -58,6 +58,7 @@ class MedicalKB:
 
     @classmethod
     def build(cls, seed: int = 1234, *, n_diseases: int = 24, n_general: int = 18) -> "MedicalKB":
+        """Generate the deterministic knowledge base for a seed."""
         tree = RngTree(seed, "medical-kb")
         rng = tree.generator("entities")
 
@@ -111,10 +112,13 @@ class MedicalKB:
         return sorted(words)
 
     def treatments(self) -> list[str]:
+        """All treatment entity names in the KB."""
         return sorted({d.treatment for d in self.diseases})
 
     def symptoms(self) -> list[str]:
+        """All symptom entity names in the KB."""
         return sorted({d.symptom for d in self.diseases})
 
     def organs(self) -> list[str]:
+        """All organ entity names in the KB."""
         return sorted({d.organ for d in self.diseases})

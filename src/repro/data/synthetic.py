@@ -67,6 +67,7 @@ def _disease_sentences(d: Disease, rng: np.random.Generator, n: int) -> list[str
 
 
 def general_fact_sentences(kb: MedicalKB) -> list[str]:
+    """Generic filler sentences (non-medical) mixed into the corpus."""
     return [
         _GENERAL_TEMPLATES[f.relation].format(subject=f.subject, value=f.value)
         for f in kb.general

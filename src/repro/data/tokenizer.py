@@ -23,6 +23,12 @@ _WORD_RE = re.compile(r"[a-z0-9]+|[.,;:?!]")
 
 
 class WordTokenizer:
+    """Deterministic word-level tokenizer with reserved special tokens.
+
+    The vocabulary is the most frequent lowercase word forms of the
+    training texts, always prefixed by the five specials (``<pad>``,
+    ``<bos>``, ``<eos>``, ``<unk>``, ``<sep>``) at fixed ids.
+    """
     PAD = "<pad>"
     BOS = "<bos>"
     EOS = "<eos>"
@@ -55,35 +61,43 @@ class WordTokenizer:
 
     @staticmethod
     def tokenize_text(text: str) -> list[str]:
+        """Split text into lowercase word tokens (the training-time rule)."""
         return _WORD_RE.findall(text.lower())
 
     # -- codec ---------------------------------------------------------------------
 
     @property
     def vocab_size(self) -> int:
+        """Total vocabulary size including the special tokens."""
         return len(self.vocab)
 
     @property
     def pad_id(self) -> int:
+        """Id of the padding token."""
         return self.token_to_id[self.PAD]
 
     @property
     def bos_id(self) -> int:
+        """Id of the beginning-of-sequence token."""
         return self.token_to_id[self.BOS]
 
     @property
     def eos_id(self) -> int:
+        """Id of the end-of-sequence token."""
         return self.token_to_id[self.EOS]
 
     @property
     def unk_id(self) -> int:
+        """Id of the unknown-word token."""
         return self.token_to_id[self.UNK]
 
     @property
     def sep_id(self) -> int:
+        """Id of the question/answer separator token."""
         return self.token_to_id[self.SEP]
 
     def encode(self, text: str, *, add_bos: bool = False, add_eos: bool = False) -> list[int]:
+        """Map text to token ids, optionally bracketed by BOS/EOS."""
         ids = [self.token_to_id.get(tok, self.unk_id) for tok in self.tokenize_text(text)]
         if add_bos:
             ids.insert(0, self.bos_id)
@@ -92,9 +106,11 @@ class WordTokenizer:
         return ids
 
     def encode_array(self, text: str, **kwargs) -> np.ndarray:
+        """Like :meth:`encode`, returned as an ``int64`` NumPy array."""
         return np.asarray(self.encode(text, **kwargs), dtype=np.int64)
 
     def decode(self, ids: Iterable[int], *, skip_special: bool = True) -> str:
+        """Map token ids back to a space-joined string (specials skippable)."""
         words = []
         for i in ids:
             tok = self.vocab[int(i)] if 0 <= int(i) < len(self.vocab) else self.UNK
@@ -106,10 +122,12 @@ class WordTokenizer:
     # -- persistence ------------------------------------------------------------------
 
     def to_dict(self) -> dict:
+        """Serializable form (the ordered vocabulary)."""
         return {"vocab": self.vocab}
 
     @classmethod
     def from_dict(cls, data: dict) -> "WordTokenizer":
+        """Rebuild a tokenizer from :meth:`to_dict` output."""
         return cls(list(data["vocab"]))
 
     def __repr__(self) -> str:

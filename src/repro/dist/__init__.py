@@ -10,33 +10,58 @@ in a single process:
 * :class:`ZeroStage3Engine` — per-rank AdamW over sharded fp32 masters,
   emitting/consuming the per-rank optimizer shard files LLMTailor merges;
 * :func:`reshard_checkpoint` / :func:`reshard_state_dicts` — elastic
-  N→M re-partitioning of those shard files (streaming, bounded memory).
+  N→M re-partitioning of those shard files (streaming, bounded memory);
+* :class:`FaultPlan` / :class:`ChaosComm` — deterministic fault
+  injection (rank failures, stragglers, degraded links, bitrot) over
+  the same machinery, with penalized time accounting.
 """
 
 from .comm import CommStats, SimComm
 from .partition import GroupPartition, flatten_arrays, unflatten_array
 from .zero import SHARD_FORMAT_VERSION, GroupMeta, ZeroStage3Engine
 
-# Imported last: reshard pulls in repro.io, which itself imports the
-# modules above from this (then partially initialized) package.
+# Imported last: reshard/faults pull in repro.io, which itself imports
+# the modules above from this (then partially initialized) package.
 from .reshard import (  # noqa: E402
     ReshardReport,
     reshard_checkpoint,
     reshard_rank_state_dict,
     reshard_state_dicts,
 )
+from .faults import (  # noqa: E402
+    ChaosComm,
+    FaultEvent,
+    FaultPlan,
+    FaultTimeline,
+    bitrot,
+    degraded_link,
+    inject_bitrot,
+    rank_failure,
+    repair_from_replicas,
+    straggler,
+)
 
 __all__ = [
+    "ChaosComm",
     "CommStats",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultTimeline",
     "GroupMeta",
     "GroupPartition",
     "ReshardReport",
     "SHARD_FORMAT_VERSION",
     "SimComm",
     "ZeroStage3Engine",
+    "bitrot",
+    "degraded_link",
     "flatten_arrays",
-    "unflatten_array",
+    "inject_bitrot",
+    "rank_failure",
+    "repair_from_replicas",
     "reshard_checkpoint",
     "reshard_rank_state_dict",
     "reshard_state_dicts",
+    "straggler",
+    "unflatten_array",
 ]

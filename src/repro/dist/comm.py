@@ -39,13 +39,16 @@ class CommStats:
     calls_by_op: dict[str, int] = field(default_factory=dict)
 
     def charge(self, op: str, nbytes: float) -> None:
+        """Record one collective: add its ring-model bytes and bump the call count."""
         self.bytes_by_op[op] = self.bytes_by_op.get(op, 0.0) + float(nbytes)
         self.calls_by_op[op] = self.calls_by_op.get(op, 0) + 1
 
     def total_bytes(self) -> float:
+        """Sum of ring-model bytes over all ops."""
         return float(sum(self.bytes_by_op.values()))
 
     def reset(self) -> None:
+        """Zero all byte and call counters."""
         self.bytes_by_op.clear()
         self.calls_by_op.clear()
 

@@ -1,0 +1,656 @@
+"""Deterministic fault injection for the simulated ZeRO-3 fleet.
+
+Production data-parallel training is defined by its failures: ranks die
+mid-step, nodes turn into stragglers, links degrade, and storage flips
+bits.  This module is the repo's chaos engine — a *seeded,
+schedule-based* :class:`FaultPlan` that drives the same deterministic
+machinery the happy path uses, so every failure scenario is exactly
+reproducible and every recovery can be pinned bitwise against a
+fault-free reference run:
+
+* ``rank_failure(step, rank)`` — the rank dies after the step completes;
+  the supervisor loop in :mod:`repro.train.trainer` shrinks the world
+  N→N-1 and resumes elastically (PR-3 resharding) from the last
+  checkpoint;
+* ``straggler(step, rank, slowdown)`` — the rank runs ``slowdown``×
+  slower for a window of steps; a synchronous data-parallel step is
+  paced by its slowest rank, so the whole world is charged the penalty;
+* ``degraded_link(src, dst, bandwidth_scale)`` — one ring link loses
+  bandwidth; ring collectives are paced by the slowest link, so every
+  collective slows by ``1 / bandwidth_scale``;
+* ``bitrot(step, rank, group)`` — a checkpoint shard's group payload is
+  corrupted on disk after it is written.  The per-group CRCs introduced
+  with the streaming merge engine catch the corruption on the next read
+  and recovery re-reads from the surviving replica instead of silently
+  resuming from garbage.
+
+:class:`ChaosComm` wraps :class:`~repro.dist.comm.SimComm`: the ring
+byte accounting is unchanged (faults do not change how many bytes move)
+but each collective additionally charges simulated *seconds* —
+``bytes / (link_bandwidth / slowdown)`` — into the trainer's
+:class:`~repro.util.timer.SimClock`, which is how straggler and
+degraded-link penalties become visible in the run record.
+
+:class:`FaultTimeline` is the chaos engine's flight recorder: every
+injected fault and every recovery action lands in it, and the trainer
+attaches it to :class:`~repro.train.trainer.TrainResult`.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..util.errors import CheckpointError, ConfigError
+from ..util.miniyaml import dump_file, load_file
+from .comm import CommStats
+
+__all__ = [
+    "DEFAULT_LINK_BANDWIDTH",
+    "REPLICA_SUFFIX",
+    "ChaosComm",
+    "ChaosCommStats",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultTimeline",
+    "bitrot",
+    "degraded_link",
+    "inject_bitrot",
+    "rank_failure",
+    "repair_from_replicas",
+    "straggler",
+]
+
+# Ring link bandwidth the time model charges collectives against
+# (InfiniBand-ish, matching the Lustre-over-IB storage cost model).
+DEFAULT_LINK_BANDWIDTH = 25e9  # bytes/s
+
+# A pristine copy of a shard kept next to the corrupted file — the
+# simulated "second storage replica" recovery re-reads from.
+REPLICA_SUFFIX = ".replica"
+
+_KINDS = ("rank_failure", "straggler", "degraded_link", "bitrot")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Which fields are meaningful depends on ``kind`` — use the factory
+    functions (:func:`rank_failure`, :func:`straggler`,
+    :func:`degraded_link`, :func:`bitrot`) instead of constructing
+    events directly.  ``step`` is the first global step the event is
+    active at (``degraded_link`` defaults to 1: the whole run);
+    ``duration`` is the window length in steps, ``None`` meaning "until
+    the run ends".
+    """
+
+    kind: str
+    step: int = 1
+    rank: int | None = None
+    group: int | None = None
+    src: int | None = None
+    dst: int | None = None
+    slowdown: float | None = None
+    bandwidth_scale: float | None = None
+    duration: int | None = None
+
+    def active_at(self, step: int) -> bool:
+        """Whether this event's window covers the given global step."""
+        if step < self.step:
+            return False
+        return self.duration is None or step < self.step + self.duration
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serializable form: ``kind`` plus the fields that are set."""
+        out: dict[str, Any] = {"kind": self.kind, "step": self.step}
+        for key in ("rank", "group", "src", "dst", "slowdown",
+                    "bandwidth_scale", "duration"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultEvent":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        data = dict(data)
+        kind = data.pop("kind", None)
+        if kind not in _KINDS:
+            raise ConfigError(f"fault event kind must be one of {_KINDS}, got {kind!r}")
+        known = {"step", "rank", "group", "src", "dst", "slowdown",
+                 "bandwidth_scale", "duration"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown fault event keys: {sorted(unknown)}")
+        return cls(kind=kind, **data)
+
+
+def rank_failure(step: int, rank: int) -> FaultEvent:
+    """Rank ``rank`` dies after global step ``step`` completes."""
+    return FaultEvent(kind="rank_failure", step=int(step), rank=int(rank))
+
+
+def straggler(
+    step: int, rank: int, slowdown: float, *, duration: int | None = 1
+) -> FaultEvent:
+    """Rank ``rank`` runs ``slowdown``× slower for ``duration`` steps."""
+    return FaultEvent(
+        kind="straggler", step=int(step), rank=int(rank),
+        slowdown=float(slowdown), duration=duration,
+    )
+
+
+def degraded_link(
+    src: int, dst: int, bandwidth_scale: float,
+    *, step: int = 1, duration: int | None = None,
+) -> FaultEvent:
+    """The ring link ``src → dst`` keeps only ``bandwidth_scale`` of its
+    bandwidth (default: for the whole run)."""
+    return FaultEvent(
+        kind="degraded_link", step=int(step), src=int(src), dst=int(dst),
+        bandwidth_scale=float(bandwidth_scale), duration=duration,
+    )
+
+
+def bitrot(step: int, rank: int, group: int) -> FaultEvent:
+    """The first checkpoint written at/after ``step`` gets group
+    ``group`` of rank ``rank``'s optimizer shard corrupted on disk."""
+    return FaultEvent(kind="bitrot", step=int(step), rank=int(rank), group=int(group))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, schedule-based fault-injection plan.
+
+    The plan is pure data: events plus the seed that generated them (or
+    0 for hand-written plans), (de)serializable to the YAML subset the
+    recipe format uses, so ``llmtailor train --faults plan.yaml`` can
+    replay any scenario exactly.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def rank_failures(self) -> list[FaultEvent]:
+        """Scheduled rank deaths, ordered by step."""
+        return sorted(
+            (e for e in self.events if e.kind == "rank_failure"),
+            key=lambda e: e.step,
+        )
+
+    @property
+    def stragglers(self) -> list[FaultEvent]:
+        """Scheduled straggler windows, ordered by step."""
+        return sorted(
+            (e for e in self.events if e.kind == "straggler"), key=lambda e: e.step
+        )
+
+    @property
+    def degraded_links(self) -> list[FaultEvent]:
+        """Scheduled link degradations, ordered by step."""
+        return sorted(
+            (e for e in self.events if e.kind == "degraded_link"),
+            key=lambda e: e.step,
+        )
+
+    @property
+    def bitrot_events(self) -> list[FaultEvent]:
+        """Scheduled checkpoint corruptions, ordered by step."""
+        return sorted(
+            (e for e in self.events if e.kind == "bitrot"), key=lambda e: e.step
+        )
+
+    def compute_slowdown(self, step: int, world_size: int) -> float:
+        """Step-time multiplier at ``step``: the slowest active straggler.
+
+        A synchronous data-parallel step is paced by its slowest rank,
+        so one straggler slows the whole world.  Events referencing
+        ranks the world no longer has (after elastic shrinks) are
+        ignored.
+        """
+        factor = 1.0
+        for ev in self.events:
+            if (
+                ev.kind == "straggler"
+                and ev.active_at(step)
+                and ev.rank is not None
+                and ev.rank < world_size
+            ):
+                factor = max(factor, float(ev.slowdown))
+        return factor
+
+    def comm_slowdown(self, step: int, world_size: int) -> float:
+        """Collective-time multiplier at ``step``.
+
+        Ring collectives are paced by the slowest participant *and* the
+        slowest link, so this is the max of active straggler slowdowns
+        and ``1 / bandwidth_scale`` over active degraded links whose
+        endpoints are both in the (possibly shrunk) world.
+        """
+        factor = self.compute_slowdown(step, world_size)
+        for ev in self.events:
+            if (
+                ev.kind == "degraded_link"
+                and ev.active_at(step)
+                and ev.src is not None
+                and ev.dst is not None
+                and ev.src < world_size
+                and ev.dst < world_size
+            ):
+                factor = max(factor, 1.0 / float(ev.bandwidth_scale))
+        return factor
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self, world_size: int, total_steps: int) -> None:
+        """Check the plan is executable for a run of this shape.
+
+        Rank failures shrink the world one rank at a time, so the i-th
+        failure must name a rank that still exists at that point and
+        must leave at least one survivor.
+        """
+        for ev in self.events:
+            if ev.kind not in _KINDS:
+                raise ConfigError(f"unknown fault kind {ev.kind!r}")
+            if not 1 <= ev.step <= total_steps:
+                raise ConfigError(
+                    f"{ev.kind} step {ev.step} outside [1, {total_steps}]"
+                )
+            if ev.duration is not None and ev.duration < 1:
+                raise ConfigError(f"{ev.kind} duration must be >= 1, got {ev.duration}")
+        failures = self.rank_failures
+        if len(failures) >= world_size:
+            raise ConfigError(
+                f"{len(failures)} rank failures would leave no survivors "
+                f"at world_size {world_size}"
+            )
+        for i, ev in enumerate(failures):
+            survivors = world_size - i
+            if ev.rank is None or not 0 <= ev.rank < survivors:
+                raise ConfigError(
+                    f"rank_failure at step {ev.step}: rank {ev.rank} does not "
+                    f"exist in the surviving world of {survivors}"
+                )
+        for ev in self.stragglers:
+            if ev.rank is None or not 0 <= ev.rank < world_size:
+                raise ConfigError(
+                    f"straggler at step {ev.step}: rank {ev.rank} out of range "
+                    f"for world_size {world_size}"
+                )
+            if ev.slowdown is None or ev.slowdown < 1.0:
+                raise ConfigError(
+                    f"straggler at step {ev.step}: slowdown must be >= 1.0, "
+                    f"got {ev.slowdown}"
+                )
+        for ev in self.degraded_links:
+            if (
+                ev.src is None or ev.dst is None
+                or not 0 <= ev.src < world_size
+                or not 0 <= ev.dst < world_size
+                or ev.src == ev.dst
+            ):
+                raise ConfigError(
+                    f"degraded_link: ({ev.src}, {ev.dst}) is not a ring link "
+                    f"at world_size {world_size}"
+                )
+            if ev.bandwidth_scale is None or not 0.0 < ev.bandwidth_scale <= 1.0:
+                raise ConfigError(
+                    f"degraded_link: bandwidth_scale must be in (0, 1], "
+                    f"got {ev.bandwidth_scale}"
+                )
+        for ev in self.bitrot_events:
+            if ev.rank is None or ev.rank < 0 or ev.group is None or ev.group < 0:
+                raise ConfigError(
+                    f"bitrot at step {ev.step}: rank and group must be >= 0"
+                )
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serializable plan document (round-trips :meth:`from_dict`)."""
+        return {"seed": self.seed, "events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        """Build a plan from a parsed document (YAML/JSON)."""
+        if not isinstance(data, Mapping):
+            raise ConfigError(f"fault plan must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - {"seed", "events"}
+        if unknown:
+            raise ConfigError(f"unknown fault plan keys: {sorted(unknown)}")
+        events = data.get("events") or []
+        if not isinstance(events, (list, tuple)):
+            raise ConfigError("fault plan 'events' must be a sequence")
+        return cls(
+            events=tuple(FaultEvent.from_dict(e) for e in events),
+            seed=int(data.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_yaml(cls, path: "str | Path") -> "FaultPlan":
+        """Load a plan from a YAML file (the mini-YAML subset)."""
+        return cls.from_dict(load_file(path) or {})
+
+    def to_yaml(self, path: "str | Path") -> None:
+        """Write the plan as YAML (round-trips :meth:`from_yaml`)."""
+        dump_file(path, self.to_dict())
+
+    # -- seeded generation --------------------------------------------------
+
+    @classmethod
+    def sample(
+        cls,
+        *,
+        seed: int,
+        world_size: int,
+        total_steps: int,
+        n_failures: int = 1,
+        n_stragglers: int = 1,
+        n_degraded_links: int = 0,
+        n_bitrot: int = 0,
+        max_slowdown: float = 4.0,
+        max_group: int = 6,
+    ) -> "FaultPlan":
+        """Generate a random but fully deterministic plan from a seed.
+
+        The generated plan always validates for ``(world_size,
+        total_steps)`` — failure ranks respect the shrinking world — so
+        seeded sweeps can fuzz the supervisor without hand-writing
+        schedules.  Bitrot group ids are drawn from ``[0, max_group)``;
+        the smallest model configs have 2L+2 ≥ 6 groups, and an id a
+        particular checkpoint does not carry is skipped (recorded, not
+        fatal) at injection time.
+        """
+        if n_failures >= world_size:
+            raise ConfigError(
+                f"cannot sample {n_failures} failures at world_size {world_size}"
+            )
+        rng = np.random.default_rng(seed)
+        events: list[FaultEvent] = []
+        if n_failures:
+            steps = sorted(
+                int(s) for s in rng.choice(
+                    np.arange(1, total_steps + 1), size=n_failures, replace=False
+                )
+            )
+            for i, step in enumerate(steps):
+                events.append(rank_failure(step, int(rng.integers(world_size - i))))
+        for _ in range(n_stragglers):
+            start = int(rng.integers(1, total_steps + 1))
+            events.append(
+                straggler(
+                    start,
+                    int(rng.integers(world_size)),
+                    float(np.round(rng.uniform(1.5, max_slowdown), 2)),
+                    duration=int(rng.integers(1, max(2, total_steps // 4))),
+                )
+            )
+        for _ in range(n_degraded_links):
+            if world_size < 2:
+                break
+            src = int(rng.integers(world_size))
+            dst = int((src + 1 + rng.integers(world_size - 1)) % world_size)
+            events.append(
+                degraded_link(src, dst, float(np.round(rng.uniform(0.1, 0.9), 2)))
+            )
+        for _ in range(n_bitrot):
+            events.append(
+                bitrot(
+                    int(rng.integers(1, total_steps + 1)),
+                    int(rng.integers(world_size)),
+                    int(rng.integers(max(1, max_group))),
+                )
+            )
+        return cls(events=tuple(events), seed=int(seed))
+
+
+# ---------------------------------------------------------------------------
+# Chaos communicator
+# ---------------------------------------------------------------------------
+
+class ChaosCommStats(CommStats):
+    """:class:`~repro.dist.comm.CommStats` plus fault-aware time accounting.
+
+    Every charged collective additionally records ``seconds_by_op`` —
+    the simulated seconds it took under the current fault penalties.
+    The byte/call bookkeeping is inherited, so the two charge contracts
+    cannot drift.
+    """
+
+    def __init__(self, seconds_fn) -> None:
+        super().__init__()
+        self.seconds_by_op: dict[str, float] = {}
+        self._seconds_fn = seconds_fn
+
+    def charge(self, op: str, nbytes: float) -> None:
+        """Record one collective's bytes and its penalized seconds."""
+        super().charge(op, nbytes)
+        self.seconds_by_op[op] = self.seconds_by_op.get(op, 0.0) + self._seconds_fn(
+            float(nbytes)
+        )
+
+    def total_seconds(self) -> float:
+        """Sum of simulated collective seconds over all ops."""
+        return float(sum(self.seconds_by_op.values()))
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        super().reset()
+        self.seconds_by_op.clear()
+
+
+class ChaosComm:
+    """A :class:`~repro.dist.comm.SimComm` that charges fault penalties.
+
+    Collective *semantics* and byte accounting are exactly the wrapped
+    communicator's (faults never change what data moves); what changes
+    is the simulated clock: every charged collective costs
+    ``nbytes / link_bandwidth * comm_slowdown(step)`` seconds, advanced
+    on ``clock`` under the ``"comm"`` category.  The trainer calls
+    :meth:`set_step` at the top of each optimizer step so window-scoped
+    events (stragglers, scoped link degradations) apply to exactly the
+    steps they cover.
+
+    Implemented by delegation so it wraps any communicator honoring the
+    ``SimComm`` interface; ``stats`` is replaced with a
+    :class:`ChaosCommStats` so all existing charge sites fund the time
+    model without modification.
+    """
+
+    def __init__(
+        self,
+        comm,
+        plan: FaultPlan,
+        *,
+        clock=None,
+        link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
+    ) -> None:
+        if link_bandwidth <= 0:
+            raise ConfigError(f"link_bandwidth must be > 0, got {link_bandwidth}")
+        self._comm = comm
+        self.plan = plan
+        self.clock = clock
+        self.link_bandwidth = float(link_bandwidth)
+        self.current_step = 1
+        comm.stats = ChaosCommStats(self._collective_seconds)
+
+    @property
+    def world_size(self) -> int:
+        """The wrapped communicator's world size."""
+        return self._comm.world_size
+
+    @property
+    def stats(self) -> ChaosCommStats:
+        """The shared byte+time accounting (lives on the wrapped comm)."""
+        return self._comm.stats
+
+    def set_step(self, step: int) -> None:
+        """Position the fault schedule at a global step."""
+        self.current_step = int(step)
+
+    def slowdown(self) -> float:
+        """The collective-time multiplier active at the current step."""
+        return self.plan.comm_slowdown(self.current_step, self.world_size)
+
+    def _collective_seconds(self, nbytes: float) -> float:
+        dt = nbytes / self.link_bandwidth * self.slowdown()
+        if self.clock is not None and dt > 0.0:
+            self.clock.advance(dt, "comm")
+        return dt
+
+    # Collectives delegate verbatim; they charge through self.stats.
+    def __getattr__(self, name: str):
+        return getattr(self._comm, name)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaosComm(world_size={self.world_size}, "
+            f"slowdown={self.slowdown():.2f}, "
+            f"events={len(self.plan.events)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Bitrot injection and replica repair
+# ---------------------------------------------------------------------------
+
+def inject_bitrot(
+    checkpoint, rank: int, group: int, *, keep_replica: bool = True
+) -> Path:
+    """Corrupt one group of one rank's optimizer shard on disk.
+
+    Flips the low mantissa bit of the group's first fp32 master element
+    and rewrites the shard container.  The container-level CRC is
+    recomputed by the writer (the file is structurally valid — this is
+    *silent* storage bitrot, not a truncated download), but the group's
+    header ``crc32`` now disagrees with its payload, which is exactly
+    the corruption class the per-group CRCs exist to catch: every
+    reader that materializes the group (engine load, merge, reshard)
+    fails loudly instead of resuming from garbage.
+
+    With ``keep_replica`` (the default) the pristine file is first
+    copied to ``<shard>.replica`` — the simulated second storage
+    replica :func:`repair_from_replicas` restores from.
+    """
+    from ..io.blobfile import read_blob, write_blob
+    from ..io.layout import CheckpointPaths
+
+    paths = CheckpointPaths(checkpoint)
+    shard_path = paths.shard(rank)
+    if not shard_path.exists():
+        raise CheckpointError(f"no optimizer shard for rank {rank} at {shard_path}")
+    payload = read_blob(shard_path)
+    fp32 = payload.get("fp32_flat_groups", {}).get(group)
+    if fp32 is None:
+        raise CheckpointError(
+            f"{shard_path}: shard has no group {group} to corrupt "
+            f"(present: {sorted(payload.get('fp32_flat_groups', {}))[:8]})"
+        )
+    fp32 = np.array(fp32, dtype=np.float32)
+    if fp32.size == 0:
+        raise CheckpointError(f"{shard_path}: group {group} is empty on rank {rank}")
+    fp32.view(np.uint32)[0] ^= 0x1
+    payload["fp32_flat_groups"][group] = fp32
+    if keep_replica:
+        shutil.copy2(shard_path, _replica_path(shard_path))
+    write_blob(shard_path, payload)
+    return shard_path
+
+
+def _replica_path(shard_path: Path) -> Path:
+    return shard_path.with_name(shard_path.name + REPLICA_SUFFIX)
+
+
+def repair_from_replicas(root: "str | Path") -> list[Path]:
+    """Restore every ``*.replica`` backup found under ``root``.
+
+    Returns the shard paths repaired (the replica files are consumed).
+    Recovery calls this when a resume or merge fails a per-group CRC
+    check — the simulated re-read from a redundant copy.
+    """
+    root = Path(root)
+    repaired: list[Path] = []
+    for replica in sorted(root.rglob(f"*{REPLICA_SUFFIX}")):
+        original = replica.with_name(replica.name[: -len(REPLICA_SUFFIX)])
+        shutil.move(str(replica), str(original))
+        repaired.append(original)
+    return repaired
+
+
+# ---------------------------------------------------------------------------
+# Flight recorder
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FaultTimeline:
+    """Chronological record of injected faults and recovery actions.
+
+    The chaos engine's flight recorder, attached to
+    :class:`~repro.train.trainer.TrainResult` so a run's failures are
+    part of its record the same way its clock and collective traffic
+    are.
+    """
+
+    events: list[dict] = field(default_factory=list)
+    lost_steps: int = 0
+    recoveries: int = 0
+    reshard_loads: int = 0
+    reshard_bytes: int = 0
+    bitrot_detected: int = 0
+    bitrot_repaired: int = 0
+
+    def record(self, step: int, kind: str, **detail: Any) -> None:
+        """Append one timeline entry."""
+        entry: dict[str, Any] = {"step": int(step), "kind": str(kind)}
+        entry.update(detail)
+        self.events.append(entry)
+
+    def kinds(self) -> list[str]:
+        """The ``kind`` of every recorded entry, in order."""
+        return [e["kind"] for e in self.events]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serializable form (stable keys, JSON-friendly values)."""
+        return {
+            "events": [dict(e) for e in self.events],
+            "lost_steps": self.lost_steps,
+            "recoveries": self.recoveries,
+            "reshard_loads": self.reshard_loads,
+            "reshard_bytes": self.reshard_bytes,
+            "bitrot_detected": self.bitrot_detected,
+            "bitrot_repaired": self.bitrot_repaired,
+        }
+
+    def summary(self) -> str:
+        """A short human-readable recap of the run's faults."""
+        lines = [
+            f"fault timeline: {len(self.events)} event(s), "
+            f"{self.recoveries} recovery(ies), {self.lost_steps} step(s) replayed"
+        ]
+        for e in self.events:
+            detail = ", ".join(
+                f"{k}={v}" for k, v in e.items() if k not in ("step", "kind")
+            )
+            lines.append(f"  step {e['step']:>4d}  {e['kind']:<15s} {detail}")
+        if self.reshard_loads:
+            lines.append(
+                f"  elastic reshard: {self.reshard_loads} shard load(s), "
+                f"{self.reshard_bytes} bytes"
+            )
+        if self.bitrot_detected:
+            lines.append(
+                f"  bitrot: {self.bitrot_detected} detected, "
+                f"{self.bitrot_repaired} shard(s) repaired from replicas"
+            )
+        return "\n".join(lines)

@@ -90,6 +90,7 @@ class ReshardReport:
     rank_seconds: list[float] = field(default_factory=list)
 
     def summary(self) -> str:
+        """Multi-line human-readable recap (world sizes, loads, bytes, time)."""
         mode = "stream" if self.stream else "materialize"
         return "\n".join(
             [

@@ -262,6 +262,7 @@ class ZeroStage3Engine:
     # -- training ----------------------------------------------------------
 
     def zero_grad(self) -> None:
+        """Clear gradients on every model parameter and every rank's shards."""
         for params, shards in zip(self._params, self._shard_params):
             for p in params:
                 p.grad = None
@@ -419,6 +420,7 @@ class ZeroStage3Engine:
         *,
         materialize: bool = True,
         peers: "list[dict[str, Any]] | None" = None,
+        verify_crc: bool = True,
     ) -> None:
         """Restore one rank's shard payload (inverse of :meth:`rank_state_dict`).
 
@@ -428,6 +430,13 @@ class ZeroStage3Engine:
         every group must be present; partial payloads are only loadable
         when the caller explicitly opts in (the merge tool assembles
         full ones instead).
+
+        With ``verify_crc`` (the default) every group whose header
+        carries a ``crc32`` is checked against its payload *before*
+        anything is written into the engine, so silent storage bitrot
+        fails the load instead of resuming training from a corrupted
+        master — the engine-side twin of the selective readers'
+        per-group verification.
 
         A shard written at a *different* world size is accepted when
         ``peers`` carries the complete set of source rank payloads (rank
@@ -513,6 +522,10 @@ class ZeroStage3Engine:
             int(h["index"]): h for h in state.get("hyperparams", []) if "index" in h
         }
         opt = self.optimizers[rank]
+        # Validate and (optionally) CRC-check every group BEFORE mutating
+        # the engine: a corrupt group must leave the live masters
+        # untouched so the caller can repair the shard and retry.
+        staged: dict[int, tuple[np.ndarray, dict[str, Any]]] = {}
         for g in sorted(headers):
             meta = self.group_meta[g]
             shard_numel = meta.partition.shard_numel
@@ -522,9 +535,6 @@ class ZeroStage3Engine:
                     f"group {g} fp32 shard has shape {fp32.shape}, "
                     f"expected ({shard_numel},)"
                 )
-            param = self._shard_params[g][rank]
-            param.data[...] = fp32
-
             entry = moment_state.get(g) or {}
             restored: dict[str, Any] = {"step": int(entry.get("step", 0))}
             for key in ("exp_avg", "exp_avg_sq"):
@@ -540,6 +550,23 @@ class ZeroStage3Engine:
                         f"expected ({shard_numel},)"
                     )
                 restored[key] = value
+            if verify_crc and "crc32" in headers[g]:
+                actual = group_payload_crc(
+                    fp32, restored["exp_avg"], restored["exp_avg_sq"]
+                )
+                if actual != int(headers[g]["crc32"]):
+                    raise CheckpointError(
+                        f"group {g} ({meta.name}): CRC-32 mismatch on rank "
+                        f"{rank}'s shard payload — the optimizer state is "
+                        "corrupt (bitrot?); re-read the shard or restore a "
+                        "replica before resuming"
+                    )
+            staged[g] = (fp32, restored)
+
+        for g in sorted(headers):
+            fp32, restored = staged[g]
+            param = self._shard_params[g][rank]
+            param.data[...] = fp32
             opt.state[id(param)] = restored
 
             hyper = hyper_by_index.get(g)

@@ -40,6 +40,7 @@ class Benchmark:
 
     @property
     def chance_accuracy(self) -> float:
+        """Expected accuracy of uniform random guessing over this item set."""
         if not self.items:
             return 0.0
         return float(np.mean([1.0 / len(it.choices) for it in self.items]))

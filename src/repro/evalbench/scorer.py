@@ -47,6 +47,7 @@ def choice_logprobs(model: CausalLM, tokenizer: WordTokenizer, item: MCQItem) ->
 
 
 def score_item(model: CausalLM, tokenizer: WordTokenizer, item: MCQItem) -> bool:
+    """Whether the model ranks the correct choice highest (greedy MCQ scoring)."""
     scores = choice_logprobs(model, tokenizer, item)
     return int(np.argmax(scores)) == item.answer_index
 

@@ -9,7 +9,12 @@ from .layout import (
     write_latest,
 )
 from .reader import LoadedCheckpoint, describe_checkpoint, load_checkpoint
-from .retention import coverage_map, prunable_steps, prune_checkpoints
+from .retention import (
+    coverage_map,
+    latest_complete_step,
+    prunable_steps,
+    prune_checkpoints,
+)
 from .storage import LUSTRE_DEFAULT, IOStats, Storage, StorageCostModel
 from .tensorfile import TENSORFILE_VERSION, TensorFile, write_tensorfile
 from .writer import save_checkpoint
@@ -26,6 +31,7 @@ __all__ = [
     "TensorFile",
     "checkpoint_dir",
     "coverage_map",
+    "latest_complete_step",
     "describe_checkpoint",
     "prunable_steps",
     "prune_checkpoints",

@@ -128,6 +128,7 @@ def iter_encode(obj: Any) -> Iterator[bytes]:
 
 
 def encode(obj: Any) -> bytes:
+    """Encode an object tree into the TLV byte string (see module docs for tags)."""
     return b"".join(iter_encode(obj))
 
 
@@ -202,6 +203,7 @@ def _decode_one(r: _Reader) -> Any:
 
 
 def decode(payload: bytes) -> Any:
+    """Decode one TLV payload produced by :func:`encode` back into Python objects."""
     r = _Reader(payload)
     obj = _decode_one(r)
     if r.pos != len(payload):

@@ -99,49 +99,62 @@ class CheckpointPaths:
 
     @property
     def weights(self) -> Path:
+        """Path of the consolidated weight tensor file (``model.tsr``)."""
         return self.dir / WEIGHTS_NAME
 
     @property
     def config(self) -> Path:
+        """Path of the model config JSON (``config.json``)."""
         return self.dir / CONFIG_NAME
 
     @property
     def trainer_state(self) -> Path:
+        """Path of the trainer bookkeeping JSON (``trainer_state.json``)."""
         return self.dir / TRAINER_STATE_NAME
 
     @property
     def training_args(self) -> Path:
+        """Path of the run hyper-parameter JSON (``training_args.json``)."""
         return self.dir / TRAINING_ARGS_NAME
 
     @property
     def scheduler(self) -> Path:
+        """Path of the LR-scheduler state JSON (``scheduler.json``)."""
         return self.dir / SCHEDULER_NAME
 
     @property
     def rng_state(self) -> Path:
+        """Path of the RNG provenance JSON (``rng_state.json``)."""
         return self.dir / RNG_STATE_NAME
 
     @property
     def manifest(self) -> Path:
+        """Path of the slot-coverage manifest (``tailor_manifest.json``)."""
         return self.dir / MANIFEST_NAME
 
     @property
     def optim_dir(self) -> Path:
+        """The per-rank optimizer shard directory (``global_step<step>/``)."""
         return self.dir / f"global_step{self.step}"
 
     def shard(self, rank: int) -> Path:
+        """Path of one rank's optimizer shard blob."""
         return self.optim_dir / shard_filename(rank)
 
     def shard_paths(self, world_size: int) -> list[Path]:
+        """Shard paths for every rank of a ``world_size`` checkpoint."""
         return [self.shard(r) for r in range(world_size)]
 
     def exists(self) -> bool:
+        """Whether the checkpoint directory exists on disk."""
         return self.dir.is_dir()
 
     def read_manifest(self) -> dict[str, Any]:
+        """Parse and return the manifest JSON."""
         return read_json(self.manifest)
 
     def write_manifest(self, manifest: dict[str, Any]) -> None:
+        """Atomically write the manifest JSON."""
         write_json_atomic(self.manifest, manifest)
 
     def nbytes(self) -> int:
@@ -153,6 +166,7 @@ class CheckpointPaths:
 
 
 def checkpoint_dir(root: str | Path, step: int) -> CheckpointPaths:
+    """The :class:`CheckpointPaths` bundle for ``<root>/checkpoint-<step>``."""
     return CheckpointPaths(Path(root) / f"checkpoint-{step}")
 
 
@@ -182,4 +196,5 @@ def read_latest(root: str | Path) -> CheckpointPaths | None:
 
 
 def write_latest(root: str | Path, step: int) -> None:
+    """Point the run's ``latest`` file at ``checkpoint-<step>``."""
     (Path(root) / LATEST_NAME).write_text(f"checkpoint-{step}\n", encoding="utf-8")

@@ -18,7 +18,12 @@ from ..util.errors import CheckpointError
 from ..util.logging import get_logger
 from .layout import checkpoint_dir, list_checkpoint_steps, read_latest
 
-__all__ = ["coverage_map", "prunable_steps", "prune_checkpoints"]
+__all__ = [
+    "coverage_map",
+    "latest_complete_step",
+    "prunable_steps",
+    "prune_checkpoints",
+]
 
 log = get_logger("io.retention")
 
@@ -32,6 +37,23 @@ def coverage_map(root: str | Path) -> dict[int, list[str]]:
     return out
 
 
+def latest_complete_step(root: str | Path) -> int | None:
+    """Newest checkpoint whose manifest marks it *complete*, or ``None``.
+
+    A complete checkpoint is a self-sufficient, world-size-consistent
+    resume point (every slot present, all shards from one save) — the
+    anchor failure recovery falls back to without a merge.  Partial
+    checkpoints can only be resumed after merging, so retention treats
+    the newest complete one as load-bearing.
+    """
+    newest: int | None = None
+    for step in list_checkpoint_steps(root):
+        manifest = checkpoint_dir(root, step).read_manifest()
+        if manifest.get("complete", False):
+            newest = step  # steps are ascending
+    return newest
+
+
 def _covered(coverage: dict[int, list[str]], keep: set[int]) -> set[str]:
     slots: set[str] = set()
     for step in keep:
@@ -40,12 +62,18 @@ def _covered(coverage: dict[int, list[str]], keep: set[int]) -> set[str]:
 
 
 def prunable_steps(root: str | Path, keep_last: int) -> list[int]:
-    """Steps safe to delete while keeping ``keep_last`` newest and full
-    slot coverage.
+    """Steps safe to delete while keeping ``keep_last`` newest, full
+    slot coverage, and the newest *complete* checkpoint.
 
     Walks candidates oldest-first; a checkpoint is prunable if the
     remaining set still covers every slot any checkpoint ever saved
-    (the union is the model's slot set for any sane strategy).
+    (the union is the model's slot set for any sane strategy).  The
+    newest complete checkpoint is additionally protected even when
+    partial checkpoints cover its slots: a partial set can only be
+    resumed *after* a merge, so evicting the last self-sufficient
+    world-size-consistent snapshot would make failure recovery depend
+    on a merge succeeding — exactly what a bitrotten or mid-write shard
+    can break.
     """
     if keep_last < 1:
         raise CheckpointError(f"keep_last must be >= 1, got {keep_last}")
@@ -55,6 +83,9 @@ def prunable_steps(root: str | Path, keep_last: int) -> list[int]:
         return []
     all_slots = _covered(coverage, set(steps))
     protected = set(steps[-keep_last:])
+    anchor = latest_complete_step(root)
+    if anchor is not None:
+        protected.add(anchor)
     keep = set(steps)
     prunable: list[int] = []
     for step in steps:  # oldest first

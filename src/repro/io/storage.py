@@ -31,19 +31,23 @@ class IOStats:
     by_category: dict[str, float] = field(default_factory=dict)
 
     def record_write(self, nbytes: float, category: str) -> None:
+        """Count one write of ``nbytes`` under a category."""
         self.bytes_written += nbytes
         self.files_written += 1
         self.by_category[category] = self.by_category.get(category, 0.0) + nbytes
 
     def record_read(self, nbytes: float, category: str) -> None:
+        """Count one read of ``nbytes`` under a category."""
         self.bytes_read += nbytes
         self.files_read += 1
         self.by_category[category] = self.by_category.get(category, 0.0) + nbytes
 
     def category_bytes(self, prefix: str) -> float:
+        """Total bytes recorded under categories starting with ``prefix``."""
         return sum(v for k, v in self.by_category.items() if k.startswith(prefix))
 
     def reset(self) -> None:
+        """Zero all counters and categories."""
         self.bytes_written = self.bytes_read = 0.0
         self.files_written = self.files_read = 0
         self.by_category.clear()
@@ -83,6 +87,7 @@ class StorageCostModel:
         parallel: int | None = None,
         decompress: bool = False,
     ) -> float:
+        """Seconds to read ``nbytes`` over ``files`` files (latency + bandwidth + optional decompress)."""
         parallel = max(1, min(parallel or 1, self.concurrent_writers))
         bw_time = nbytes / self.read_bandwidth
         lat_time = self.file_latency * files / parallel
@@ -114,6 +119,7 @@ class Storage:
         self.stats = IOStats()
 
     def path(self, *parts: str) -> Path:
+        """A path under the storage root (``root / parts...``)."""
         return self.root.joinpath(*parts)
 
     # -- accounting hooks -----------------------------------------------------
@@ -141,6 +147,7 @@ class Storage:
         decompress: bool = False,
         category: str = "checkpoint_read",
     ) -> float:
+        """Record a read and advance the simulated clock; returns dt."""
         dt = self.cost_model.read_time(
             nbytes, files=files, parallel=parallel, decompress=decompress
         )
@@ -149,6 +156,7 @@ class Storage:
         return dt
 
     def charge_compute(self, seconds: float, category: str = "compute") -> float:
+        """Advance the simulated clock by ``seconds`` under a category."""
         self.clock.advance(seconds, category)
         return seconds
 

@@ -225,6 +225,7 @@ class TensorFile:
 
     @property
     def names(self) -> list[str]:
+        """All tensor names in the container, in file order."""
         return list(self._entries)
 
     def __contains__(self, name: str) -> bool:
@@ -234,15 +235,19 @@ class TensorFile:
         return len(self._entries)
 
     def shape(self, name: str) -> tuple[int, ...]:
+        """Shape of one named tensor."""
         return tuple(self._entry(name)["shape"])
 
     def dtype(self, name: str) -> DType:
+        """Storage dtype of one named tensor."""
         return DType.parse(self._entry(name)["dtype"])
 
     def nbytes(self, name: str) -> int:
+        """On-disk payload bytes of one named tensor."""
         return int(self._entry(name)["nbytes"])
 
     def total_nbytes(self) -> int:
+        """Sum of all tensors' payload bytes."""
         return sum(int(e["nbytes"]) for e in self._entries.values())
 
     def _entry(self, name: str) -> dict[str, Any]:
@@ -278,4 +283,5 @@ class TensorFile:
         return raw, dict(entry)
 
     def read_all(self) -> dict[str, np.ndarray]:
+        """Materialize every tensor as ``{name: array}`` (decoded copies)."""
         return {name: self.read(name) for name in self._entries}

@@ -65,6 +65,7 @@ class CausalSelfAttention(Module):
         return expanded.reshape(batch, self.num_heads, seq, self.head_dim)
 
     def forward(self, x: Tensor, cos: np.ndarray, sin: np.ndarray, mask: np.ndarray) -> Tensor:
+        """Causal multi-head attention over ``hidden`` (B, T, C) -> (B, T, C)."""
         batch, seq, hidden = x.shape
         if hidden != self.hidden_size:
             raise ShapeError(f"attention expected hidden {self.hidden_size}, got {hidden}")

@@ -27,6 +27,7 @@ class DecoderLayer(Module):
         self.mlp = SwiGLUMLP(config, rng=rng)
 
     def forward(self, x: Tensor, cos: np.ndarray, sin: np.ndarray, mask: np.ndarray) -> Tensor:
+        """Pre-norm attention + MLP with residual connections."""
         x = x + self.self_attn(self.input_layernorm(x), cos, sin, mask)
         x = x + self.mlp(self.post_attention_layernorm(x))
         return x

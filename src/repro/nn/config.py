@@ -62,10 +62,12 @@ class ModelConfig:
 
     @property
     def head_dim(self) -> int:
+        """Per-head hidden width (``hidden_size / num_attention_heads``)."""
         return self.hidden_size // self.num_attention_heads
 
     @property
     def storage_dtype(self) -> DType:
+        """The checkpoint storage precision as a :class:`~repro.numerics.dtypes.DType`."""
         return DType.parse(self.torch_dtype)
 
     @property
@@ -83,10 +85,12 @@ class ModelConfig:
         return 2 * self.num_hidden_layers + 2 + (0 if self.tie_word_embeddings else 1)
 
     def to_dict(self) -> dict[str, Any]:
+        """Serializable form (round-trips :meth:`from_dict`)."""
         return dataclasses.asdict(self)
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "ModelConfig":
+        """Rebuild a config from :meth:`to_dict` output (unknown keys rejected)."""
         known = {f.name for f in dataclasses.fields(cls)}
         filtered = {k: v for k, v in data.items() if k in known}
         extra = set(data) - known
@@ -95,6 +99,7 @@ class ModelConfig:
         return cls(**filtered)
 
     def replace(self, **kwargs) -> "ModelConfig":
+        """A copy with the given fields replaced (frozen-dataclass update)."""
         return dataclasses.replace(self, **kwargs)
 
 
@@ -102,6 +107,7 @@ _REGISTRY: dict[str, ModelConfig] = {}
 
 
 def register_config(config: ModelConfig) -> ModelConfig:
+    """Register a config under its name (decorator-friendly)."""
     if config.name in _REGISTRY:
         raise ConfigError(f"config {config.name!r} already registered")
     _REGISTRY[config.name] = config
@@ -109,6 +115,7 @@ def register_config(config: ModelConfig) -> ModelConfig:
 
 
 def get_config(name: str) -> ModelConfig:
+    """Look up a registered model config by name."""
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -117,6 +124,7 @@ def get_config(name: str) -> ModelConfig:
 
 
 def list_configs() -> list[str]:
+    """Names of every registered model config, sorted."""
     return sorted(_REGISTRY)
 
 

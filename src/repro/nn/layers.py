@@ -41,6 +41,7 @@ class Linear(Module):
             self.bias = None
 
     def forward(self, x: Tensor) -> Tensor:
+        """Affine map ``x @ W.T (+ b)`` over the last axis."""
         out = x @ self.weight.transpose(1, 0)
         if self.bias is not None:
             out = out + self.bias
@@ -73,6 +74,7 @@ class Embedding(Module):
         )
 
     def forward(self, ids: np.ndarray) -> Tensor:
+        """Row lookup: token ids (B, T) -> embeddings (B, T, C)."""
         return F.embedding(self.weight, ids)
 
     def __repr__(self) -> str:
@@ -88,6 +90,7 @@ class RMSNorm(Module):
         self.weight = Parameter(np.ones(hidden_size, dtype=np.float32))
 
     def forward(self, x: Tensor) -> Tensor:
+        """Root-mean-square normalization with learned scale."""
         return F.rms_norm(x, self.weight, eps=self.eps)
 
     def __repr__(self) -> str:

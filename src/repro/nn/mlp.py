@@ -28,4 +28,5 @@ class SwiGLUMLP(Module):
         self.down_proj = Linear(inter, hidden, bias=False, rng=rng, init_std=std)
 
     def forward(self, x: Tensor) -> Tensor:
+        """SwiGLU feed-forward: ``down(silu(gate(x)) * up(x))``."""
         return self.down_proj(F.silu(self.gate_proj(x)) * self.up_proj(x))

@@ -45,6 +45,7 @@ class DecoderModel(Module):
         self.norm = RMSNorm(config.hidden_size, eps=config.rms_norm_eps)
 
     def forward(self, input_ids: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> Tensor:
+        """Token ids (B, T) -> final hidden states (B, T, C)."""
         seq_len = input_ids.shape[1]
         mask = causal_mask(seq_len)
         x = self.embed_tokens(input_ids)

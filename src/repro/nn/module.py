@@ -50,37 +50,44 @@ class Module:
     # -- traversal ------------------------------------------------------------
 
     def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, tensor)`` for every parameter, depth-first."""
         for name, param in self._parameters.items():
             yield (f"{prefix}{name}", param)
         for name, module in self._modules.items():
             yield from module.named_parameters(prefix=f"{prefix}{name}.")
 
     def parameters(self) -> Iterator[Parameter]:
+        """Every parameter tensor, depth-first."""
         for _, p in self.named_parameters():
             yield p
 
     def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` for this module and every descendant."""
         yield (prefix.rstrip("."), self)
         for name, module in self._modules.items():
             yield from module.named_modules(prefix=f"{prefix}{name}.")
 
     def num_parameters(self) -> int:
+        """Total parameter count over all children."""
         return sum(p.size for p in self.parameters())
 
     # -- train/eval mode ----------------------------------------------------------
 
     def train(self, mode: bool = True) -> "Module":
+        """Switch this module (and children) to training mode."""
         object.__setattr__(self, "training", mode)
         for m in self._modules.values():
             m.train(mode)
         return self
 
     def eval(self) -> "Module":
+        """Switch this module (and children) to inference mode."""
         return self.train(False)
 
     # -- gradient helpers ------------------------------------------------------------
 
     def zero_grad(self) -> None:
+        """Reset every parameter's gradient to ``None``."""
         for p in self.parameters():
             p.zero_grad()
 
@@ -119,6 +126,7 @@ class Module:
     # -- call protocol -----------------------------------------------------------------
 
     def forward(self, *args, **kwargs):
+        """Compute the module's output; subclasses must override."""
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
@@ -145,6 +153,7 @@ class ModuleList(Module):
             self.append(m)
 
     def append(self, module: Module) -> "ModuleList":
+        """Add a child module, registered under its list index."""
         index = len(self._items)
         self._items.append(module)
         self._modules[str(index)] = module

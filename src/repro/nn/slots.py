@@ -39,10 +39,12 @@ AUX_SLOTS = (EMBED, NORM, LM_HEAD)
 
 
 def layer_slot(index: int) -> str:
+    """The slot name of transformer layer ``index`` (``layers.<index>``)."""
     return f"layers.{index}"
 
 
 def transformer_slots(config: ModelConfig) -> list[str]:
+    """Slot names of all transformer layers, in depth order."""
     return [layer_slot(i) for i in range(config.num_hidden_layers)]
 
 

@@ -34,6 +34,7 @@ class DType(enum.Enum):
 
     @property
     def itemsize(self) -> int:
+        """Bytes per element in storage form."""
         return {DType.FP32: 4, DType.BF16: 2, DType.FP16: 2}[self]
 
     @property
@@ -47,6 +48,7 @@ class DType(enum.Enum):
 
     @classmethod
     def parse(cls, value: "DType | str") -> "DType":
+        """Look up a dtype by name (``bf16``/``fp16``/``fp32``...)."""
         if isinstance(value, DType):
             return value
         try:

@@ -103,6 +103,7 @@ class Adam(Optimizer):
     # -- the update --------------------------------------------------------
 
     def step(self) -> None:
+        """Apply one Adam update to every parameter with a gradient."""
         for group in self.param_groups:
             lr = group["lr"]
             beta1, beta2 = group["betas"]

@@ -26,6 +26,7 @@ class LRScheduler:
         self._apply()
 
     def factor(self, step: int) -> float:
+        """The LR multiplier at a global step; subclasses must override."""
         raise NotImplementedError
 
     def _apply(self) -> None:
@@ -34,13 +35,16 @@ class LRScheduler:
             group["lr"] = base * f
 
     def step(self) -> None:
+        """Advance one step and re-apply the schedule to the optimizer."""
         self.last_step += 1
         self._apply()
 
     def get_last_lr(self) -> list[float]:
+        """The most recently applied LR of every parameter group."""
         return [group["lr"] for group in self.optimizer.param_groups]
 
     def state_dict(self) -> dict[str, Any]:
+        """Serializable scheduler state (type, step, base LRs)."""
         return {
             "type": self.__class__.__name__,
             "last_step": self.last_step,
@@ -48,6 +52,7 @@ class LRScheduler:
         }
 
     def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore position and base LRs from :meth:`state_dict` output."""
         if state.get("type") != self.__class__.__name__:
             raise ConfigError(
                 f"scheduler type mismatch: checkpoint {state.get('type')!r} "
@@ -60,6 +65,7 @@ class LRScheduler:
 
 class ConstantLR(LRScheduler):
     def factor(self, step: int) -> float:
+        """Always 1.0 (no schedule)."""
         return 1.0
 
 
@@ -81,6 +87,7 @@ class WarmupLinear(LRScheduler):
         super().__init__(optimizer)
 
     def factor(self, step: int) -> float:
+        """Linear warmup, then linear decay to ``min_factor``."""
         if self.warmup_steps and step < self.warmup_steps:
             return step / self.warmup_steps
         span = max(1, self.total_steps - self.warmup_steps)
@@ -88,6 +95,7 @@ class WarmupLinear(LRScheduler):
         return self.min_factor + (1.0 - self.min_factor) * (1.0 - progress)
 
     def state_dict(self) -> dict[str, Any]:
+        """Base state plus warmup/total-step shape."""
         state = super().state_dict()
         state.update(
             warmup_steps=self.warmup_steps,
@@ -101,6 +109,7 @@ class WarmupCosine(WarmupLinear):
     """Linear warmup then cosine decay to ``min_factor``."""
 
     def factor(self, step: int) -> float:
+        """Linear warmup, then cosine decay to ``min_factor``."""
         if self.warmup_steps and step < self.warmup_steps:
             return step / self.warmup_steps
         span = max(1, self.total_steps - self.warmup_steps)
@@ -124,6 +133,7 @@ def build_scheduler(
     total_steps: int = 1,
     min_factor: float = 0.0,
 ) -> LRScheduler:
+    """Construct a scheduler by name (``constant``/``warmup_linear``/``warmup_cosine``)."""
     try:
         cls = _SCHEDULERS[name]
     except KeyError:

@@ -51,6 +51,7 @@ class Optimizer:
     # -- group management ----------------------------------------------------
 
     def add_param_group(self, group: ParamGroup) -> None:
+        """Validate and append one parameter group, filling in defaults."""
         if "params" not in group:
             raise ConfigError("param group missing 'params' key")
         group_params = list(group["params"])
@@ -74,12 +75,14 @@ class Optimizer:
     # -- gradient management --------------------------------------------------
 
     def zero_grad(self) -> None:
+        """Reset every managed parameter's gradient to ``None``."""
         for p in self._all_params():
             p.grad = None
 
     # -- the update -------------------------------------------------------------
 
     def step(self) -> None:
+        """Apply one update to every parameter; subclasses must override."""
         raise NotImplementedError
 
     def _get_state(self, param: Tensor) -> dict[str, Any]:

@@ -29,6 +29,7 @@ class SGD(Optimizer):
         super().__init__(params, defaults)
 
     def step(self) -> None:
+        """Apply one SGD (momentum/Nesterov-capable) update."""
         for group in self.param_groups:
             lr = group["lr"]
             momentum = group["momentum"]

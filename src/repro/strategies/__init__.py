@@ -9,12 +9,14 @@ from .parity import ParityStrategy
 from .planner import (
     OPTIMIZER_BYTES_PER_PARAM,
     ComputeCostModel,
+    FaultCostPlan,
     MergeCostPlan,
     ReshardCostPlan,
     StepTrafficPlan,
     StrategyPlan,
     checkpoint_event_nbytes,
     checkpoint_event_seconds,
+    plan_fault_cost,
     plan_merge_cost,
     plan_reshard_cost,
     plan_step_traffic,
@@ -26,6 +28,7 @@ __all__ = [
     "CheckpointStrategy",
     "ComputeCostModel",
     "DecisionLog",
+    "FaultCostPlan",
     "FilteredStrategy",
     "FullStrategy",
     "MergeCostPlan",
@@ -38,6 +41,7 @@ __all__ = [
     "build_strategy",
     "checkpoint_event_nbytes",
     "checkpoint_event_seconds",
+    "plan_fault_cost",
     "plan_merge_cost",
     "plan_reshard_cost",
     "plan_step_traffic",

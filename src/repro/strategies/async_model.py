@@ -41,6 +41,7 @@ class AsyncCheckpointModel:
     snapshot_bandwidth: float = 20.0e9  # bytes/s device->host copy
 
     def snapshot_seconds(self, nbytes: float) -> float:
+        """Time to capture the in-memory snapshot of ``nbytes`` (the stall)."""
         return nbytes / self.snapshot_bandwidth
 
 

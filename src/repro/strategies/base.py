@@ -31,13 +31,16 @@ class DecisionLog:
     records: list[dict[str, Any]] = field(default_factory=list)
 
     def add(self, step: int, slots: list[str]) -> None:
+        """Record one checkpoint decision (step + slots saved)."""
         self.records.append({"step": int(step), "slots": list(slots)})
 
     def save(self, path: str | Path) -> None:
+        """Write the decisions as JSON (atomic)."""
         write_json_atomic(path, {"strategy": self.strategy, "records": self.records})
 
     @classmethod
     def load(cls, path: str | Path) -> "DecisionLog":
+        """Read a decision log written by :meth:`save`."""
         data = read_json(path)
         return cls(strategy=data.get("strategy", "?"), records=list(data.get("records", [])))
 
@@ -87,10 +90,12 @@ class CheckpointStrategy(abc.ABC):
     # -- bookkeeping ------------------------------------------------------------
 
     def reset(self) -> None:
+        """Clear decision state so a plan replay starts fresh."""
         self._events_fired = 0
         self.log = DecisionLog(strategy=self.name)
 
     def describe(self) -> dict[str, Any]:
+        """Serializable description of the strategy and its knobs."""
         return {"strategy": self.name, "interval": self.interval}
 
     def __repr__(self) -> str:
@@ -101,6 +106,7 @@ _STRATEGIES: dict[str, type] = {}
 
 
 def register_strategy(cls: type) -> type:
+    """Class decorator: register a strategy under its ``name`` attribute."""
     name = getattr(cls, "name", None)
     if not name or name == "base":
         raise ConfigError(f"strategy class {cls.__name__} must define a unique 'name'")
@@ -111,6 +117,7 @@ def register_strategy(cls: type) -> type:
 
 
 def build_strategy(name: str, config: ModelConfig, interval: int, **kwargs) -> CheckpointStrategy:
+    """Construct a registered strategy by name with its kwargs."""
     try:
         cls = _STRATEGIES[name]
     except KeyError:

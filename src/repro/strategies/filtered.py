@@ -59,6 +59,7 @@ class FilteredStrategy(CheckpointStrategy):
         return head + tail
 
     def middle_layers(self) -> list[int]:
+        """Indices of the slowly-checkpointed middle layers."""
         L = self.config.num_hidden_layers
         return list(range(self.head_layers, L - self.tail_layers))
 
@@ -87,6 +88,7 @@ class FilteredStrategy(CheckpointStrategy):
         return slots
 
     def describe(self) -> dict:
+        """Base description plus the head/tail/slow-factor shape."""
         out = super().describe()
         out.update(
             head_layers=self.head_layers,

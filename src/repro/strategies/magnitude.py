@@ -107,11 +107,13 @@ class UpdateMagnitudeStrategy(CheckpointStrategy):
         return chosen
 
     def reset(self) -> None:
+        """Drop drift references and staleness counters."""
         super().reset()
         self._reference.clear()
         self._staleness.clear()
 
     def describe(self) -> dict:
+        """Base description plus threshold/floor/staleness knobs."""
         out = super().describe()
         out.update(
             threshold=self.threshold,

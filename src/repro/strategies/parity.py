@@ -51,6 +51,7 @@ class ParityStrategy(CheckpointStrategy):
         return self.odd_set() if phase % 2 == 0 else self.even_set()
 
     def describe(self) -> dict:
+        """Base description plus the ``initial_full`` flag."""
         out = super().describe()
         out["initial_full"] = self.initial_full
         return out

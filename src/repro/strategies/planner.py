@@ -30,12 +30,14 @@ from .base import CheckpointStrategy
 __all__ = [
     "OPTIMIZER_BYTES_PER_PARAM",
     "ComputeCostModel",
+    "FaultCostPlan",
     "MergeCostPlan",
     "ReshardCostPlan",
     "StepTrafficPlan",
     "StrategyPlan",
     "checkpoint_event_nbytes",
     "checkpoint_event_seconds",
+    "plan_fault_cost",
     "plan_merge_cost",
     "plan_reshard_cost",
     "plan_step_traffic",
@@ -54,6 +56,7 @@ class ComputeCostModel:
 
     def step_seconds(self, num_params: float, tokens_per_step_per_gpu: float) -> float:
         # Forward + backward of a decoder: ~6 FLOPs per parameter per token.
+        """Seconds per optimizer step from the 6·P·tokens FLOPs estimate."""
         return 6.0 * num_params * tokens_per_step_per_gpu / self.flops_per_gpu
 
 
@@ -117,9 +120,11 @@ class StepTrafficPlan:
 
     @property
     def total_bytes(self) -> float:
+        """Reduce-scatter plus all-gather bytes per step, per rank."""
         return self.reduce_scatter_bytes + self.all_gather_bytes
 
     def describe(self) -> dict:
+        """Flat dict form (for tables and JSON artifacts)."""
         return {
             "world_size": self.world_size,
             "num_groups": self.num_groups,
@@ -186,6 +191,7 @@ class MergeCostPlan:
     seconds: float
 
     def describe(self) -> dict:
+        """Flat dict form (for tables and JSON artifacts)."""
         return dict(self.__dict__)
 
 
@@ -271,6 +277,7 @@ class ReshardCostPlan:
     seconds: float
 
     def describe(self) -> dict:
+        """Flat dict form (for tables and JSON artifacts)."""
         return dict(self.__dict__)
 
 
@@ -331,6 +338,163 @@ def plan_reshard_cost(
 
 
 @dataclass
+class FaultCostPlan:
+    """Analytic cost of running a fault plan (expected chaos overhead).
+
+    The executable twin of a :class:`~repro.train.trainer.ChaosSupervisor`
+    run over a *full*-strategy checkpoint cadence: the executed-step
+    trace (including replays after each failure) is reconstructed from
+    the schedule, so ``lost_steps``, ``reshard_loads``, and the
+    straggler/degraded-link clock charges match a live run exactly —
+    ``tests/test_faults.py`` validates them against the live
+    :class:`~repro.dist.faults.FaultTimeline` and simulated clock.
+    ``reshard_bytes`` is an *uncompressed* estimate (12 bytes/param per
+    elastic load); live shard files are compressed, so only the analytic
+    side is byte-exact.
+    """
+
+    model: str
+    world_size: int
+    final_world_size: int
+    total_steps: int
+    checkpoint_interval: int
+    num_failures: int
+    executed_steps: int
+    lost_steps: int
+    reshard_loads: int
+    reshard_bytes: int
+    straggler_seconds: float
+    comm_seconds: float
+    replay_seconds: float
+    recovery_read_seconds: float
+
+    @property
+    def overhead_seconds(self) -> float:
+        """Extra simulated time the faults cost vs a clean run."""
+        return (
+            self.straggler_seconds + self.replay_seconds + self.recovery_read_seconds
+        )
+
+    def describe(self) -> dict:
+        """Flat dict form (for tables and JSON artifacts)."""
+        out = dict(self.__dict__)
+        out["overhead_seconds"] = self.overhead_seconds
+        return out
+
+
+def plan_fault_cost(
+    config: ModelConfig,
+    plan,
+    *,
+    world_size: int,
+    total_steps: int,
+    checkpoint_interval: int,
+    sim_step_seconds: float = 1.0,
+    link_bandwidth: float | None = None,
+    storage: StorageCostModel | None = None,
+) -> FaultCostPlan:
+    """Expected lost steps, reshard traffic, and slowdown cost of a plan.
+
+    Replays the fault schedule analytically over a full-strategy run:
+
+    * each ``rank_failure`` at step *k* loses ``k mod interval`` steps
+      (the supervisor resumes from the last checkpoint at or before
+      *k*) and shrinks the world by one;
+    * resuming a checkpoint written at a different world size charges
+      one elastic-reshard load per source shard;
+    * stragglers charge ``(slowdown - 1) * sim_step_seconds`` on every
+      *executed* step in their window (replayed steps pay again, as
+      they do live);
+    * collectives charge ring-model bytes over ``link_bandwidth``,
+      scaled by the worst active straggler/degraded-link factor.
+
+    Works from the config alone, like the other planners, so paper-scale
+    fleets can be planned without instantiating anything.
+    """
+    from ..dist.faults import DEFAULT_LINK_BANDWIDTH
+
+    if checkpoint_interval < 1:
+        raise ValueError(f"checkpoint_interval must be >= 1, got {checkpoint_interval}")
+    plan.validate(world_size, total_steps)
+    storage = storage or StorageCostModel()
+    bandwidth = link_bandwidth if link_bandwidth is not None else DEFAULT_LINK_BANDWIDTH
+
+    counts = slot_param_counts(config)
+    num_params = sum(counts[s] for s in model_slots(config))
+    optim_bytes = num_params * OPTIMIZER_BYTES_PER_PARAM
+    weight_bytes = num_params * config.storage_dtype.itemsize
+
+    # Reconstruct the executed-step trace: segments of (start, end, ws),
+    # end inclusive, with the on-disk world size of every checkpoint.
+    segments: list[tuple[int, int, int]] = []
+    ckpt_ws: dict[int, int] = {}
+    ws = world_size
+    start = 1
+    lost = 0
+    reshard_loads = 0
+    reshard_bytes = 0
+    recovery_read_s = 0.0
+    for ev in plan.rank_failures:
+        # A pending failure whose slot was passed during a replay fires
+        # at the first step of the new leg, exactly as the callback does.
+        k = max(ev.step, start)
+        segments.append((start, k, ws))
+        for s in range(-(-start // checkpoint_interval) * checkpoint_interval,
+                       k + 1, checkpoint_interval):
+            ckpt_ws[s] = ws
+        j = (k // checkpoint_interval) * checkpoint_interval
+        lost += k - j
+        ws -= 1
+        if j > 0:
+            source_world = ckpt_ws[j]
+            recovery_read_s += storage.read_time(
+                optim_bytes, files=source_world, parallel=source_world,
+                decompress=True,
+            ) + storage.read_time(weight_bytes, files=1)
+            if source_world != ws:
+                reshard_loads += source_world
+                reshard_bytes += optim_bytes
+        start = j + 1
+    if start <= total_steps:
+        segments.append((start, total_steps, ws))
+
+    # Per-step penalties over the executed trace.
+    executed = 0
+    straggler_s = 0.0
+    comm_s = 0.0
+    traffic_by_ws: dict[int, float] = {}
+    for seg_start, seg_end, seg_ws in segments:
+        if seg_ws not in traffic_by_ws:
+            traffic_by_ws[seg_ws] = plan_step_traffic(
+                config, world_size=seg_ws
+            ).total_bytes
+        step_bytes = traffic_by_ws[seg_ws]
+        for step in range(seg_start, seg_end + 1):
+            executed += 1
+            slowdown = plan.compute_slowdown(step, seg_ws)
+            if slowdown > 1.0:
+                straggler_s += (slowdown - 1.0) * sim_step_seconds
+            comm_s += step_bytes / bandwidth * plan.comm_slowdown(step, seg_ws)
+
+    return FaultCostPlan(
+        model=config.name,
+        world_size=world_size,
+        final_world_size=ws,
+        total_steps=total_steps,
+        checkpoint_interval=checkpoint_interval,
+        num_failures=len(plan.rank_failures),
+        executed_steps=executed,
+        lost_steps=lost,
+        reshard_loads=reshard_loads,
+        reshard_bytes=reshard_bytes,
+        straggler_seconds=straggler_s,
+        comm_seconds=comm_s,
+        replay_seconds=lost * sim_step_seconds,
+        recovery_read_seconds=recovery_read_s,
+    )
+
+
+@dataclass
 class StrategyPlan:
     """Outcome of simulating a strategy over a training run."""
 
@@ -342,14 +506,17 @@ class StrategyPlan:
 
     @property
     def num_events(self) -> int:
+        """Number of checkpoint events over the planned run."""
         return len(self.events)
 
     @property
     def total_bytes(self) -> int:
+        """Total bytes written across all checkpoint events."""
         return sum(e["total_bytes"] for e in self.events)
 
     @property
     def checkpoint_seconds(self) -> float:
+        """Total simulated seconds spent writing checkpoints."""
         return sum(e["seconds"] for e in self.events)
 
     @property

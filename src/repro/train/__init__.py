@@ -1,12 +1,20 @@
 """Training loop for simulated multi-rank ZeRO-3 post-training."""
 
-from .callbacks import Callback, CheckpointCallback, FailureInjector, LoggingCallback
+from .callbacks import (
+    Callback,
+    ChaosCallback,
+    CheckpointCallback,
+    FailureInjector,
+    LoggingCallback,
+)
 from .config import TrainConfig
 from .state import TrainerState
-from .trainer import Trainer, TrainResult
+from .trainer import ChaosSupervisor, Trainer, TrainResult, train_with_faults
 
 __all__ = [
     "Callback",
+    "ChaosCallback",
+    "ChaosSupervisor",
     "CheckpointCallback",
     "FailureInjector",
     "LoggingCallback",
@@ -14,4 +22,5 @@ __all__ = [
     "TrainResult",
     "Trainer",
     "TrainerState",
+    "train_with_faults",
 ]

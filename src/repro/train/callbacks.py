@@ -1,4 +1,4 @@
-"""Trainer callbacks: logging, checkpointing, failure injection.
+"""Trainer callbacks: logging, checkpointing, failure and fault injection.
 
 The trainer invokes each callback after every optimizer step.  Built-in
 callbacks implement the experiment machinery; users can add their own
@@ -10,13 +10,20 @@ from __future__ import annotations
 import typing
 
 from ..strategies.base import CheckpointStrategy
-from ..util.errors import SimulatedFailure
+from ..util.errors import RankFailure, SimulatedFailure
 from ..util.logging import get_logger
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..dist.faults import FaultPlan, FaultTimeline
     from .trainer import Trainer
 
-__all__ = ["Callback", "LoggingCallback", "CheckpointCallback", "FailureInjector"]
+__all__ = [
+    "Callback",
+    "ChaosCallback",
+    "CheckpointCallback",
+    "FailureInjector",
+    "LoggingCallback",
+]
 
 log = get_logger("train")
 
@@ -24,11 +31,14 @@ log = get_logger("train")
 class Callback:
     """Base callback; all hooks are optional."""
 
-    def on_train_start(self, trainer: "Trainer") -> None: ...
+    def on_train_start(self, trainer: "Trainer") -> None:
+        """Called once before the first step of a training leg."""
 
-    def on_step_end(self, trainer: "Trainer", step: int, loss: float) -> None: ...
+    def on_step_end(self, trainer: "Trainer", step: int, loss: float) -> None:
+        """Called after every optimizer step (checkpointing runs here)."""
 
-    def on_train_end(self, trainer: "Trainer") -> None: ...
+    def on_train_end(self, trainer: "Trainer") -> None:
+        """Called once after the loop exits (including on failure)."""
 
 
 class LoggingCallback(Callback):
@@ -83,3 +93,127 @@ class FailureInjector(Callback):
             self.fired = True
             log.warning("injecting failure at step %d", step)
             raise SimulatedFailure(step)
+
+
+class ChaosCallback(Callback):
+    """Applies a :class:`~repro.dist.faults.FaultPlan` to a live leg.
+
+    Runs *after* the checkpoint callback (the trainer preserves
+    registration order), so the step's checkpoint — if any — is on disk
+    before bitrot corrupts it or a rank failure interrupts the leg:
+
+    * **bitrot**: each pending event corrupts the first checkpoint
+      written at or after its step (rank's shard, one group), keeping a
+      pristine ``.replica`` copy for recovery to re-read from;
+    * **straggler**: window activations are recorded in the timeline
+      (the time penalty itself is charged by the trainer's step);
+    * **rank_failure**: raises :class:`~repro.util.errors.RankFailure`,
+      which the supervisor turns into an elastic world shrink.
+
+    The ``pending_*`` lists are shared, mutable state: the supervisor
+    passes the same lists into every leg so an event consumed before a
+    failure is not re-applied when the replayed steps pass its schedule
+    slot again.
+    """
+
+    def __init__(
+        self,
+        plan: "FaultPlan",
+        timeline: "FaultTimeline",
+        *,
+        pending_failures: list | None = None,
+        pending_bitrot: list | None = None,
+    ) -> None:
+        self.plan = plan
+        self.timeline = timeline
+        self.pending_failures = (
+            list(plan.rank_failures) if pending_failures is None else pending_failures
+        )
+        self.pending_bitrot = (
+            list(plan.bitrot_events) if pending_bitrot is None else pending_bitrot
+        )
+
+    def on_train_start(self, trainer: "Trainer") -> None:
+        # Record whole-run link degradations once, not once per leg.
+        for ev in self.plan.degraded_links:
+            if any(
+                e["kind"] == "degraded_link"
+                and e.get("src") == ev.src
+                and e.get("dst") == ev.dst
+                for e in self.timeline.events
+            ):
+                continue
+            self.timeline.record(
+                ev.step, "degraded_link", src=ev.src, dst=ev.dst,
+                bandwidth_scale=ev.bandwidth_scale, duration=ev.duration,
+            )
+
+    def on_step_end(self, trainer: "Trainer", step: int, loss: float) -> None:
+        world_size = trainer.config.world_size
+        for ev in self.plan.stragglers:
+            if ev.step == step and ev.rank is not None and ev.rank < world_size:
+                # A straggler window whose start step falls inside a
+                # replayed segment would otherwise be re-recorded by the
+                # post-recovery leg (the time penalty *is* re-charged —
+                # the replayed steps really run slow again — but the
+                # schedule entry is one event).
+                if any(
+                    e["kind"] == "straggler"
+                    and e["step"] == step
+                    and e.get("rank") == ev.rank
+                    and e.get("slowdown") == ev.slowdown
+                    for e in self.timeline.events
+                ):
+                    continue
+                self.timeline.record(
+                    step, "straggler", rank=ev.rank, slowdown=ev.slowdown,
+                    duration=ev.duration,
+                )
+
+        if (
+            trainer.state.checkpoints_written
+            and trainer.state.checkpoints_written[-1] == step
+        ):
+            from ..dist.faults import inject_bitrot
+            from ..io.layout import checkpoint_dir
+            from ..util.errors import CheckpointError
+
+            for ev in [e for e in self.pending_bitrot if e.step <= step]:
+                if ev.rank is None or ev.rank >= world_size:
+                    continue  # the target rank no longer exists
+                if ev.group is None or ev.group >= len(trainer.engine.group_meta):
+                    # The model has no such group: the event can never
+                    # fire — drop it loudly instead of crashing the run.
+                    self.pending_bitrot.remove(ev)
+                    self.timeline.record(
+                        step, "bitrot_skipped", rank=ev.rank, group=ev.group,
+                        reason="group does not exist",
+                    )
+                    continue
+                try:
+                    shard = inject_bitrot(
+                        checkpoint_dir(trainer.storage.root, step), ev.rank, ev.group
+                    )
+                except CheckpointError:
+                    # Partial strategies write slot-filtered shards; a
+                    # checkpoint not carrying the group leaves the event
+                    # pending for a later checkpoint that does.
+                    continue
+                self.pending_bitrot.remove(ev)
+                self.timeline.record(
+                    step, "bitrot", rank=ev.rank, group=ev.group,
+                    checkpoint=step, shard=shard.name,
+                )
+                log.warning(
+                    "bitrot injected: checkpoint-%d rank %d group %d",
+                    step, ev.rank, ev.group,
+                )
+
+        for ev in list(self.pending_failures):
+            if ev.step <= step:
+                self.pending_failures.remove(ev)
+                self.timeline.record(
+                    step, "rank_failure", rank=ev.rank, world_size=world_size
+                )
+                log.warning("rank %d failed at step %d", ev.rank, step)
+                raise RankFailure(step, ev.rank)

@@ -80,19 +80,23 @@ class TrainConfig:
 
     @property
     def global_batch_size(self) -> int:
+        """Sequences per optimizer step across all ranks and accumulations."""
         return self.world_size * self.micro_batch_size * self.grad_accum_steps
 
     @property
     def tokens_per_step(self) -> int:
+        """Tokens consumed per optimizer step (global batch × sequence length)."""
         return self.global_batch_size * self.seq_len
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (what ``training_args.json`` stores)."""
         out = dataclasses.asdict(self)
         out["betas"] = list(self.betas)
         return out
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "TrainConfig":
+        """Rebuild a config from :meth:`to_dict` output (unknown keys rejected)."""
         known = {f.name for f in dataclasses.fields(cls)}
         extra = set(data) - known
         if extra:
@@ -103,4 +107,5 @@ class TrainConfig:
         return cls(**data)
 
     def replace(self, **kwargs) -> "TrainConfig":
+        """A copy with the given fields replaced."""
         return dataclasses.replace(self, **kwargs)

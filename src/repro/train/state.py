@@ -21,11 +21,13 @@ class TrainerState:
     checkpoints_written: list[int] = field(default_factory=list)
 
     def log(self, step: int, **metrics: float) -> None:
+        """Append one metrics entry (floats) for a global step."""
         entry: dict[str, Any] = {"step": int(step)}
         entry.update({k: float(v) for k, v in metrics.items()})
         self.log_history.append(entry)
 
     def recent_loss(self, window: int = 5) -> float | None:
+        """Mean loss over the last ``window`` logged entries, or ``None``."""
         losses = [e["loss"] for e in self.log_history if "loss" in e]
         if not losses:
             return None
@@ -33,6 +35,7 @@ class TrainerState:
         return sum(tail) / len(tail)
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (what ``trainer_state.json`` stores)."""
         return {
             "global_step": self.global_step,
             "log_history": self.log_history,
@@ -42,6 +45,7 @@ class TrainerState:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "TrainerState":
+        """Rebuild state from :meth:`to_dict` output (tolerant of missing keys)."""
         return cls(
             global_step=int(data.get("global_step", 0)),
             log_history=list(data.get("log_history", [])),

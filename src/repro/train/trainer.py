@@ -14,7 +14,14 @@ Responsibilities:
   is *elastic* — a run configured with ``world_size=M`` loads a
   checkpoint written at any world size N (the reader reshards the
   optimizer payloads N→M via :mod:`repro.dist.reshard`), and the
-  world-size-invariant training math keeps the loss curve unchanged.
+  world-size-invariant training math keeps the loss curve unchanged;
+* survive a :class:`~repro.dist.faults.FaultPlan`:
+  :class:`ChaosSupervisor` runs training legs under injected faults —
+  on a rank failure it shrinks the world N→N-1, resumes elastically
+  from the last complete checkpoint (or auto-merges the partial trail),
+  repairs bitrot the per-group CRCs catch by re-reading replicas, and
+  records everything in a :class:`~repro.dist.faults.FaultTimeline`
+  attached to the final :class:`TrainResult`.
 """
 
 from __future__ import annotations
@@ -30,8 +37,9 @@ from ..data.facts import MedicalKB
 from ..data.synthetic import medqa_like_pairs, pubmed_like_corpus
 from ..data.tokenizer import WordTokenizer
 from ..core.groups import tailored_param_groups
+from ..dist.faults import ChaosComm, FaultPlan, FaultTimeline, repair_from_replicas
 from ..dist.zero import ZeroStage3Engine
-from ..io.layout import CheckpointPaths, read_latest
+from ..io.layout import CheckpointPaths, checkpoint_dir, list_checkpoint_steps, read_latest
 from ..io.reader import load_checkpoint
 from ..io.storage import Storage
 from ..io.writer import save_checkpoint
@@ -40,13 +48,19 @@ from ..nn.model import CausalLM, build_model
 from ..optim.lr_scheduler import build_scheduler
 from ..optim.optimizer import clip_grad_norm_
 from ..strategies.base import build_strategy
-from ..util.errors import SimulatedFailure, TrainingError
+from ..util.errors import CheckpointError, MergeError, SimulatedFailure, TrainingError
 from ..util.logging import get_logger
-from .callbacks import Callback, CheckpointCallback, FailureInjector, LoggingCallback
+from .callbacks import (
+    Callback,
+    ChaosCallback,
+    CheckpointCallback,
+    FailureInjector,
+    LoggingCallback,
+)
 from .config import TrainConfig
 from .state import TrainerState
 
-__all__ = ["Trainer", "TrainResult"]
+__all__ = ["ChaosSupervisor", "Trainer", "TrainResult", "train_with_faults"]
 
 log = get_logger("train.trainer")
 
@@ -66,8 +80,14 @@ class TrainResult:
     # Cumulative ring-model collective traffic from the engine's SimComm
     # (bytes/calls per op), so the sharding tax is part of the run record.
     comm_traffic: dict[str, dict] = field(default_factory=dict)
+    # The rank whose scheduled death interrupted the leg (fault plans
+    # only); the supervisor shrinks the world when this is set.
+    failed_rank: int | None = None
+    # Flight recorder of injected faults and recoveries (fault plans only).
+    fault_timeline: FaultTimeline | None = None
 
     def summary(self) -> str:
+        """One-line recap: status, losses, checkpoint-time fraction."""
         status = (
             f"failed at step {self.interrupted_at}"
             if self.interrupted_at is not None
@@ -81,7 +101,25 @@ class TrainResult:
 
 
 class Trainer:
-    def __init__(self, config: TrainConfig) -> None:
+    """Deterministic simulated ZeRO-3 training runs (see module docs).
+
+    Built from one :class:`~repro.train.config.TrainConfig`; an optional
+    ``fault_plan`` attaches the chaos engine to this leg — the engine's
+    collectives are wrapped in a :class:`~repro.dist.faults.ChaosComm`
+    charging penalized time into the simulated clock, and a
+    :class:`~repro.train.callbacks.ChaosCallback` applies scheduled
+    bitrot and rank failures.  Multi-leg recovery (shrink + resume) is
+    :class:`ChaosSupervisor`'s job, not the trainer's.
+    """
+
+    def __init__(
+        self,
+        config: TrainConfig,
+        *,
+        fault_plan: FaultPlan | None = None,
+        fault_timeline: FaultTimeline | None = None,
+        _chaos_pending: tuple[list, list] | None = None,
+    ) -> None:
         self.config = config
         self.storage = Storage(config.output_dir)
 
@@ -143,10 +181,37 @@ class Trainer:
         if config.failure_step is not None:
             self.callbacks.append(FailureInjector(config.failure_step))
 
+        # Chaos engine attachment (fault plans): wrap the collectives in
+        # the time-charging communicator and register the fault callback
+        # last, so the step's checkpoint is on disk before bitrot or a
+        # rank failure touches it.
+        self.fault_plan = fault_plan
+        self.fault_timeline = fault_timeline
+        self._chaos: ChaosCallback | None = None
+        if fault_plan is not None:
+            if _chaos_pending is None:
+                # Standalone use: the supervisor validates once up front,
+                # legs after a shrink would fail re-validation (events may
+                # reference ranks the smaller world no longer has).
+                fault_plan.validate(config.world_size, config.total_steps)
+            self.fault_timeline = fault_timeline or FaultTimeline()
+            self.engine.comm = ChaosComm(
+                self.engine.comm, fault_plan, clock=self.storage.clock
+            )
+            pending_failures, pending_bitrot = _chaos_pending or (None, None)
+            self._chaos = ChaosCallback(
+                fault_plan,
+                self.fault_timeline,
+                pending_failures=pending_failures,
+                pending_bitrot=pending_bitrot,
+            )
+            self.callbacks.append(self._chaos)
+
     # -- paths --------------------------------------------------------------------
 
     @property
     def decision_log_path(self) -> Path:
+        """Where the strategy's checkpoint decisions are persisted."""
         return Path(self.config.output_dir) / "ckpt_decisions.json"
 
     # -- one training step -----------------------------------------------------------
@@ -158,6 +223,10 @@ class Trainer:
     def train_step(self, step: int) -> float:
         """Forward/backward over every rank's micro-batches, then update."""
         cfg = self.config
+        if self.fault_plan is not None:
+            # Position the fault schedule before the step's collectives
+            # so window-scoped penalties charge exactly their steps.
+            self.engine.comm.set_step(step)
         self.engine.zero_grad()
         total_loss = 0.0
         n_micro = cfg.world_size * cfg.grad_accum_steps
@@ -177,11 +246,20 @@ class Trainer:
         self.engine.step()
         self.scheduler.step()
         self.storage.charge_compute(cfg.sim_step_seconds, "compute")
+        if self.fault_plan is not None:
+            # A synchronous step is paced by its slowest rank: charge the
+            # straggler tax on top of the nominal step time.
+            slowdown = self.fault_plan.compute_slowdown(step, cfg.world_size)
+            if slowdown > 1.0:
+                self.storage.charge_compute(
+                    (slowdown - 1.0) * cfg.sim_step_seconds, "fault_straggler"
+                )
         return total_loss / n_micro
 
     # -- checkpointing --------------------------------------------------------------------
 
     def write_checkpoint(self, step: int, *, slots: list[str] | None, strategy_name: str) -> CheckpointPaths:
+        """Write a (possibly partial) checkpoint for ``step`` and record it."""
         self.state.learning_rate = self.scheduler.get_last_lr()[0]
         self.state.checkpoints_written.append(step)
         return save_checkpoint(
@@ -210,6 +288,7 @@ class Trainer:
         for cb in self.callbacks:
             cb.on_train_start(self)
         interrupted: int | None = None
+        failed_rank: int | None = None
         step = self.state.global_step
         try:
             while step < target:
@@ -220,6 +299,7 @@ class Trainer:
                     cb.on_step_end(self, step, loss)
         except SimulatedFailure as failure:
             interrupted = failure.step
+            failed_rank = getattr(failure, "rank", None)
         for cb in self.callbacks:
             cb.on_train_end(self)
 
@@ -240,6 +320,8 @@ class Trainer:
                 "bytes_by_op": dict(comm.bytes_by_op),
                 "calls_by_op": dict(comm.calls_by_op),
             },
+            failed_rank=failed_rank,
+            fault_timeline=self.fault_timeline,
         )
 
     # -- evaluation -------------------------------------------------------------------------------
@@ -281,6 +363,7 @@ class Trainer:
         return loaded.step
 
     def resume_latest(self) -> int:
+        """Resume from the run's ``latest`` pointer; returns the step."""
         paths = read_latest(self.storage.root)
         if paths is None:
             raise TrainingError(f"no 'latest' checkpoint under {self.storage.root}")
@@ -301,3 +384,212 @@ class Trainer:
         log.info("auto-recovery merge: %s", result.summary().replace("\n", " | "))
         self.resume_from(result.output)
         return result.output
+
+
+# ---------------------------------------------------------------------------
+# Chaos supervisor: multi-leg runs under a fault plan
+# ---------------------------------------------------------------------------
+
+class ChaosSupervisor:
+    """Runs a training experiment to completion under a fault plan.
+
+    Each *leg* is one :class:`Trainer` at a fixed world size.  When a
+    scheduled rank failure interrupts a leg, the supervisor:
+
+    1. shrinks the world to the N-1 survivors,
+    2. resumes from the newest *complete* checkpoint at or before the
+       failure — elastically: the checkpoint's world size need not
+       match, the reader reshards the optimizer payloads in memory — or,
+       when the trail is partial (parity/filtered/magnitude strategies),
+       auto-merges it into a complete checkpoint first,
+    3. on a per-group CRC failure during that load (bitrot), restores
+       the corrupted shards from their ``.replica`` copies and retries
+       the resume — detection is loud, recovery re-reads, and silent
+       corruption is structurally impossible,
+    4. replays the lost steps and continues.
+
+    Because training math is world-size invariant and the data order is
+    a pure function of ``(seed, step, rank)``, a chaos run that fails at
+    step *k* and shrinks produces **bitwise-identical** final weights to
+    an uninterrupted run at the surviving world size resumed from the
+    same checkpoint — the invariant ``tests/test_faults.py`` pins.
+
+    The aggregated :class:`TrainResult` sums simulated clock and
+    collective traffic across legs and carries the
+    :class:`~repro.dist.faults.FaultTimeline`.
+    """
+
+    def __init__(
+        self, config: TrainConfig, plan: FaultPlan, *, merge_workers: int = 1
+    ) -> None:
+        plan.validate(config.world_size, config.total_steps)
+        self.config = config
+        self.plan = plan
+        self.merge_workers = merge_workers
+        self.timeline = FaultTimeline()
+        self._pending_failures = list(plan.rank_failures)
+        self._pending_bitrot = list(plan.bitrot_events)
+        self.trainer: Trainer | None = None
+
+    def _build(self, config: TrainConfig) -> Trainer:
+        return Trainer(
+            config,
+            fault_plan=self.plan,
+            fault_timeline=self.timeline,
+            _chaos_pending=(self._pending_failures, self._pending_bitrot),
+        )
+
+    def run(self, until_step: int | None = None) -> TrainResult:
+        """Execute every leg and return the aggregated result."""
+        cfg = self.config
+        trainer = self._build(cfg)
+        results = [trainer.train(until_step)]
+        while results[-1].failed_rank is not None:
+            failed_step = results[-1].interrupted_at
+            survivors = cfg.world_size - 1
+            if survivors < 1:  # pragma: no cover - plan.validate() forbids it
+                raise TrainingError(
+                    f"rank failure at step {failed_step} left no survivors"
+                )
+            log.warning(
+                "supervisor: rank %d died at step %d; shrinking world %d -> %d",
+                results[-1].failed_rank, failed_step, cfg.world_size, survivors,
+            )
+            cfg = cfg.replace(world_size=survivors)
+            trainer = self._build(cfg)
+            resume_step, resume_source = self._resume(trainer, failed_step)
+            lost = failed_step - resume_step
+            self.timeline.recoveries += 1
+            self.timeline.lost_steps += lost
+            self.timeline.record(
+                failed_step, "recovery", world_size=survivors,
+                resumed_from=resume_step, lost_steps=lost, source=resume_source,
+            )
+            results.append(trainer.train(until_step))
+        self.trainer = trainer
+        return self._aggregate(results)
+
+    def _resume(self, trainer: Trainer, failed_step: int) -> tuple[int, str | None]:
+        """Position a fresh (shrunk) trainer after the last safe point.
+
+        Returns ``(step, source_dir_name)``: the newest complete
+        checkpoint at or before the failure, the auto-merged output of a
+        partial trail, or ``(0, None)`` when nothing was saved yet
+        (deterministic re-initialization *is* the resume point then).
+        Bitrot surfaced by the per-group CRCs is repaired from replicas
+        and the load retried once.
+        """
+        root = trainer.storage.root
+        steps = [s for s in list_checkpoint_steps(root) if s <= failed_step]
+        if not steps:
+            return 0, None
+        complete = [
+            s for s in steps
+            if checkpoint_dir(root, s).read_manifest().get("complete", False)
+        ]
+        # Pick the *freshest* recoverable point: a complete checkpoint
+        # resumes without a merge, but an auto-merged partial trail may
+        # anchor at a newer step (its base is the newest contributing
+        # checkpoint) and replay fewer steps.  Ties go to the complete
+        # checkpoint — it is the cheaper, merge-free path.
+        merge_base: int | None = None
+        try:
+            from ..core.autorecipe import latest_slot_coverage
+
+            coverage, _ = latest_slot_coverage(root, failure_step=failed_step)
+            merge_base = max(coverage.values())
+        except MergeError:
+            pass  # incomplete coverage: the trail alone cannot recover
+        use_complete = bool(complete) and (
+            merge_base is None or max(complete) >= merge_base
+        )
+        for attempt in (0, 1):
+            try:
+                if use_complete:
+                    source = checkpoint_dir(root, max(complete))
+                    step = trainer.resume_from(source)
+                elif merge_base is not None:
+                    source = CheckpointPaths(
+                        trainer.auto_recover(failed_step, workers=self.merge_workers)
+                    )
+                    step = trainer.state.global_step
+                else:
+                    return 0, None  # nothing recoverable: restart from init
+                break
+            except (CheckpointError, MergeError) as err:
+                repaired = repair_from_replicas(root)
+                if not repaired or attempt:
+                    raise
+                self.timeline.bitrot_detected += 1
+                self.timeline.bitrot_repaired += len(repaired)
+                self.timeline.record(
+                    failed_step, "bitrot_recovery",
+                    repaired=[p.name for p in repaired], error=str(err)[:160],
+                )
+                log.warning(
+                    "supervisor: CRC failure during resume (%s); restored %d "
+                    "replica(s), retrying", err, len(repaired),
+                )
+        source_world = int(source.read_manifest()["world_size"])
+        if source_world != trainer.config.world_size:
+            self.timeline.reshard_loads += source_world
+            self.timeline.reshard_bytes += sum(
+                source.shard(r).stat().st_size for r in range(source_world)
+            )
+        return step, source.dir.name
+
+    def _aggregate(self, results: list[TrainResult]) -> TrainResult:
+        """Fold per-leg results into one run record (clocks/traffic sum)."""
+        final = results[-1]
+        clock: dict[str, float] = {}
+        bytes_by_op: dict[str, float] = {}
+        calls_by_op: dict[str, int] = {}
+        checkpoints: set[int] = set()
+        total_ckpt_bytes = 0.0
+        for r in results:
+            for k, v in r.clock.items():
+                clock[k] = clock.get(k, 0.0) + v
+            for k, v in r.comm_traffic.get("bytes_by_op", {}).items():
+                bytes_by_op[k] = bytes_by_op.get(k, 0.0) + v
+            for k, v in r.comm_traffic.get("calls_by_op", {}).items():
+                calls_by_op[k] = calls_by_op.get(k, 0) + v
+            checkpoints.update(r.checkpoints)
+            total_ckpt_bytes += r.total_checkpoint_bytes
+        # Leg snapshots each carry their own "__total__"; the summed value
+        # is the run's total simulated time — keep it out of the
+        # per-category sum used for the checkpoint-time fraction.
+        total_seconds = clock.pop("__total__", None)
+        if total_seconds is None:
+            total_seconds = sum(clock.values())
+        clock["__total__"] = total_seconds
+        ckpt_seconds = sum(
+            v for k, v in clock.items() if k.startswith("checkpoint_write")
+        )
+        return TrainResult(
+            final_step=final.final_step,
+            final_train_loss=final.final_train_loss,
+            final_eval_loss=final.final_eval_loss,
+            interrupted_at=final.interrupted_at,
+            checkpoints=sorted(checkpoints),
+            clock=clock,
+            checkpoint_time_fraction=(
+                ckpt_seconds / total_seconds if total_seconds else 0.0
+            ),
+            total_checkpoint_bytes=total_ckpt_bytes,
+            comm_traffic={"bytes_by_op": bytes_by_op, "calls_by_op": calls_by_op},
+            failed_rank=final.failed_rank,
+            fault_timeline=self.timeline,
+        )
+
+
+def train_with_faults(
+    config: TrainConfig,
+    plan: FaultPlan,
+    *,
+    until_step: int | None = None,
+    merge_workers: int = 1,
+) -> TrainResult:
+    """One-call chaos run: build a :class:`ChaosSupervisor` and run it."""
+    return ChaosSupervisor(config, plan, merge_workers=merge_workers).run(
+        until_step=until_step
+    )

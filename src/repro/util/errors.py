@@ -66,3 +66,17 @@ class SimulatedFailure(ReproError):
     def __init__(self, step: int, message: str | None = None) -> None:
         self.step = step
         super().__init__(message or f"injected failure at global step {step}")
+
+
+class RankFailure(SimulatedFailure):
+    """A scheduled rank death from a fault plan.
+
+    Unlike a plain :class:`SimulatedFailure` (the whole job crashes and
+    later resumes at the same world size), a rank failure leaves N-1
+    survivors: the chaos supervisor shrinks the world and resumes
+    elastically.  Carries the dead rank alongside the step.
+    """
+
+    def __init__(self, step: int, rank: int) -> None:
+        self.rank = rank
+        super().__init__(step, f"rank {rank} failed at global step {step}")

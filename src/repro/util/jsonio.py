@@ -40,6 +40,7 @@ class JsonEncoder(json.JSONEncoder):
 
 
 def read_json(path: str | Path) -> Any:
+    """Parse a JSON file, raising :class:`CheckpointError` when missing/invalid."""
     path = Path(path)
     if not path.exists():
         raise CheckpointError(f"missing JSON file: {path}")
@@ -51,6 +52,7 @@ def read_json(path: str | Path) -> Any:
 
 
 def write_json_atomic(path: str | Path, obj: Any, *, indent: int = 2) -> None:
+    """Write JSON via a temp file + rename so readers never see partial files."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")

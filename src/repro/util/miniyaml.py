@@ -46,9 +46,14 @@ class _Line:
 def _strip_comment(text: str) -> str:
     """Remove a trailing comment, respecting quoted strings."""
     quote: str | None = None
+    escaped = False
     for i, ch in enumerate(text):
         if quote is not None:
-            if ch == quote:
+            if escaped:
+                escaped = False
+            elif ch == "\\" and quote == '"':
+                escaped = True
+            elif ch == quote:
                 quote = None
         elif ch in "'\"":
             quote = ch
@@ -127,11 +132,16 @@ def _split_flow_items(body: str, line_no: int) -> list[str]:
     items: list[str] = []
     depth = 0
     quote: str | None = None
+    escaped = False
     current = ""
     for ch in body:
         if quote is not None:
             current += ch
-            if ch == quote:
+            if escaped:
+                escaped = False
+            elif ch == "\\" and quote == '"':
+                escaped = True
+            elif ch == quote:
                 quote = None
             continue
         if ch in "'\"":
@@ -183,10 +193,15 @@ def _parse_flow(token: str, line_no: int) -> Any:
 def _split_key(content: str, line_no: int) -> tuple[str, str] | None:
     """Split ``key: rest`` respecting quotes; None if no mapping key."""
     quote: str | None = None
+    escaped = False
     depth = 0
     for i, ch in enumerate(content):
         if quote is not None:
-            if ch == quote:
+            if escaped:
+                escaped = False
+            elif ch == "\\" and quote == '"':
+                escaped = True
+            elif ch == quote:
                 quote = None
         elif ch in "'\"":
             quote = ch
@@ -298,6 +313,7 @@ def loads(document: str) -> Any:
 
 
 def load_file(path) -> Any:
+    """Parse the YAML-subset file at ``path`` (see :func:`loads`)."""
     from pathlib import Path
 
     return loads(Path(path).read_text(encoding="utf-8"))
@@ -388,6 +404,7 @@ def dumps(value: Any) -> str:
 
 
 def dump_file(path, value: Any) -> None:
+    """Serialize ``value`` as YAML into ``path`` (see :func:`dumps`)."""
     from pathlib import Path
 
     Path(path).write_text(dumps(value), encoding="utf-8")

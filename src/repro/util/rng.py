@@ -54,12 +54,15 @@ class RngTree:
         self.path: tuple[object, ...] = tuple(path)
 
     def child(self, *keys: object) -> "RngTree":
+        """A subtree rooted at this path extended by ``keys``."""
         return RngTree(self.root_seed, *self.path, *keys)
 
     def seed(self, *keys: object) -> int:
+        """The derived 64-bit seed for the named substream under this path."""
         return derive_seed(self.root_seed, *self.path, *keys)
 
     def generator(self, *keys: object) -> np.random.Generator:
+        """A fresh PCG64 generator for the named substream under this path."""
         return np.random.default_rng(self.seed(*keys))
 
     def state_key(self) -> str:

@@ -29,6 +29,7 @@ class Table:
     _raw_rows: list[list[Any]] = field(default_factory=list)
 
     def add_row(self, values: Sequence[Any]) -> "Table":
+        """Append one row (stringified cells)."""
         if len(values) != len(self.headers):
             raise ValueError(
                 f"row has {len(values)} cells, table has {len(self.headers)} columns"
@@ -38,6 +39,7 @@ class Table:
         return self
 
     def add_separator(self) -> "Table":
+        """Append a horizontal rule between row groups."""
         self._raw_rows.append([])
         self.rows.append([])
         return self
@@ -66,6 +68,7 @@ class Table:
         return widths
 
     def render(self) -> str:
+        """The table as ASCII art with aligned columns."""
         widths = self._widths()
         sep = "+".join("-" * (w + 2) for w in widths)
         sep = f"+{sep}+"
@@ -81,6 +84,7 @@ class Table:
         return "\n".join(lines)
 
     def render_markdown(self) -> str:
+        """The table as GitHub-flavored Markdown."""
         lines = []
         if self.title:
             lines.append(f"**{self.title}**")

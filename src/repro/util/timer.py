@@ -40,9 +40,11 @@ class WallTimer:
         self.stop()
 
     def start(self) -> None:
+        """Start (or restart) the stopwatch."""
         self._start = time.perf_counter()
 
     def stop(self) -> float:
+        """Stop and return the accumulated elapsed seconds."""
         if self._start is None:
             raise RuntimeError("timer was not started")
         self.elapsed += time.perf_counter() - self._start
@@ -50,6 +52,7 @@ class WallTimer:
         return self.elapsed
 
     def reset(self) -> None:
+        """Zero the accumulated time and stop."""
         self.elapsed = 0.0
         self._start = None
 
@@ -69,6 +72,7 @@ class SimClock:
     by_category: dict[str, float] = field(default_factory=lambda: defaultdict(float))
 
     def advance(self, dt: float, category: str = "other") -> float:
+        """Move time forward by ``dt`` and charge it to ``category``."""
         if dt < 0:
             raise ValueError(f"cannot advance clock by negative dt={dt}")
         self.now += dt
@@ -76,9 +80,11 @@ class SimClock:
         return self.now
 
     def total(self) -> float:
+        """Total elapsed simulated seconds."""
         return self.now
 
     def category_total(self, prefix: str) -> float:
+        """Seconds charged to categories whose name starts with ``prefix``."""
         return sum(v for k, v in self.by_category.items() if k.startswith(prefix))
 
     def fraction(self, prefix: str) -> float:
@@ -88,10 +94,12 @@ class SimClock:
         return self.category_total(prefix) / self.now
 
     def snapshot(self) -> dict[str, float]:
+        """Category totals plus ``__total__`` as a plain dict."""
         out = dict(self.by_category)
         out["__total__"] = self.now
         return out
 
     def reset(self) -> None:
+        """Zero the clock and all categories."""
         self.now = 0.0
         self.by_category.clear()

@@ -237,3 +237,60 @@ class TestCompareCli:
             "--only", "real",
         ])
         assert rc == 0
+
+
+class TestLegacyAliases:
+    """`compare` accepts the retired BENCH_table7 name with a note."""
+
+    def _write_artifact(self, directory, scenario, means, *, filename=None):
+        directory.mkdir(parents=True, exist_ok=True)
+        doc = normalize_raw(_raw_doc(means), scenario=scenario, quick=False)
+        name = filename or f"BENCH_{scenario}.json"
+        (directory / name).write_text(json.dumps(doc))
+
+    def test_only_accepts_deprecated_name(self, tmp_path, capsys):
+        from repro.bench.runner import main
+
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        (bench_dir / "bench_table7_loading_time.py").write_text("")
+        self._write_artifact(tmp_path / "base", "table7_loading_time", {"t": 1.0})
+        self._write_artifact(tmp_path / "cur", "table7_loading_time", {"t": 1.0})
+        rc = main([
+            "--bench-dir", str(bench_dir), "compare",
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"),
+            "--only", "table7",
+        ])
+        assert rc == 0
+        assert "deprecated" in capsys.readouterr().err
+
+    def test_bare_compare_maps_legacy_baseline_filename(self, tmp_path, capsys):
+        """An archived BENCH_table7.json baseline gates the current run."""
+        from repro.bench.runner import main
+
+        # Baseline under the retired filename; current under the new one.
+        self._write_artifact(tmp_path / "base", "table7", {"t": 1.0},
+                             filename="BENCH_table7.json")
+        self._write_artifact(tmp_path / "cur", "table7_loading_time", {"t": 2.0})
+        rc = main([
+            "compare",
+            "--baseline", str(tmp_path / "base"),
+            "--current", str(tmp_path / "cur"),
+        ])
+        err = capsys.readouterr().err
+        assert rc == 1  # 2x the baseline: the regression still gates
+        assert "deprecated" in err
+
+    def test_committed_baselines_use_canonical_names_only(self):
+        """The duplicate BENCH_table7.json artifact stays retired."""
+        from pathlib import Path
+
+        from repro.bench.runner import LEGACY_SCENARIO_ALIASES
+
+        results = Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+        for legacy in LEGACY_SCENARIO_ALIASES:
+            assert not (results / f"BENCH_{legacy}.json").exists(), (
+                f"BENCH_{legacy}.json is deprecated; keep only the "
+                "runner-named artifact"
+            )

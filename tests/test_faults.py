@@ -1,0 +1,662 @@
+"""Chaos engine: fault plans, penalized comm, bitrot, elastic recovery.
+
+The heart of this file is the chaos-resume invariant: a run that loses a
+rank at step k and elastically resumes at the surviving world size must
+produce bitwise-identical final weights to an uninterrupted reference
+run at that world size resumed from the same checkpoint — across world
+sizes and across merge strategies (complete trails vs auto-merged
+partial trails).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dist import SimComm
+from repro.dist.faults import (
+    ChaosComm,
+    FaultPlan,
+    bitrot,
+    degraded_link,
+    inject_bitrot,
+    rank_failure,
+    repair_from_replicas,
+    straggler,
+)
+from repro.io import CheckpointPaths, checkpoint_dir, list_checkpoint_steps
+from repro.strategies import plan_fault_cost
+from repro.train import ChaosSupervisor, TrainConfig, Trainer, train_with_faults
+from repro.util.errors import CheckpointError, ConfigError, RankFailure
+
+
+def chaos_config(tmp_path, **overrides) -> TrainConfig:
+    base = dict(
+        model="tiny-untied", task="cpt", total_steps=12,
+        checkpoint_strategy="full", checkpoint_interval=4,
+        output_dir=str(tmp_path / "run"), world_size=2,
+        micro_batch_size=2, grad_accum_steps=1, seq_len=32, log_every=4,
+    )
+    base.update(overrides)
+    return TrainConfig(**base)
+
+
+def assert_states_equal(a: dict, b: dict) -> None:
+    assert set(a) == set(b)
+    for key in a:
+        np.testing.assert_array_equal(a[key], b[key], err_msg=key)
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan: construction, validation, (de)serialization
+# ---------------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_yaml_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            events=(
+                rank_failure(10, 1),
+                straggler(4, 0, 2.5, duration=3),
+                degraded_link(0, 1, 0.25),
+                bitrot(8, 0, 3),
+            ),
+            seed=7,
+        )
+        plan.to_yaml(tmp_path / "plan.yaml")
+        assert FaultPlan.from_yaml(tmp_path / "plan.yaml") == plan
+
+    def test_dict_round_trip(self):
+        plan = FaultPlan(events=(rank_failure(3, 0),), seed=1)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.from_dict({"events": [{"kind": "meteor_strike", "step": 1}]})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.from_dict({"events": [], "gpu_count": 8})
+        with pytest.raises(ConfigError):
+            FaultPlan.from_dict(
+                {"events": [{"kind": "rank_failure", "step": 1, "node": 3}]}
+            )
+
+    def test_validate_step_range(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(events=(rank_failure(99, 0),)).validate(2, 10)
+
+    def test_validate_failures_leave_a_survivor(self):
+        plan = FaultPlan(events=(rank_failure(2, 0), rank_failure(4, 0)))
+        with pytest.raises(ConfigError):
+            plan.validate(2, 10)
+        plan.validate(3, 10)  # two failures at ws 3 leave one survivor
+
+    def test_validate_shrinking_world_rank_bounds(self):
+        # Second failure names rank 2, but only ranks {0, 1} survive.
+        plan = FaultPlan(events=(rank_failure(2, 2), rank_failure(4, 2)))
+        with pytest.raises(ConfigError):
+            plan.validate(3, 10)
+
+    def test_validate_straggler_and_link(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(events=(straggler(1, 0, 0.5),)).validate(2, 10)
+        with pytest.raises(ConfigError):
+            FaultPlan(events=(degraded_link(0, 0, 0.5),)).validate(2, 10)
+        with pytest.raises(ConfigError):
+            FaultPlan(events=(degraded_link(0, 1, 1.5),)).validate(2, 10)
+
+    def test_sample_is_deterministic_and_valid(self):
+        kwargs = dict(seed=42, world_size=4, total_steps=50, n_failures=2,
+                      n_stragglers=2, n_degraded_links=1, n_bitrot=1)
+        a = FaultPlan.sample(**kwargs)
+        b = FaultPlan.sample(**kwargs)
+        assert a == b
+        a.validate(4, 50)
+        assert a != FaultPlan.sample(**{**kwargs, "seed": 43})
+
+    def test_slowdown_windows(self):
+        plan = FaultPlan(
+            events=(straggler(5, 0, 3.0, duration=2), degraded_link(0, 1, 0.5))
+        )
+        assert plan.compute_slowdown(4, 2) == 1.0
+        assert plan.compute_slowdown(5, 2) == 3.0
+        assert plan.compute_slowdown(6, 2) == 3.0
+        assert plan.compute_slowdown(7, 2) == 1.0
+        # Link degradation affects comm, not compute; straggler affects both.
+        assert plan.comm_slowdown(1, 2) == 2.0
+        assert plan.comm_slowdown(5, 2) == 3.0
+        # Events referencing ranks outside a shrunk world are inert.
+        assert plan.compute_slowdown(5, 0) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# ChaosComm: ring bytes unchanged, penalized seconds charged
+# ---------------------------------------------------------------------------
+
+class TestChaosComm:
+    def test_bytes_match_plain_simcomm(self):
+        plan = FaultPlan(events=(degraded_link(0, 1, 0.5),))
+        plain = SimComm(4)
+        chaos = ChaosComm(SimComm(4), plan)
+        bufs = [np.arange(8, dtype=np.float32) for _ in range(4)]
+        plain.all_reduce_mean(bufs)
+        out_plain = plain.reduce_scatter_mean([b.copy() for b in bufs])
+        chaos.all_reduce_mean(bufs)
+        out_chaos = chaos.reduce_scatter_mean([b.copy() for b in bufs])
+        assert plain.stats.bytes_by_op == chaos.stats.bytes_by_op
+        assert plain.stats.calls_by_op == chaos.stats.calls_by_op
+        for a, b in zip(out_plain, out_chaos):
+            np.testing.assert_array_equal(a, b)
+
+    def test_seconds_scale_with_slowdown(self):
+        plan = FaultPlan(events=(straggler(10, 0, 4.0, duration=1),))
+        comm = ChaosComm(SimComm(2), plan, link_bandwidth=1e6)
+        buf = np.ones(1000, dtype=np.float32)
+        comm.set_step(1)
+        comm.all_reduce_mean([buf, buf])
+        clean = comm.stats.total_seconds()
+        assert clean == pytest.approx(comm.stats.total_bytes() / 1e6)
+        comm.set_step(10)
+        comm.all_reduce_mean([buf, buf])
+        assert comm.stats.total_seconds() == pytest.approx(clean * 5)  # 1x + 4x
+
+    def test_clock_charged_under_comm_category(self):
+        from repro.util.timer import SimClock
+
+        clock = SimClock()
+        plan = FaultPlan()
+        comm = ChaosComm(SimComm(2), plan, clock=clock, link_bandwidth=1e6)
+        comm.broadcast(np.ones(512, dtype=np.float32))
+        assert clock.by_category["comm"] == pytest.approx(comm.stats.total_seconds())
+
+    def test_world_size_one_is_free(self):
+        comm = ChaosComm(SimComm(1), FaultPlan(), link_bandwidth=1.0)
+        comm.all_reduce_mean([np.ones(4, dtype=np.float32)])
+        assert comm.stats.total_seconds() == 0.0
+
+
+# ---------------------------------------------------------------------------
+# The chaos-resume invariant (acceptance criterion)
+# ---------------------------------------------------------------------------
+
+class TestChaosResumeInvariant:
+    """Failure at step k + elastic shrink == reference run at N-1 ranks."""
+
+    @pytest.mark.parametrize("world_size", [2, 3, 4])
+    @pytest.mark.parametrize("strategy", ["full", "parity"])
+    def test_bitwise_after_rank_failure(self, tmp_path, world_size, strategy):
+        # Parity without the initial full snapshot leaves only partial
+        # checkpoints on disk, forcing recovery through the auto-merge
+        # path; "full" recovers straight from a complete checkpoint.
+        strategy_kwargs = {"initial_full": False} if strategy == "parity" else {}
+        plan = FaultPlan(events=(rank_failure(10, world_size - 1),))
+        cfg = chaos_config(
+            tmp_path / "chaos", world_size=world_size,
+            checkpoint_strategy=strategy, strategy_kwargs=strategy_kwargs,
+        )
+        supervisor = ChaosSupervisor(cfg, plan)
+        result = supervisor.run()
+        assert result.interrupted_at is None
+        assert result.final_step == cfg.total_steps
+        timeline = result.fault_timeline
+        assert timeline.recoveries == 1
+        recovery = [e for e in timeline.events if e["kind"] == "recovery"][0]
+        assert recovery["world_size"] == world_size - 1
+        if strategy == "parity":
+            assert recovery["source"].startswith("merged-")
+        else:
+            assert recovery["source"].startswith("checkpoint-")
+
+        # Reference: an uninterrupted run at the surviving world size,
+        # resumed from the exact checkpoint the chaos run recovered from.
+        chaos_root = supervisor.trainer.storage.root
+        resumed_from = recovery["resumed_from"]
+        source = chaos_root / recovery["source"]
+        ref = Trainer(
+            chaos_config(tmp_path / "ref", world_size=world_size - 1,
+                         checkpoint_strategy=strategy,
+                         strategy_kwargs=strategy_kwargs)
+        )
+        assert ref.resume_from(CheckpointPaths(source)) == resumed_from
+        ref_result = ref.train()
+        assert ref_result.interrupted_at is None
+
+        assert_states_equal(
+            supervisor.trainer.engine.master_state_dict(),
+            ref.engine.master_state_dict(),
+        )
+        assert_states_equal(
+            supervisor.trainer.model.state_dict(), ref.model.state_dict()
+        )
+
+    def test_final_merged_weights_bitwise(self, tmp_path):
+        """The on-disk *merged* artifacts agree too, not just live state.
+
+        The run continues long enough after the shrink that the final
+        merge trail is entirely post-shrink (the merge tool requires a
+        uniform shard world size across its sources).
+        """
+        from repro.core import LLMTailor
+        from repro.io.tensorfile import TensorFile
+
+        world_size = 3
+        plan = FaultPlan(events=(rank_failure(10, 2),))
+        kwargs = {"initial_full": False}
+        cfg = chaos_config(
+            tmp_path / "chaos", world_size=world_size, total_steps=20,
+            checkpoint_strategy="parity", strategy_kwargs=kwargs,
+        )
+        supervisor = ChaosSupervisor(cfg, plan)
+        supervisor.run()
+        recovery = [
+            e for e in supervisor.timeline.events if e["kind"] == "recovery"
+        ][0]
+        assert recovery["source"].startswith("merged-")
+        ref = Trainer(
+            chaos_config(tmp_path / "ref", world_size=2, total_steps=20,
+                         checkpoint_strategy="parity", strategy_kwargs=kwargs)
+        )
+        ref.resume_from(
+            CheckpointPaths(supervisor.trainer.storage.root / recovery["source"])
+        )
+        ref.train()
+
+        weights = {}
+        for name, trainer in (("chaos", supervisor.trainer), ("ref", ref)):
+            tailor = LLMTailor.from_checkpoints(
+                trainer.storage.root, failure_step=cfg.total_steps
+            )
+            out = trainer.storage.root / "final-merged"
+            tailor.merge(output=out)
+            weights[name] = TensorFile(CheckpointPaths(out).weights).read_all()
+        assert_states_equal(weights["chaos"], weights["ref"])
+
+    def test_two_failures_shrink_twice(self, tmp_path):
+        plan = FaultPlan(events=(rank_failure(6, 3), rank_failure(10, 1)))
+        cfg = chaos_config(tmp_path / "chaos", world_size=4)
+        supervisor = ChaosSupervisor(cfg, plan)
+        result = supervisor.run()
+        assert result.interrupted_at is None
+        assert result.fault_timeline.recoveries == 2
+        assert supervisor.trainer.config.world_size == 2
+        # Reference from the second recovery point at the final world size.
+        recovery = [
+            e for e in supervisor.timeline.events if e["kind"] == "recovery"
+        ][-1]
+        ref = Trainer(chaos_config(tmp_path / "ref", world_size=2))
+        ref.resume_from(
+            CheckpointPaths(
+                supervisor.trainer.storage.root
+                / f"checkpoint-{recovery['resumed_from']}"
+            )
+        )
+        ref.train()
+        assert_states_equal(
+            supervisor.trainer.engine.master_state_dict(),
+            ref.engine.master_state_dict(),
+        )
+
+    def test_supervisor_prefers_freshest_recovery_point(self, tmp_path):
+        """A newer partial trail beats an older complete checkpoint.
+
+        Parity with its initial full snapshot: complete at step 4, but
+        halves at 8 merge to a base of 8 — recovery must merge and lose
+        2 steps, not resume the stale full snapshot and lose 6.
+        """
+        plan = FaultPlan(events=(rank_failure(10, 1),))
+        cfg = chaos_config(tmp_path, world_size=2, checkpoint_strategy="parity")
+        result = train_with_faults(cfg, plan)
+        recovery = [
+            e for e in result.fault_timeline.events if e["kind"] == "recovery"
+        ][0]
+        assert recovery["source"].startswith("merged-")
+        assert recovery["resumed_from"] == 8
+        assert result.fault_timeline.lost_steps == 2
+
+    def test_failure_before_first_checkpoint_restarts(self, tmp_path):
+        plan = FaultPlan(events=(rank_failure(2, 1),))
+        cfg = chaos_config(tmp_path / "chaos", world_size=2)
+        result = train_with_faults(cfg, plan)
+        assert result.interrupted_at is None
+        timeline = result.fault_timeline
+        assert timeline.lost_steps == 2
+        assert timeline.reshard_loads == 0  # nothing on disk to reshard
+
+    def test_train_result_aggregates_legs(self, tmp_path):
+        plan = FaultPlan(events=(rank_failure(10, 1),))
+        result = train_with_faults(chaos_config(tmp_path, world_size=2), plan)
+        # 12 scheduled + 2 replayed steps of compute at 1 sim-sec each.
+        assert result.clock["compute"] == pytest.approx(14.0)
+        assert result.clock["checkpoint_read.optimizer"] > 0  # the resume
+        assert result.checkpoints == [4, 8, 12]
+        assert result.failed_rank is None
+
+
+# ---------------------------------------------------------------------------
+# Straggler / degraded-link accounting in live runs
+# ---------------------------------------------------------------------------
+
+class TestSlowdownAccounting:
+    def test_straggler_charges_exact_clock_penalty(self, tmp_path):
+        plan = FaultPlan(events=(straggler(5, 0, 3.0, duration=4),))
+        result = train_with_faults(chaos_config(tmp_path, world_size=2), plan)
+        # 4 active steps x (3.0 - 1.0) x 1 sim-sec.
+        assert result.clock["fault_straggler"] == pytest.approx(8.0)
+        assert result.clock["compute"] == pytest.approx(12.0)
+
+    def test_replayed_straggler_recorded_once_but_charged_twice(self, tmp_path):
+        """A straggler window inside the replayed segment re-charges the
+        clock (the replayed steps really run slow again) but appears in
+        the timeline as the single scheduled event it is."""
+        plan = FaultPlan(
+            events=(straggler(9, 0, 2.0, duration=2), rank_failure(10, 1))
+        )
+        result = train_with_faults(chaos_config(tmp_path, world_size=2), plan)
+        entries = [
+            e for e in result.fault_timeline.events if e["kind"] == "straggler"
+        ]
+        assert len(entries) == 1
+        # Steps 9, 10 charged in leg 1, replayed 9, 10 charged again in leg 2.
+        assert result.clock["fault_straggler"] == pytest.approx(4.0)
+
+    def test_degraded_link_scales_comm_seconds(self, tmp_path):
+        clean = train_with_faults(chaos_config(tmp_path / "a"), FaultPlan())
+        degraded = train_with_faults(
+            chaos_config(tmp_path / "b"),
+            FaultPlan(events=(degraded_link(0, 1, 0.25),)),
+        )
+        assert clean.clock["comm"] > 0
+        assert degraded.clock["comm"] == pytest.approx(clean.clock["comm"] * 4.0)
+
+    def test_clean_plan_is_a_noop_on_training_math(self, tmp_path):
+        plain = Trainer(chaos_config(tmp_path / "a")).train()
+        chaos = train_with_faults(chaos_config(tmp_path / "b"), FaultPlan())
+        assert chaos.final_train_loss == plain.final_train_loss
+        assert chaos.final_eval_loss == plain.final_eval_loss
+        assert (
+            chaos.comm_traffic["bytes_by_op"] == plain.comm_traffic["bytes_by_op"]
+        )
+
+
+# ---------------------------------------------------------------------------
+# Bitrot: per-group CRCs catch it; recovery re-reads the replica
+# ---------------------------------------------------------------------------
+
+class TestBitrot:
+    @pytest.fixture
+    def finished_run(self, tmp_path):
+        trainer = Trainer(chaos_config(tmp_path, world_size=2))
+        trainer.train()
+        return trainer
+
+    def test_injected_bitrot_fails_same_world_resume(self, finished_run):
+        trainer = finished_run
+        ckpt = checkpoint_dir(trainer.storage.root, 8)
+        inject_bitrot(ckpt, rank=1, group=2)
+        fresh = Trainer(
+            TrainConfig.from_dict(trainer.config.to_dict())
+        )
+        with pytest.raises(CheckpointError, match="CRC"):
+            fresh.resume_from(ckpt)
+
+    def test_injected_bitrot_fails_elastic_resume(self, finished_run):
+        trainer = finished_run
+        ckpt = checkpoint_dir(trainer.storage.root, 8)
+        inject_bitrot(ckpt, rank=0, group=1)
+        shrunk = Trainer(
+            TrainConfig.from_dict(dict(trainer.config.to_dict(), world_size=1))
+        )
+        with pytest.raises(CheckpointError, match="CRC"):
+            shrunk.resume_from(ckpt)
+
+    def test_repair_from_replicas_restores_bitwise(self, finished_run):
+        trainer = finished_run
+        ckpt = checkpoint_dir(trainer.storage.root, 8)
+        pristine = ckpt.shard(1).read_bytes()
+        shard = inject_bitrot(ckpt, rank=1, group=0)
+        assert shard.read_bytes() != pristine
+        repaired = repair_from_replicas(trainer.storage.root)
+        assert repaired == [shard]
+        assert shard.read_bytes() == pristine
+        # Replica consumed: a second repair pass finds nothing.
+        assert repair_from_replicas(trainer.storage.root) == []
+
+    def test_inject_requires_existing_group(self, finished_run):
+        ckpt = checkpoint_dir(finished_run.storage.root, 8)
+        with pytest.raises(CheckpointError):
+            inject_bitrot(ckpt, rank=0, group=999)
+        with pytest.raises(CheckpointError):
+            inject_bitrot(ckpt, rank=7, group=0)
+
+    def test_end_to_end_bitrot_recovery_is_bitwise(self, tmp_path):
+        """Bitrot + rank failure: detected, repaired, and still bitwise."""
+        plan = FaultPlan(events=(bitrot(8, 0, 2), rank_failure(10, 1)))
+        cfg = chaos_config(tmp_path / "chaos", world_size=2)
+        supervisor = ChaosSupervisor(cfg, plan)
+        result = supervisor.run()
+        timeline = result.fault_timeline
+        assert result.interrupted_at is None
+        assert timeline.bitrot_detected == 1
+        assert timeline.bitrot_repaired == 1
+        assert "bitrot_recovery" in timeline.kinds()
+
+        ref = Trainer(chaos_config(tmp_path / "ref", world_size=1))
+        ref.resume_from(
+            CheckpointPaths(supervisor.trainer.storage.root / "checkpoint-8")
+        )
+        ref.train()
+        assert_states_equal(
+            supervisor.trainer.engine.master_state_dict(),
+            ref.engine.master_state_dict(),
+        )
+
+    def test_bitrot_group_out_of_range_is_skipped_not_fatal(self, tmp_path):
+        plan = FaultPlan(events=(bitrot(4, 0, 999),))
+        result = train_with_faults(chaos_config(tmp_path, world_size=2), plan)
+        assert result.interrupted_at is None
+        skipped = [
+            e for e in result.fault_timeline.events if e["kind"] == "bitrot_skipped"
+        ]
+        assert skipped and skipped[0]["group"] == 999
+
+    def test_bitrot_waits_for_a_checkpoint_carrying_its_group(self, tmp_path):
+        """Partial (parity) shards: injection defers to a covering save."""
+        cfg = chaos_config(
+            tmp_path, world_size=2, checkpoint_strategy="parity",
+            strategy_kwargs={"initial_full": False}, total_steps=16,
+        )
+        # Group 0 (embed/first slot region) is only in every other shard.
+        plan = FaultPlan(events=(bitrot(4, 0, 0),))
+        result = train_with_faults(cfg, plan)
+        assert result.interrupted_at is None
+        injected = [
+            e for e in result.fault_timeline.events if e["kind"] == "bitrot"
+        ]
+        assert len(injected) == 1  # fired exactly once, on a covering save
+
+    def test_bitrot_without_replica_fails_loudly(self, finished_run):
+        trainer = finished_run
+        ckpt = checkpoint_dir(trainer.storage.root, 8)
+        inject_bitrot(ckpt, rank=0, group=0, keep_replica=False)
+        assert repair_from_replicas(trainer.storage.root) == []
+        fresh = Trainer(TrainConfig.from_dict(trainer.config.to_dict()))
+        with pytest.raises(CheckpointError, match="CRC"):
+            fresh.resume_from(ckpt)
+
+
+# ---------------------------------------------------------------------------
+# Analytic fault-cost planner vs live runs
+# ---------------------------------------------------------------------------
+
+class TestPlanFaultCost:
+    def test_matches_live_run(self, tmp_path):
+        plan = FaultPlan(
+            events=(
+                rank_failure(10, 2),
+                straggler(5, 0, 3.0, duration=4),
+                degraded_link(0, 1, 0.25),
+            )
+        )
+        cfg = chaos_config(tmp_path, world_size=3)
+        supervisor = ChaosSupervisor(cfg, plan)
+        result = supervisor.run()
+        cost = plan_fault_cost(
+            supervisor.trainer.model_config, plan, world_size=3,
+            total_steps=cfg.total_steps, checkpoint_interval=cfg.checkpoint_interval,
+        )
+        timeline = result.fault_timeline
+        assert cost.lost_steps == timeline.lost_steps
+        assert cost.reshard_loads == timeline.reshard_loads
+        assert cost.final_world_size == supervisor.trainer.config.world_size
+        assert cost.executed_steps == cfg.total_steps + timeline.lost_steps
+        assert cost.straggler_seconds == pytest.approx(
+            result.clock["fault_straggler"], rel=1e-12
+        )
+        assert cost.comm_seconds == pytest.approx(result.clock["comm"], rel=1e-6)
+
+    def test_two_failures_and_rewritten_checkpoints(self, tmp_path):
+        plan = FaultPlan(events=(rank_failure(6, 3), rank_failure(10, 1)))
+        cfg = chaos_config(tmp_path, world_size=4)
+        supervisor = ChaosSupervisor(cfg, plan)
+        result = supervisor.run()
+        cost = plan_fault_cost(
+            supervisor.trainer.model_config, plan, world_size=4,
+            total_steps=cfg.total_steps, checkpoint_interval=cfg.checkpoint_interval,
+        )
+        timeline = result.fault_timeline
+        assert cost.lost_steps == timeline.lost_steps
+        assert cost.reshard_loads == timeline.reshard_loads
+        assert cost.final_world_size == 2
+
+    def test_failure_on_checkpoint_step_loses_nothing(self):
+        from repro.nn import get_config
+
+        cost = plan_fault_cost(
+            get_config("tiny-untied"), FaultPlan(events=(rank_failure(8, 1),)),
+            world_size=2, total_steps=12, checkpoint_interval=4,
+        )
+        assert cost.lost_steps == 0
+        assert cost.reshard_loads == 2
+
+    def test_invalid_plan_rejected(self):
+        from repro.nn import get_config
+
+        with pytest.raises(ConfigError):
+            plan_fault_cost(
+                get_config("tiny-untied"), FaultPlan(events=(rank_failure(8, 5),)),
+                world_size=2, total_steps=12, checkpoint_interval=4,
+            )
+
+
+# ---------------------------------------------------------------------------
+# CLI: llmtailor train --faults / plan --faults
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    PLAN_YAML = (
+        "seed: 3\n"
+        "events:\n"
+        "  - kind: straggler\n"
+        "    step: 3\n"
+        "    rank: 0\n"
+        "    slowdown: 2.0\n"
+        "    duration: 2\n"
+        "  - kind: rank_failure\n"
+        "    step: 7\n"
+        "    rank: 1\n"
+    )
+
+    def test_train_with_faults(self, tmp_path, capsys):
+        from repro.cli import main
+
+        plan_path = tmp_path / "plan.yaml"
+        plan_path.write_text(self.PLAN_YAML)
+        rc = main([
+            "train", "-o", str(tmp_path / "run"), "--steps", "8",
+            "--interval", "4", "--world-size", "2", "--seq-len", "32",
+            "--faults", str(plan_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "completed at step 8" in out
+        assert "rank_failure" in out and "recovery" in out
+        # The run survived the shrink: checkpoints exist and latest loads.
+        assert list_checkpoint_steps(tmp_path / "run") == [4, 8]
+
+    def test_train_resume_with_faults_rejected(self, tmp_path):
+        from repro.cli import main
+
+        plan_path = tmp_path / "plan.yaml"
+        plan_path.write_text(self.PLAN_YAML)
+        with pytest.raises(SystemExit, match="--resume"):
+            main([
+                "train", "-o", str(tmp_path / "run"), "--steps", "8",
+                "--faults", str(plan_path), "--resume",
+            ])
+
+    def test_train_without_faults(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "train", "-o", str(tmp_path / "run"), "--steps", "4",
+            "--interval", "4", "--world-size", "1", "--seq-len", "32",
+        ])
+        assert rc == 0
+        assert "completed at step 4" in capsys.readouterr().out
+
+    def test_plan_faults_estimate(self, tmp_path, capsys):
+        from repro.cli import main
+
+        plan_path = tmp_path / "plan.yaml"
+        plan_path.write_text(self.PLAN_YAML)
+        rc = main([
+            "plan", "llama3.2-1b-sim", "full", "--steps", "100",
+            "--interval", "10", "--world-size", "4",
+            "--faults", str(plan_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fault-plan estimate" in out
+        assert "lost (replayed) steps  : 7" in out  # failure at 7, interval 10
+
+
+# ---------------------------------------------------------------------------
+# Callback / error surface details
+# ---------------------------------------------------------------------------
+
+class TestChaosPlumbing:
+    def test_rank_failure_is_a_simulated_failure(self):
+        from repro.util.errors import SimulatedFailure
+
+        err = RankFailure(7, 3)
+        assert isinstance(err, SimulatedFailure)
+        assert err.step == 7 and err.rank == 3
+
+    def test_standalone_trainer_reports_failed_rank(self, tmp_path):
+        plan = FaultPlan(events=(rank_failure(6, 1),))
+        trainer = Trainer(chaos_config(tmp_path), fault_plan=plan)
+        result = trainer.train()
+        assert result.interrupted_at == 6
+        assert result.failed_rank == 1
+        assert result.fault_timeline.kinds() == ["rank_failure"]
+
+    def test_rewritten_checkpoint_drops_stale_rank_shards(self, tmp_path):
+        """Replaying a checkpointed step at N-1 ranks cleans rank N-1's shard."""
+        plan = FaultPlan(events=(rank_failure(10, 2),))
+        cfg = chaos_config(tmp_path, world_size=3)
+        supervisor = ChaosSupervisor(cfg, plan)
+        supervisor.run()
+        root = supervisor.trainer.storage.root
+        assert list_checkpoint_steps(root) == [4, 8, 12]
+        # Step 12 was written by the shrunk (ws 2) leg: exactly 2 shards.
+        ckpt = checkpoint_dir(root, 12)
+        assert int(ckpt.read_manifest()["world_size"]) == 2
+        shards = sorted(ckpt.optim_dir.glob("zero_pp_rank_*_optim_states.blob"))
+        assert len(shards) == 2
+
+    def test_faults_compose_with_retention(self, tmp_path):
+        plan = FaultPlan(events=(rank_failure(10, 1),))
+        cfg = chaos_config(tmp_path, world_size=2, max_checkpoints=2)
+        result = train_with_faults(cfg, plan)
+        assert result.interrupted_at is None
+        assert result.final_step == 12

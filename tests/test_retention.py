@@ -8,6 +8,7 @@ from repro.core import LLMTailor
 from repro.io import (
     checkpoint_dir,
     coverage_map,
+    latest_complete_step,
     list_checkpoint_steps,
     prunable_steps,
     prune_checkpoints,
@@ -84,6 +85,60 @@ class TestPrune:
         root = parity_run.storage.root
         prune_checkpoints(root, keep_last=1)
         assert read_latest(root) is not None
+
+
+class TestCompleteCheckpointAnchor:
+    """Retention must never evict the last complete checkpoint set."""
+
+    def test_latest_complete_step_finds_full_snapshot(self, parity_run):
+        # Parity's initial full snapshot at step 4 is the only complete one.
+        assert latest_complete_step(parity_run.storage.root) == 4
+
+    def test_latest_complete_step_none_without_full(self, tmp_path):
+        cfg = TrainConfig(
+            model="tiny-untied", task="cpt", total_steps=8,
+            checkpoint_strategy="parity", checkpoint_interval=4,
+            strategy_kwargs={"initial_full": False},
+            output_dir=str(tmp_path / "run"), world_size=2,
+            micro_batch_size=2, grad_accum_steps=1, seq_len=32,
+        )
+        Trainer(cfg).train()
+        assert latest_complete_step(tmp_path / "run") is None
+
+    def test_newest_complete_checkpoint_protected(self, parity_run):
+        """Partial coverage of step 4's slots must not make it prunable.
+
+        Steps 8..24 jointly cover every slot, so pure coverage logic
+        would happily delete the full step-4 snapshot — but it is the
+        only merge-free, world-size-consistent resume point.
+        """
+        root = parity_run.storage.root
+        cov = coverage_map(root)
+        later = set().union(*(cov[s] for s in cov if s > 4))
+        assert later == set(cov[4])  # coverage alone would allow pruning 4
+        assert 4 not in prunable_steps(root, keep_last=2)
+        prune_checkpoints(root, keep_last=2)
+        assert checkpoint_dir(root, 4).exists()
+        assert checkpoint_dir(root, 4).read_manifest()["complete"]
+
+    def test_failure_triggered_resume_survives_aggressive_retention(self, tmp_path):
+        """Chaos + retention: the recovery anchor outlives the pruner."""
+        from repro.dist.faults import FaultPlan, rank_failure
+        from repro.train import train_with_faults
+
+        cfg = TrainConfig(
+            model="tiny-untied", task="cpt", total_steps=24,
+            checkpoint_strategy="parity", checkpoint_interval=4,
+            max_checkpoints=1,  # maximally aggressive pruning
+            output_dir=str(tmp_path / "run"), world_size=2,
+            micro_batch_size=2, grad_accum_steps=1, seq_len=32,
+        )
+        plan = FaultPlan(events=(rank_failure(22, 1),))
+        result = train_with_faults(cfg, plan)
+        assert result.interrupted_at is None
+        assert result.final_step == 24
+        # The complete anchor was never evicted along the way.
+        assert latest_complete_step(tmp_path / "run") is not None
 
 
 class TestTrainerIntegration:

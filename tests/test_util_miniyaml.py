@@ -138,6 +138,19 @@ class TestDumper:
         miniyaml.dump_file(path, doc)
         assert miniyaml.load_file(path) == doc
 
+    def test_escaped_quote_before_colon_roundtrips(self):
+        """Regression: ``\\"`` inside a double-quoted scalar is not a
+        closing quote, so a following ``: `` must not split a mapping key
+        (found by the dump/load property test)."""
+        for value in ['": ', '"', 'a\\"b: c', "ends with backslash\\"]:
+            doc = {"root": [value], "flow": {"k": value}}
+            assert miniyaml.loads(miniyaml.dumps(doc)) == doc
+
+    def test_escaped_quote_does_not_hide_comment_handling(self):
+        assert miniyaml.loads('key: "a \\" # not a comment"') == {
+            "key": 'a " # not a comment'
+        }
+
 
 _scalars = st.one_of(
     st.none(),
