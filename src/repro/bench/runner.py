@@ -181,6 +181,11 @@ def normalize_raw(
                 "group": bench.get("group"),
                 "params": bench.get("params"),
                 "stats": {k: stats.get(k) for k in _STAT_KEYS},
+                # Scenario-reported metrics (e.g. bench_serve's request
+                # latency percentiles and cache hit rate) ride along so
+                # the committed artifact documents service-level numbers
+                # the timing stats alone cannot express.
+                "extra_info": bench.get("extra_info") or {},
             }
         )
     return {

@@ -20,7 +20,12 @@ Mirrors the paper artifact's workflow:
   strategy (paper Tables 3/6 methodology), plus ``--merge-checkpoints``
   for the analytic merge-cost estimate;
 * ``llmtailor bench ...`` — forwards to :mod:`repro.bench.runner` (run
-  the benchmark suite, emit/gate ``BENCH_*.json`` artifacts).
+  the benchmark suite, emit/gate ``BENCH_*.json`` artifacts);
+* ``llmtailor serve --socket PATH`` — run the multi-tenant merge
+  service daemon (priority queue, per-tenant quotas, cross-request
+  group cache, content-addressed dedup; see docs/serve.md);
+* ``llmtailor client JOBFILE --socket PATH`` — submit a job file to a
+  running service and wait for the results.
 
 ``merge``/``auto-merge`` take ``--workers``/``--stream`` to drive the
 parallel streaming merge engine.
@@ -125,8 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_groups.add_argument("model", help=f"model config ({', '.join(list_configs())})")
 
     p_plan = sub.add_parser("plan", help="analytic strategy overhead plan")
-    p_plan.add_argument("model")
-    p_plan.add_argument("strategy", choices=("full", "parity", "filtered", "magnitude"))
+    p_plan.add_argument("model", nargs="?", default=None)
+    p_plan.add_argument("strategy", nargs="?", default=None,
+                        choices=("full", "parity", "filtered", "magnitude"))
     p_plan.add_argument("--interval", type=int, default=100)
     p_plan.add_argument("--steps", type=int, default=1600)
     p_plan.add_argument("--world-size", type=int, default=8)
@@ -150,6 +156,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--faults", default=None, metavar="PLAN_YAML",
                         help="also estimate the cost of a fault-injection plan "
                              "(expected lost steps, reshard traffic, slowdown)")
+    p_plan.add_argument("--serve", default=None, metavar="JOB_YAML",
+                        help="print the admission-control cost estimate for a "
+                             "serve job file (matches the live server's "
+                             "accounting exactly); model/strategy optional")
 
     p_bench = sub.add_parser(
         "bench", help="benchmark runner (discover/run/compare BENCH_*.json artifacts)"
@@ -167,6 +177,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_prune.add_argument("run_dir")
     p_prune.add_argument("--keep-last", type=int, required=True)
     p_prune.add_argument("--dry-run", action="store_true")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the multi-tenant merge service daemon"
+    )
+    p_serve.add_argument("--socket", default=None, metavar="PATH",
+                         help="unix socket path to listen on")
+    p_serve.add_argument("--host", default=None,
+                         help="TCP host to listen on (alternative to --socket)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 picks a free one)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="service-wide engine worker budget")
+    p_serve.add_argument("--max-inflight", type=int, default=4,
+                         help="per-tenant concurrent job quota")
+    p_serve.add_argument("--max-queued-bytes", type=int, default=1 << 30,
+                         help="per-tenant outstanding byte-footprint quota")
+    p_serve.add_argument("--cache-bytes", type=int, default=256 << 20,
+                         help="cross-request group cache capacity")
+    p_serve.add_argument("--blob-root", default=None, metavar="DIR",
+                         help="content-addressed blob store root (enables "
+                              "cross-tenant dedup)")
+    p_serve.add_argument("--journal", default=None, metavar="PATH",
+                         help="crash-safe job journal (JSONL; unfinished jobs "
+                              "replay on restart)")
+    p_serve.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                         help="soak flag: drain and exit after N jobs complete")
+
+    p_client = sub.add_parser(
+        "client", help="submit jobs to a running merge service"
+    )
+    p_client.add_argument("job_file", nargs="?", default=None,
+                          help="YAML/JSON job file (single job or {jobs: [...]})")
+    p_client.add_argument("--socket", default=None, metavar="PATH",
+                          help="unix socket the service listens on")
+    p_client.add_argument("--host", default=None, help="TCP host of the service")
+    p_client.add_argument("--port", type=int, default=None, help="TCP port")
+    p_client.add_argument("--tenant", default=None,
+                          help="override the tenant on every submitted job")
+    p_client.add_argument("--ping", action="store_true", help="liveness check only")
+    p_client.add_argument("--stats", action="store_true",
+                          help="print service stats as JSON")
+    p_client.add_argument("--shutdown", action="store_true",
+                          help="ask the service to drain and stop")
+    p_client.add_argument("--timeout", type=float, default=None,
+                          help="per-job wait timeout in seconds")
     return parser
 
 
@@ -286,7 +341,36 @@ def _cmd_groups(args) -> int:
     return 0
 
 
+def _print_serve_plan(job_file) -> None:
+    from .strategies import plan_serve_cost
+
+    plan = plan_serve_cost(job_file)
+    print(f"serve admission estimate for {plan.job_file} "
+          f"({len(plan.entries)} job(s)):")
+    for i, entry in enumerate(plan.entries):
+        cost = entry["cost"]
+        print(f"  [{i}] tenant={entry['tenant']} kind={entry['kind']} "
+              f"priority={entry['priority']}: "
+              f"{format_bytes(cost['total_bytes'])} "
+              f"(read {format_bytes(cost['bytes_read'])}, "
+              f"write {format_bytes(cost['bytes_written'])}), "
+              f"{cost['est_seconds']:.3f}s simulated")
+    for tenant, agg in sorted(plan.per_tenant().items()):
+        print(f"  tenant {tenant}: {agg['jobs']} job(s), "
+              f"{format_bytes(agg['total_bytes'])} charged, "
+              f"{agg['est_seconds']:.3f}s simulated")
+    print(f"  total                  : {format_bytes(plan.total_bytes)}, "
+          f"{plan.total_seconds:.3f}s simulated")
+
+
 def _cmd_plan(args) -> int:
+    if args.model is None or args.strategy is None:
+        if args.serve is None:
+            print("error: plan needs MODEL and STRATEGY (or --serve JOB_YAML)",
+                  file=sys.stderr)
+            return 2
+        _print_serve_plan(args.serve)
+        return 0
     config = get_config(args.model)
     strategy = build_strategy(args.strategy, config, args.interval)
     if args.async_writer:
@@ -377,6 +461,8 @@ def _cmd_plan(args) -> int:
         print(f"  collective time        : {faults.comm_seconds:.3f}s simulated")
         print(f"  recovery read time     : {faults.recovery_read_seconds:.3f}s simulated")
         print(f"  total fault overhead   : {faults.overhead_seconds:.1f}s simulated")
+    if args.serve is not None:
+        _print_serve_plan(args.serve)
     return 0
 
 
@@ -411,6 +497,75 @@ def _cmd_prune(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import MergeService, ServeConfig, TenantQuota
+
+    config = ServeConfig(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        quota=TenantQuota(
+            max_inflight=args.max_inflight,
+            max_queued_bytes=args.max_queued_bytes,
+        ),
+        cache_bytes=args.cache_bytes,
+        blob_root=args.blob_root,
+        journal_path=args.journal,
+        max_jobs=args.max_jobs,
+    )
+    service = MergeService(config)
+    try:
+        asyncio.run(service.run())
+    except KeyboardInterrupt:
+        pass
+    stats = service.stats()
+    print(f"served {stats['jobs']['completed']} job(s), "
+          f"{stats['jobs']['failed']} failed, "
+          f"cache hit rate {stats['cache']['hit_rate']:.2%}")
+    return 0
+
+
+def _cmd_client(args) -> int:
+    from .serve import ServeClient, load_job_file
+
+    client = ServeClient(args.socket, host=args.host, port=args.port)
+    try:
+        if args.ping:
+            ok = client.ping()
+            print("pong" if ok else "no response")
+            return 0 if ok else 1
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, default=str))
+            return 0
+        if args.shutdown:
+            response = client.shutdown()
+            print("draining" if response.get("ok") else f"error: {response}")
+            return 0 if response.get("ok") else 1
+        if args.job_file is None:
+            print("error: client needs a job file (or --ping/--stats/--shutdown)",
+                  file=sys.stderr)
+            return 2
+        failed = 0
+        for spec in load_job_file(args.job_file):
+            doc = spec.to_dict()
+            if args.tenant is not None:
+                doc["tenant"] = args.tenant
+            job = client.submit_and_wait(doc, timeout=args.timeout)
+            cost = job["cost"]
+            line = (f"{job['id']} [{job['tenant']}/{job['kind']}] {job['status']}"
+                    f" ({format_bytes(cost['total_bytes'])} charged)")
+            if job["status"] != "done":
+                failed += 1
+                line += f": {job.get('error')}"
+            print(line)
+        return 1 if failed else 0
+    finally:
+        client.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: dispatch ``argv`` to the matching subcommand handler."""
     if argv is None:
@@ -433,6 +588,8 @@ def main(argv: list[str] | None = None) -> int:
         "plan": _cmd_plan,
         "diff": _cmd_diff,
         "prune": _cmd_prune,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
     }
     try:
         return handlers[args.command](args)

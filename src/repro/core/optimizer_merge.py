@@ -40,13 +40,48 @@ from typing import Any
 from ..dist.zero import SHARD_FORMAT_VERSION, group_payload_crc
 from ..io.blobfile import read_blob, read_blob_selected, write_blob
 from ..io.layout import CheckpointPaths, shard_filename
+from ..io.storage import GroupCache, group_key
 from ..nn.config import ModelConfig
 from ..nn.slots import model_slots
 from ..util.errors import MergeError
 from ..util.timer import WallTimer
 from .groups import groups_for_slot
 
-__all__ = ["RankMergeStats", "merge_optimizer_shards", "merge_rank_shard", "worker_budget"]
+__all__ = [
+    "RankMergeStats",
+    "get_group_cache",
+    "merge_optimizer_shards",
+    "merge_rank_shard",
+    "read_shard_metadata",
+    "set_group_cache",
+    "worker_budget",
+]
+
+# Cross-request group cache installed by the serve daemon (None outside
+# a service process).  The streaming engine consults it per shard load;
+# the one-shot CLI paths never install one, so their behaviour — and
+# their bitwise output, which the cache preserves by construction — is
+# unchanged.
+_GROUP_CACHE: GroupCache | None = None
+
+
+def set_group_cache(cache: GroupCache | None) -> GroupCache | None:
+    """Install (or clear) the process-wide merge group cache.
+
+    Returns the previously installed cache so callers can restore it.
+    Only the in-process streaming path consults the cache; rank fan-out
+    through a process pool cannot see it, so services that want cache
+    hits run rank merges in threads (``workers=1`` per job).
+    """
+    global _GROUP_CACHE
+    previous = _GROUP_CACHE
+    _GROUP_CACHE = cache
+    return previous
+
+
+def get_group_cache() -> GroupCache | None:
+    """The currently installed merge group cache, if any."""
+    return _GROUP_CACHE
 
 
 def worker_budget(workers: int, tasks: int) -> int:
@@ -239,6 +274,102 @@ def _stream_extract(
     return shard, timer.elapsed, shard_path.stat().st_size
 
 
+def read_shard_metadata(shard_path: str | Path) -> dict:
+    """One cheap selective pass: the whole shard *except* array payloads.
+
+    Returns the shard dict with ``fp32_flat_groups`` absent and each
+    ``state`` entry reduced to its scalars (``step``), while headers,
+    hyperparams and top-level fields decode normally.  The pass still
+    streams the compressed payload but materializes no numpy arrays, so
+    it costs decompress bandwidth only — the serve group cache memoizes
+    it per file identity, making repeat requests metadata-free too.
+    """
+
+    def want(path: tuple) -> bool:
+        if len(path) == 2 and path[0] == "fp32_flat_groups":
+            return False
+        if len(path) == 3 and path[0] == "state" and path[2] in (
+            "exp_avg", "exp_avg_sq",
+        ):
+            return False
+        return True
+
+    return read_blob_selected(Path(shard_path), want)
+
+
+def _stream_extract_cached(
+    cache: GroupCache, spec: dict[str, Any], rank: int, source_dir: str,
+    wanted: set[int],
+) -> tuple[dict, float, int]:
+    """Serve one selective load through the cross-request group cache.
+
+    Array payloads come from the cache by content key (per-group CRC +
+    rank-local length); headers, hyperparams and step counters always
+    come from *this* file's metadata pass, so content-identical groups
+    with different schedules cannot cross-contaminate.  Groups the cache
+    does not hold fall back to the normal selective read (which CRC-
+    verifies them) and are inserted for the next request.  Output is
+    bitwise-identical to the uncached path: every byte written is either
+    metadata read from the source file or array content whose CRC
+    matches what the source file declares.
+    """
+    shard_path = _shard_path(source_dir, rank)
+    if not shard_path.exists():
+        raise MergeError(f"missing optimizer shard for rank {rank}: {shard_path}")
+    timer = WallTimer()
+    with timer:
+        meta, fresh = cache.metadata(shard_path, read_shard_metadata)
+        headers = {h["index"]: h for h in meta.get("groups", [])}
+        world_size = int(meta.get("world_size", 0))
+        # Shards predating per-group CRCs have no content address: take
+        # the plain selective-read path (whole-payload CRC applies).
+        if world_size < 1 or any(
+            g not in headers or "crc32" not in headers[g] for g in wanted
+        ):
+            return _stream_extract(spec, rank, source_dir, wanted)
+        nbytes = shard_path.stat().st_size if fresh else 0
+
+        fp32: dict[int, Any] = {}
+        state: dict[int, Any] = {}
+        missing: set[int] = set()
+        for g in sorted(wanted):
+            shard_numel = int(headers[g]["padded_numel"]) // world_size
+            arrays = cache.get(group_key(headers[g]["crc32"], shard_numel))
+            if arrays is None:
+                missing.add(g)
+                continue
+            fp32[g] = arrays["fp32"]
+            state[g] = {
+                "step": int(meta["state"][g]["step"]),
+                "exp_avg": arrays["exp_avg"],
+                "exp_avg_sq": arrays["exp_avg_sq"],
+            }
+        if missing:
+            # The plain path CRC-verifies exactly the groups it decodes,
+            # which is what licenses inserting them under a content key.
+            subset, _, sub_nbytes = _stream_extract(spec, rank, source_dir, missing)
+            nbytes += sub_nbytes
+            for g in missing:
+                fp32[g] = subset["fp32_flat_groups"][g]
+                state[g] = subset["state"][g]
+                shard_numel = int(headers[g]["padded_numel"]) // world_size
+                cache.put(
+                    group_key(headers[g]["crc32"], shard_numel),
+                    {
+                        "fp32": fp32[g],
+                        "exp_avg": state[g]["exp_avg"],
+                        "exp_avg_sq": state[g]["exp_avg_sq"],
+                    },
+                )
+        shard = {
+            k: v for k, v in meta.items() if k not in ("fp32_flat_groups", "state")
+        }
+        shard["fp32_flat_groups"] = fp32
+        shard["state"] = state
+    _validate_shard(shard, spec, source_dir, rank)
+    return shard, timer.elapsed, nbytes
+
+
 def _merge_rank_shard_streaming(spec: dict[str, Any], rank: int) -> dict[str, Any]:
     """Streaming engine: selective group loads fanned across a thread pool."""
     config = ModelConfig.from_dict(spec["config"])
@@ -249,6 +380,13 @@ def _merge_rank_shard_streaming(spec: dict[str, Any], rank: int) -> dict[str, An
         {g for slot in slots for g in groups_for_slot(config, slot)}
         for _, slots in tasks
     ]
+    cache = _GROUP_CACHE
+
+    def extract(source_dir: str, wanted: set[int]) -> tuple[dict, float, int]:
+        if cache is not None:
+            return _stream_extract_cached(cache, spec, rank, source_dir, wanted)
+        return _stream_extract(spec, rank, source_dir, wanted)
+
     # Threads only pay off when cores can decompress concurrently (zlib
     # releases the GIL); never oversubscribe a small machine.  When the
     # rank-level process pool is active, ``stream_threads`` carries this
@@ -259,13 +397,13 @@ def _merge_rank_shard_streaming(spec: dict[str, Any], rank: int) -> dict[str, An
         with ThreadPoolExecutor(max_workers=workers) as pool:
             loads = list(
                 pool.map(
-                    lambda args: _stream_extract(spec, rank, args[0], args[1]),
+                    lambda args: extract(args[0], args[1]),
                     zip((src for src, _ in tasks), wanted_sets),
                 )
             )
     else:
         loads = [
-            _stream_extract(spec, rank, src, wanted)
+            extract(src, wanted)
             for (src, _), wanted in zip(tasks, wanted_sets)
         ]
 

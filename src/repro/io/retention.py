@@ -98,10 +98,26 @@ def prunable_steps(root: str | Path, keep_last: int) -> list[int]:
     return prunable
 
 
-def prune_checkpoints(root: str | Path, keep_last: int, *, dry_run: bool = False) -> list[int]:
+def prune_checkpoints(
+    root: str | Path,
+    keep_last: int,
+    *,
+    dry_run: bool = False,
+    blob_store=None,
+    tenant: str | None = None,
+) -> list[int]:
     """Delete prunable checkpoints; returns the steps removed.
 
     Never deletes the checkpoint the ``latest`` pointer references.
+
+    When the run's shard groups were ingested into a serve
+    :class:`~repro.io.storage.BlobStore`, pass it (with the ``tenant``
+    the groups were registered under) so retention and the store agree
+    on ownership: deleting a checkpoint releases exactly *this tenant's*
+    references on it, and the follow-up sweep reclaims only objects no
+    other owner still claims.  A group dedup'd across two tenants
+    therefore survives either tenant's retention pass — the refcount is
+    the arbiter, never the order of pruning.
     """
     root = Path(root)
     latest = read_latest(root)
@@ -111,7 +127,15 @@ def prune_checkpoints(root: str | Path, keep_last: int, *, dry_run: bool = False
         if step == latest_step:
             continue
         if not dry_run:
-            shutil.rmtree(checkpoint_dir(root, step).dir)
+            ckpt = checkpoint_dir(root, step)
+            if blob_store is not None:
+                owner = blob_store.owner_token(tenant or root.name, ckpt.dir)
+                blob_store.release(owner)
+            shutil.rmtree(ckpt.dir)
             log.info("pruned checkpoint-%d", step)
         removed.append(step)
+    if removed and not dry_run and blob_store is not None:
+        swept = blob_store.sweep()
+        if swept:
+            log.info("blob store sweep reclaimed %d object(s)", len(swept))
     return removed

@@ -8,16 +8,45 @@ testbed (Lustre over InfiniBand, 8 concurrent GPU writers).
 Checkpoint-time proportions in Tables 3/6 are read off the simulated
 clock, so they are deterministic; Table 7's merge timings use real wall
 clock on real files (the data volumes at simulation scale are honest).
+
+The module also hosts the multi-tenant service's storage layer
+(``llmtailor serve``):
+
+* :class:`BlobStore` — a content-addressed, reference-counted object
+  store keyed by per-group ``(crc32, numel)``.  Identical shard groups
+  across different tenants' checkpoints hash to the same key and dedup
+  to one stored copy; ownership is tracked per ``(tenant, checkpoint)``
+  so no tenant's retention pass can delete a group another tenant still
+  references (see :func:`repro.io.retention.prune_checkpoints`).
+* :class:`GroupCache` — a thread-safe, byte-bounded LRU of *decoded*
+  shard groups plus a per-file metadata memo, shared across requests by
+  the serve worker pool and optionally backed by a :class:`BlobStore`.
+  The streaming merge engine consults it through
+  :func:`repro.core.optimizer_merge.set_group_cache`.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping
 
+import numpy as np
+
+from ..util.jsonio import read_json, write_json_atomic
 from ..util.timer import SimClock
 
-__all__ = ["IOStats", "StorageCostModel", "LUSTRE_DEFAULT", "Storage"]
+__all__ = [
+    "BlobStore",
+    "GroupCache",
+    "IOStats",
+    "LUSTRE_DEFAULT",
+    "Storage",
+    "StorageCostModel",
+    "group_key",
+]
 
 
 @dataclass
@@ -170,3 +199,301 @@ class Storage:
         if base.is_file():
             return base.stat().st_size
         return sum(p.stat().st_size for p in base.rglob("*") if p.is_file())
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed blob store (the serve subsystem's dedup layer)
+# ---------------------------------------------------------------------------
+
+def group_key(crc32: int, numel: int) -> str:
+    """Content-address of one rank-local shard group: CRC + length.
+
+    The CRC is the per-group ``crc32`` the ZeRO engine writes into every
+    shard header (over the concatenated fp32 master, ``exp_avg`` and
+    ``exp_avg_sq`` slices); ``numel`` is the rank-local slice length.
+    Two groups with the same key are treated as identical content — the
+    dedup contract of the serve blob store.
+    """
+    return f"{int(crc32) & 0xFFFFFFFF:08x}-{int(numel)}"
+
+
+class BlobStore:
+    """Content-addressed, reference-counted store for shard groups.
+
+    Objects live under ``<root>/objects/<key>.blob`` (the standard TLV
+    blob container, so they inherit its whole-payload CRC); references
+    live in ``<root>/refs.json`` mapping key -> sorted owner tokens.
+    An *owner* is an opaque string — the serve daemon uses
+    :meth:`owner_token` (``tenant:resolved-checkpoint-dir``) so each
+    tenant's claim on each source checkpoint is tracked independently.
+
+    Dedup invariant: ``put`` is a no-op when the key already exists, so
+    N tenants whose checkpoints share a group store one copy.  Deletion
+    only ever happens in :meth:`sweep`, and only for keys with zero
+    owners — a retention pass that releases one tenant's references can
+    never delete content another tenant still claims.
+
+    All mutating operations are serialized by an internal lock; the
+    refs file is rewritten atomically, so a crash never leaves a
+    half-written ownership table.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self._refs_path = self.root / "refs.json"
+        self._lock = threading.Lock()
+        self._refs: dict[str, list[str]] = {}
+        if self._refs_path.exists():
+            self._refs = {
+                k: list(v) for k, v in read_json(self._refs_path).items()
+            }
+
+    @staticmethod
+    def owner_token(tenant: str, checkpoint_dir: str | Path) -> str:
+        """The canonical owner string for a tenant's claim on a checkpoint."""
+        return f"{tenant}:{Path(checkpoint_dir).resolve()}"
+
+    def _object_path(self, key: str) -> Path:
+        return self.objects_dir / f"{key}.blob"
+
+    def _save_refs(self) -> None:
+        write_json_atomic(self._refs_path, self._refs)
+
+    # -- objects --------------------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        """Whether a payload object for ``key`` is stored."""
+        return self._object_path(key).exists()
+
+    def put(self, key: str, arrays: Mapping[str, np.ndarray]) -> bool:
+        """Store one group's arrays under ``key``; returns True if written.
+
+        A key that already has a payload is left untouched (content
+        addressing makes rewrites pointless) — that no-op *is* the
+        dedup: the second tenant's identical group costs zero bytes.
+        """
+        from .blobfile import write_blob  # local: storage stays import-light
+
+        path = self._object_path(key)
+        with self._lock:
+            if path.exists():
+                return False
+            write_blob(path, {k: np.ascontiguousarray(v) for k, v in arrays.items()})
+            return True
+
+    def get(self, key: str) -> dict[str, np.ndarray] | None:
+        """Load one group's arrays, or ``None`` if the key has no payload."""
+        from .blobfile import read_blob
+
+        path = self._object_path(key)
+        if not path.exists():
+            return None
+        return read_blob(path)
+
+    # -- ownership ------------------------------------------------------------
+
+    def add_refs(self, keys: Iterable[str], owner: str) -> int:
+        """Register ``owner``'s claim on every key (idempotent).
+
+        Returns the number of claims that were actually new.
+        """
+        with self._lock:
+            added = 0
+            for key in keys:
+                owners = self._refs.setdefault(key, [])
+                if owner not in owners:
+                    owners.append(owner)
+                    owners.sort()
+                    added += 1
+            if added:
+                self._save_refs()
+            return added
+
+    def owners(self, key: str) -> list[str]:
+        """All owner tokens currently claiming ``key``."""
+        with self._lock:
+            return list(self._refs.get(key, []))
+
+    def release(self, owner: str) -> list[str]:
+        """Drop every claim held by ``owner``; returns keys that lost a ref.
+
+        Keys are never deleted here — call :meth:`sweep` afterwards to
+        reclaim payloads whose owner set became empty.
+        """
+        with self._lock:
+            touched: list[str] = []
+            for key, owners in list(self._refs.items()):
+                if owner in owners:
+                    owners.remove(owner)
+                    touched.append(key)
+                if not owners:
+                    del self._refs[key]
+            if touched:
+                self._save_refs()
+            return touched
+
+    def sweep(self) -> list[str]:
+        """Delete payload objects with zero owners; returns removed keys."""
+        removed: list[str] = []
+        with self._lock:
+            for path in self.objects_dir.glob("*.blob"):
+                key = path.stem
+                if not self._refs.get(key):
+                    path.unlink()
+                    removed.append(key)
+        return sorted(removed)
+
+    def stats(self) -> dict[str, Any]:
+        """Dedup accounting: object/ref counts and stored bytes."""
+        with self._lock:
+            objects = list(self.objects_dir.glob("*.blob"))
+            total_refs = sum(len(v) for v in self._refs.values())
+            return {
+                "objects": len(objects),
+                "object_bytes": sum(p.stat().st_size for p in objects),
+                "referenced_keys": len(self._refs),
+                "total_refs": total_refs,
+                # refs / keys: 1.0 means no cross-owner sharing at all.
+                "dedup_factor": (
+                    total_refs / len(self._refs) if self._refs else 0.0
+                ),
+            }
+
+
+# ---------------------------------------------------------------------------
+# Cross-request group cache (shared by the serve worker pool)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class GroupCacheStats:
+    """Hit/miss counters for one :class:`GroupCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    store_hits: int = 0
+    evictions: int = 0
+    meta_passes: int = 0
+    meta_hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of group lookups served without decoding a shard."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat dict form (for the serve ``stats`` op and bench tables)."""
+        out = dict(self.__dict__)
+        out["hit_rate"] = self.hit_rate
+        return out
+
+
+class GroupCache:
+    """Byte-bounded LRU of decoded shard groups, keyed by content.
+
+    Two layers, both thread-safe:
+
+    * the *group* layer maps :func:`group_key` -> decoded arrays
+      (``fp32``/``exp_avg``/``exp_avg_sq``); a miss optionally falls
+      through to a backing :class:`BlobStore` before giving up, so a
+      group any tenant ever merged can be served without touching the
+      owning tenant's checkpoint again;
+    * the *metadata* layer memoizes per-file header passes keyed by
+      ``(path, size, mtime_ns)`` — a changed or rewritten shard file
+      never serves stale headers.
+
+    Bitwise safety: cached entries are only ever *content* (arrays whose
+    per-group CRC the engine verified on first decode).  Headers,
+    hyperparameters and step counters always come from the actual source
+    file's metadata pass, so two content-identical groups with different
+    schedules can never cross-contaminate.
+    """
+
+    def __init__(
+        self, max_bytes: int = 256 << 20, *, store: BlobStore | None = None
+    ) -> None:
+        self.max_bytes = int(max_bytes)
+        self.store = store
+        self.stats = GroupCacheStats()
+        self._lock = threading.Lock()
+        self._groups: OrderedDict[str, dict[str, np.ndarray]] = OrderedDict()
+        self._meta: dict[tuple, dict] = {}
+        self._nbytes = 0
+
+    @staticmethod
+    def _entry_nbytes(arrays: Mapping[str, np.ndarray]) -> int:
+        return sum(int(a.nbytes) for a in arrays.values())
+
+    def get(self, key: str) -> dict[str, np.ndarray] | None:
+        """Look one group up by content key (LRU touch on hit)."""
+        with self._lock:
+            entry = self._groups.get(key)
+            if entry is not None:
+                self._groups.move_to_end(key)
+                self.stats.hits += 1
+                return entry
+        if self.store is not None:
+            from_store = self.store.get(key)
+            if from_store is not None:
+                with self._lock:
+                    self.stats.hits += 1
+                    self.stats.store_hits += 1
+                self._insert(key, from_store)
+                return from_store
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def put(self, key: str, arrays: Mapping[str, np.ndarray]) -> None:
+        """Insert one decoded group (write-through to the blob store)."""
+        self._insert(key, dict(arrays))
+        if self.store is not None:
+            self.store.put(key, arrays)
+
+    def _insert(self, key: str, arrays: dict[str, np.ndarray]) -> None:
+        with self._lock:
+            if key in self._groups:
+                self._groups.move_to_end(key)
+                return
+            self._groups[key] = arrays
+            self._nbytes += self._entry_nbytes(arrays)
+            while self._nbytes > self.max_bytes and len(self._groups) > 1:
+                _, evicted = self._groups.popitem(last=False)
+                self._nbytes -= self._entry_nbytes(evicted)
+                self.stats.evictions += 1
+
+    def metadata(
+        self, path: str | Path, loader: Callable[[Path], dict]
+    ) -> tuple[dict, bool]:
+        """Per-file metadata memo; returns ``(meta, freshly_loaded)``.
+
+        The memo key includes size and mtime, so rewriting a shard file
+        in place invalidates its entry.
+        """
+        path = Path(path)
+        st = path.stat()
+        key = (str(path), st.st_size, st.st_mtime_ns)
+        with self._lock:
+            if key in self._meta:
+                self.stats.meta_hits += 1
+                return self._meta[key], False
+        meta = loader(path)
+        with self._lock:
+            self._meta[key] = meta
+            self.stats.meta_passes += 1
+        return meta, True
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of decoded arrays currently resident."""
+        with self._lock:
+            return self._nbytes
+
+    def clear(self) -> None:
+        """Drop every cached group and metadata entry (counters survive)."""
+        with self._lock:
+            self._groups.clear()
+            self._meta.clear()
+            self._nbytes = 0

@@ -1,0 +1,131 @@
+"""Blocking client for the merge service.
+
+A thin synchronous wrapper over one socket connection speaking the
+newline-delimited JSON protocol — what the ``llmtailor client`` CLI,
+the tests, and the ``bench_serve`` load generator all use.  Being
+plain ``socket`` + ``makefile`` (no asyncio), it is safe to drive from
+many threads *each holding its own client*; one client is one
+connection and is not thread-safe.
+
+``submit_and_wait`` implements the polite quota dance: a rejection
+carrying ``retry_after`` sleeps that long and resubmits, so callers
+see backpressure as latency, not failures.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any
+
+from ..util.errors import ConfigError
+from .protocol import JobSpec, decode_line, encode_line
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One blocking connection to a running merge service."""
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        if (socket_path is None) == (host is None):
+            raise ConfigError("connect with either socket_path or host/port")
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        else:
+            self._sock = socket.create_connection(
+                (host, int(port or 0)), timeout=timeout
+            )
+        self._fh = self._sock.makefile("rwb")
+
+    # -- plumbing ------------------------------------------------------------
+
+    def request(self, doc: dict[str, Any]) -> dict[str, Any]:
+        """Send one request line, read one response line."""
+        self._fh.write(encode_line(doc))
+        self._fh.flush()
+        line = self._fh.readline()
+        if not line:
+            raise ConfigError("server closed the connection")
+        return decode_line(line)
+
+    def close(self) -> None:
+        """Close the connection."""
+        try:
+            self._fh.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- ops -----------------------------------------------------------------
+
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        return bool(self.request({"op": "ping"}).get("ok"))
+
+    def submit(self, job: JobSpec | dict[str, Any]) -> dict[str, Any]:
+        """Submit one job; returns the raw response (accepted or not)."""
+        doc = job.to_dict() if isinstance(job, JobSpec) else dict(job)
+        return self.request({"op": "submit", "job": doc})
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """Snapshot one job's state."""
+        return self.request({"op": "status", "id": job_id})
+
+    def wait(self, job_id: str, *, timeout: float | None = None) -> dict[str, Any]:
+        """Long-poll until a job reaches a terminal state."""
+        doc: dict[str, Any] = {"op": "wait", "id": job_id}
+        if timeout is not None:
+            doc["timeout"] = timeout
+        return self.request(doc)
+
+    def stats(self) -> dict[str, Any]:
+        """Service-wide counters (jobs, tenants, cache, blob store)."""
+        response = self.request({"op": "stats"})
+        if not response.get("ok"):
+            raise ConfigError(f"stats failed: {response.get('error')}")
+        return response["stats"]
+
+    def shutdown(self, *, drain: bool = True) -> dict[str, Any]:
+        """Ask the service to drain and stop."""
+        return self.request({"op": "shutdown", "drain": drain})
+
+    def submit_and_wait(
+        self,
+        job: JobSpec | dict[str, Any],
+        *,
+        timeout: float | None = None,
+        max_retries: int = 100,
+    ) -> dict[str, Any]:
+        """Submit with quota backoff, then wait for the terminal job.
+
+        Quota rejections sleep their ``retry_after`` hint and resubmit
+        (up to ``max_retries`` times); any other rejection raises.
+        Returns the terminal job document.
+        """
+        for _ in range(max_retries):
+            response = self.submit(job)
+            if response.get("ok"):
+                result = self.wait(response["id"], timeout=timeout)
+                if not result.get("ok"):
+                    raise ConfigError(f"wait failed: {result.get('error')}")
+                return result["job"]
+            retry_after = response.get("retry_after")
+            if retry_after is None:
+                raise ConfigError(f"submit rejected: {response.get('error')}")
+            time.sleep(float(retry_after))
+        raise ConfigError(f"submit still rejected after {max_retries} retries")

@@ -1,0 +1,69 @@
+"""Priority job queue for the merge service.
+
+A small asyncio queue with two properties the stdlib
+:class:`asyncio.PriorityQueue` does not give directly:
+
+* strict FIFO *within* a priority level (ties break on a monotonic
+  submit sequence number, so two equal-priority jobs from different
+  tenants run in arrival order — no starvation by tuple comparison of
+  unorderable payloads);
+* a terminal ``close()``: workers draining the queue see ``None`` once
+  it is closed *and* empty, which is how graceful shutdown tells the
+  pool "finish what is queued, then stop" without sentinel-per-worker
+  bookkeeping.
+
+Higher ``priority`` dequeues sooner; the default 0 makes the queue
+plain FIFO when nobody asks for priority.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+
+from .jobs import Job
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Async priority queue of :class:`~repro.serve.jobs.Job` entries."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Job]] = []
+        self._seq = itertools.count()
+        self._cond = asyncio.Condition()
+        self._closed = False
+
+    def qsize(self) -> int:
+        """Jobs currently queued (not yet picked up by a worker)."""
+        return len(self._heap)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    async def put(self, job: Job) -> None:
+        """Enqueue one admitted job (raises if the queue is closed)."""
+        async with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            heapq.heappush(self._heap, (-job.spec.priority, next(self._seq), job))
+            self._cond.notify()
+
+    async def get(self) -> Job | None:
+        """Dequeue the next job, or ``None`` once closed and drained."""
+        async with self._cond:
+            while not self._heap and not self._closed:
+                await self._cond.wait()
+            if self._heap:
+                return heapq.heappop(self._heap)[2]
+            return None  # closed and empty: worker should exit
+
+    async def close(self) -> None:
+        """Stop accepting jobs; queued work still drains via :meth:`get`."""
+        async with self._cond:
+            self._closed = True
+            self._cond.notify_all()

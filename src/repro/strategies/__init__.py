@@ -12,6 +12,7 @@ from .planner import (
     FaultCostPlan,
     MergeCostPlan,
     ReshardCostPlan,
+    ServeCostPlan,
     StepTrafficPlan,
     StrategyPlan,
     checkpoint_event_nbytes,
@@ -19,6 +20,7 @@ from .planner import (
     plan_fault_cost,
     plan_merge_cost,
     plan_reshard_cost,
+    plan_serve_cost,
     plan_step_traffic,
     plan_strategy,
 )
@@ -35,6 +37,7 @@ __all__ = [
     "OPTIMIZER_BYTES_PER_PARAM",
     "ParityStrategy",
     "ReshardCostPlan",
+    "ServeCostPlan",
     "StepTrafficPlan",
     "StrategyPlan",
     "UpdateMagnitudeStrategy",
@@ -44,6 +47,7 @@ __all__ = [
     "plan_fault_cost",
     "plan_merge_cost",
     "plan_reshard_cost",
+    "plan_serve_cost",
     "plan_step_traffic",
     "plan_strategy",
     "plan_strategy_async",

@@ -33,6 +33,7 @@ __all__ = [
     "FaultCostPlan",
     "MergeCostPlan",
     "ReshardCostPlan",
+    "ServeCostPlan",
     "StepTrafficPlan",
     "StrategyPlan",
     "checkpoint_event_nbytes",
@@ -40,6 +41,7 @@ __all__ = [
     "plan_fault_cost",
     "plan_merge_cost",
     "plan_reshard_cost",
+    "plan_serve_cost",
     "plan_step_traffic",
     "plan_strategy",
 ]
@@ -574,3 +576,70 @@ def plan_strategy(
             }
         )
     return plan
+
+
+@dataclass(frozen=True)
+class ServeCostPlan:
+    """Admission-control accounting for a serve job file, job by job.
+
+    The offline twin of the merge service's admission pass: each entry
+    is exactly the :class:`~repro.serve.admission.JobCost` the live
+    daemon would charge for that job (same estimator, same storage
+    model), so ``llmtailor plan --serve JOBFILE`` predicts byte-for-byte
+    what submitting the file will cost each tenant — the job-file
+    analogue of :func:`plan_step_traffic` and :func:`plan_fault_cost`.
+    """
+
+    job_file: str
+    entries: tuple[dict, ...]  # {tenant, kind, priority, cost: {...}}
+
+    @property
+    def total_bytes(self) -> int:
+        """Summed byte footprint charged against tenant quotas."""
+        return sum(e["cost"]["total_bytes"] for e in self.entries)
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed estimated seconds across all jobs."""
+        return sum(e["cost"]["est_seconds"] for e in self.entries)
+
+    def per_tenant(self) -> dict[str, dict]:
+        """Aggregate {jobs, total_bytes, est_seconds} per tenant."""
+        out: dict[str, dict] = {}
+        for e in self.entries:
+            t = out.setdefault(
+                e["tenant"], {"jobs": 0, "total_bytes": 0, "est_seconds": 0.0}
+            )
+            t["jobs"] += 1
+            t["total_bytes"] += e["cost"]["total_bytes"]
+            t["est_seconds"] += e["cost"]["est_seconds"]
+        return out
+
+
+def plan_serve_cost(
+    job_file, *, storage: StorageCostModel | None = None
+) -> ServeCostPlan:
+    """Estimate what admission control will charge for a job file.
+
+    Loads the jobs and prices each through
+    :func:`~repro.serve.admission.estimate_job_cost` — the *same*
+    function the live server calls on submit, with the same default
+    storage model — so the printed numbers match the server's
+    accounting exactly.
+    """
+    # Lazy: repro.serve imports this module at package import time.
+    from ..serve.admission import estimate_job_cost
+    from ..serve.protocol import load_job_file
+
+    entries = []
+    for spec in load_job_file(job_file):
+        cost = estimate_job_cost(spec, storage=storage)
+        entries.append(
+            {
+                "tenant": spec.tenant,
+                "kind": spec.kind,
+                "priority": spec.priority,
+                "cost": cost.describe(),
+            }
+        )
+    return ServeCostPlan(job_file=str(job_file), entries=tuple(entries))

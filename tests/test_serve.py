@@ -1,0 +1,725 @@
+"""The merge service: protocol, admission, queue, dedup, and the daemon.
+
+The end-to-end classes drive a real server over a unix socket (via
+``serve_in_thread``) against the session-scoped trained run, including
+the headline invariant: N concurrent clients submitting interleaved
+merge/reshard jobs produce outputs bitwise-identical to serial one-shot
+CLI runs (modulo the manifest's self-referential output path).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.tailor import LLMTailor
+from repro.dist.reshard import reshard_checkpoint
+from repro.io.retention import prune_checkpoints
+from repro.io.storage import BlobStore, GroupCache, group_key
+from repro.serve import (
+    AdmissionController,
+    Job,
+    JobQueue,
+    JobSpec,
+    JobTimeline,
+    ServeClient,
+    ServeConfig,
+    TenantQuota,
+    estimate_job_cost,
+    load_job_file,
+    parse_job,
+    serve_in_thread,
+)
+from repro.serve.journal import JobJournal, replay_journal
+from repro.util.errors import ConfigError
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _short_socket() -> str:
+    """A socket path safely under the 108-char AF_UNIX limit."""
+    return os.path.join(tempfile.mkdtemp(prefix="st", dir="/tmp"), "s.sock")
+
+
+def _digest(root: Path) -> str:
+    """Content hash of a checkpoint dir, output-path self-reference masked."""
+    root = Path(root)
+    h = hashlib.sha256()
+    for p in sorted(root.rglob("*")):
+        if not p.is_file():
+            continue
+        h.update(p.relative_to(root).as_posix().encode())
+        data = p.read_bytes()
+        if p.name.endswith(".json"):
+            data = data.replace(str(root).encode(), b"<OUT>")
+        h.update(data)
+    return h.hexdigest()
+
+
+def _recipe_doc(run: Path) -> dict:
+    return {
+        "base_checkpoint": str(run / "checkpoint-24"),
+        "slices": [{"slot": "layers.0-1", "source": str(run / "checkpoint-16")}],
+        "options": {"stream": True},
+    }
+
+
+@pytest.fixture(scope="module")
+def run_dir(tmp_path_factory) -> Path:
+    """A short full-strategy run (checkpoints at 8/16/24, world size 2)."""
+    from repro.train import TrainConfig, Trainer
+
+    out = tmp_path_factory.mktemp("serve-run") / "run"
+    cfg = TrainConfig(
+        model="tiny-untied", task="cpt", total_steps=24,
+        checkpoint_strategy="full", checkpoint_interval=8,
+        output_dir=str(out), world_size=2, micro_batch_size=2,
+        grad_accum_steps=1, seq_len=32, log_every=100,
+    )
+    Trainer(cfg).train()
+    return out
+
+
+# ---------------------------------------------------------------------------
+# protocol
+# ---------------------------------------------------------------------------
+
+class TestProtocol:
+    def test_parse_valid_job(self):
+        spec = parse_job({"tenant": "a", "kind": "plan", "priority": 2,
+                          "params": {"model": "tiny-qwen", "strategy": "full"}})
+        assert spec.tenant == "a" and spec.priority == 2
+        assert parse_job(spec.to_dict()) == spec  # round-trips
+
+    @pytest.mark.parametrize("doc", [
+        {"kind": "plan", "params": {"model": "m", "strategy": "full"}},  # no tenant
+        {"tenant": "a", "kind": "bogus"},
+        {"tenant": "a", "kind": "plan", "params": {"model": "m"}},  # missing strategy
+        {"tenant": "a", "kind": "diff", "params": {
+            "checkpoint_a": "x", "checkpoint_b": "y", "typo": 1}},
+        {"tenant": "a", "kind": "merge", "params": {}},  # neither recipe form
+        {"tenant": "a", "kind": "merge", "params": {
+            "recipe": "r.yaml", "recipe_doc": {}}},  # both recipe forms
+        {"tenant": "a", "kind": "reshard", "params": {
+            "checkpoint": "c", "output": "o", "target_world_size": 0}},
+        {"tenant": "a", "kind": "plan", "priority": "high",
+         "params": {"model": "m", "strategy": "full"}},
+        {"tenant": "a", "kind": "plan", "surprise": 1,
+         "params": {"model": "m", "strategy": "full"}},
+    ])
+    def test_parse_rejects_malformed(self, doc):
+        with pytest.raises(ConfigError):
+            parse_job(doc)
+
+    def test_job_file_single_and_list(self, tmp_path):
+        single = tmp_path / "one.json"
+        single.write_text(json.dumps(
+            {"tenant": "a", "kind": "plan",
+             "params": {"model": "m", "strategy": "full"}}))
+        assert len(load_job_file(single)) == 1
+
+        many = tmp_path / "many.json"
+        many.write_text(json.dumps({"tenant": "shared", "jobs": [
+            {"kind": "plan", "params": {"model": "m", "strategy": "full"}},
+            {"tenant": "own", "kind": "plan",
+             "params": {"model": "m", "strategy": "full"}},
+        ]}))
+        jobs = load_job_file(many)
+        assert [j.tenant for j in jobs] == ["shared", "own"]
+
+    def test_job_file_yaml(self, tmp_path):
+        path = tmp_path / "jobs.yaml"
+        path.write_text(
+            "tenant: t\n"
+            "jobs:\n"
+            "  - kind: plan\n"
+            "    params:\n"
+            "      model: tiny-qwen\n"
+            "      strategy: full\n"
+        )
+        (job,) = load_job_file(path)
+        assert job.tenant == "t" and job.kind == "plan"
+
+    def test_job_file_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"jobs": []}))
+        with pytest.raises(ConfigError):
+            load_job_file(path)
+
+
+# ---------------------------------------------------------------------------
+# admission
+# ---------------------------------------------------------------------------
+
+def _plan_spec(tenant="t") -> JobSpec:
+    return JobSpec(tenant=tenant, kind="plan",
+                   params={"model": "tiny-qwen", "strategy": "full"})
+
+
+class TestAdmission:
+    def test_inflight_quota(self):
+        ctl = AdmissionController(TenantQuota(max_inflight=2))
+        spec = _plan_spec()
+        cost = estimate_job_cost(spec)
+        assert ctl.admit(spec, cost).accepted
+        assert ctl.admit(spec, cost).accepted
+        third = ctl.admit(spec, cost)
+        assert not third.accepted
+        assert third.retry_after >= 0.05
+        ctl.finish(spec, cost)
+        assert ctl.admit(spec, cost).accepted  # slot freed
+
+    def test_byte_quota_and_isolation(self, run_dir):
+        spec = JobSpec(tenant="big", kind="diff", params={
+            "checkpoint_a": str(run_dir / "checkpoint-16"),
+            "checkpoint_b": str(run_dir / "checkpoint-24"),
+        })
+        cost = estimate_job_cost(spec)
+        assert cost.total_bytes > 0
+        ctl = AdmissionController(TenantQuota(max_queued_bytes=cost.total_bytes))
+        assert ctl.admit(spec, cost).accepted
+        rejected = ctl.admit(spec, cost)  # second would exceed the budget
+        assert not rejected.accepted and "max_queued_bytes" in rejected.reason
+        # Another tenant has its own budget.
+        other = JobSpec(tenant="other", kind=spec.kind, params=spec.params)
+        assert ctl.admit(other, cost).accepted
+
+    def test_estimate_deterministic(self, run_dir):
+        spec = JobSpec(tenant="t", kind="reshard", params={
+            "checkpoint": str(run_dir / "checkpoint-24"),
+            "output": "/tmp/ignored", "target_world_size": 3,
+        })
+        assert estimate_job_cost(spec) == estimate_job_cost(spec)
+
+    def test_merge_cost_scales_with_cache_mode(self, run_dir):
+        base = {"recipe_doc": _recipe_doc(run_dir)}
+        per_ckpt = estimate_job_cost(JobSpec(
+            tenant="t", kind="merge",
+            params={**base, "cache_mode": "per-checkpoint"}))
+        none = estimate_job_cost(JobSpec(
+            tenant="t", kind="merge", params={**base, "cache_mode": "none"}))
+        # cache_mode none reloads per slot: strictly more bytes.
+        assert none.bytes_read > per_ckpt.bytes_read > 0
+
+    def test_missing_checkpoint_rejected(self, tmp_path):
+        spec = JobSpec(tenant="t", kind="reshard", params={
+            "checkpoint": str(tmp_path / "nope"), "output": "o",
+            "target_world_size": 2})
+        with pytest.raises(ConfigError):
+            estimate_job_cost(spec)
+
+
+# ---------------------------------------------------------------------------
+# queue
+# ---------------------------------------------------------------------------
+
+def _job(tenant="t", priority=0, n=[0]) -> Job:
+    n[0] += 1
+    spec = JobSpec(tenant=tenant, kind="plan", priority=priority,
+                   params={"model": "m", "strategy": "full"})
+    return Job(id=f"j{n[0]}", spec=spec, cost=estimate_job_cost(_plan_spec()))
+
+
+class TestJobQueue:
+    def test_priority_then_fifo(self):
+        async def scenario():
+            q = JobQueue()
+            low1, low2 = _job(priority=0), _job(priority=0)
+            high = _job(priority=5)
+            await q.put(low1)
+            await q.put(low2)
+            await q.put(high)
+            order = [await q.get() for _ in range(3)]
+            return order
+
+        order = asyncio.run(scenario())
+        assert [j.spec.priority for j in order] == [5, 0, 0]
+        assert order[1].id < order[2].id  # FIFO within a priority level
+
+    def test_close_drains_then_none(self):
+        async def scenario():
+            q = JobQueue()
+            await q.put(_job())
+            await q.close()
+            with pytest.raises(RuntimeError):
+                await q.put(_job())
+            first = await q.get()
+            sentinel = await q.get()
+            return first, sentinel
+
+        first, sentinel = asyncio.run(scenario())
+        assert first is not None and sentinel is None
+
+
+# ---------------------------------------------------------------------------
+# blob store + group cache
+# ---------------------------------------------------------------------------
+
+class TestBlobStore:
+    def test_put_dedups(self, tmp_path):
+        store = BlobStore(tmp_path / "blobs")
+        arrays = {"fp32": np.arange(6, dtype=np.float32)}
+        key = group_key(0xABCD, 6)
+        assert store.put(key, arrays) is True
+        assert store.put(key, arrays) is False  # dedup: no-op
+        got = store.get(key)
+        np.testing.assert_array_equal(got["fp32"], arrays["fp32"])
+        assert store.get("ffffffff-1") is None
+
+    def test_refcount_lifecycle(self, tmp_path):
+        store = BlobStore(tmp_path / "blobs")
+        key = group_key(1, 4)
+        store.put(key, {"fp32": np.zeros(4, dtype=np.float32)})
+        assert store.add_refs([key], "t1:/a") == 1
+        assert store.add_refs([key], "t1:/a") == 0  # idempotent
+        assert store.add_refs([key], "t2:/b") == 1
+        assert store.owners(key) == ["t1:/a", "t2:/b"]
+        # One owner leaves: object must survive the sweep.
+        assert store.release("t1:/a") == [key]
+        assert store.sweep() == []
+        assert store.contains(key)
+        # Last owner leaves: now it is garbage.
+        store.release("t2:/b")
+        assert store.sweep() == [key]
+        assert not store.contains(key)
+
+    def test_refs_persist_across_reopen(self, tmp_path):
+        root = tmp_path / "blobs"
+        key = group_key(2, 4)
+        BlobStore(root).add_refs([key], "t:/x")
+        reopened = BlobStore(root)
+        assert reopened.owners(key) == ["t:/x"]
+
+    def test_stats(self, tmp_path):
+        store = BlobStore(tmp_path / "blobs")
+        key = group_key(3, 4)
+        store.put(key, {"fp32": np.zeros(4, dtype=np.float32)})
+        store.add_refs([key], "a:/1")
+        store.add_refs([key], "b:/2")
+        stats = store.stats()
+        assert stats["objects"] == 1 and stats["total_refs"] == 2
+        assert stats["dedup_factor"] == 2.0
+
+
+class TestGroupCache:
+    def test_hit_miss_and_eviction(self):
+        cache = GroupCache(max_bytes=2 * 40)  # room for two 10-float groups
+        a = {"fp32": np.zeros(10, dtype=np.float32)}
+        assert cache.get("k1") is None
+        cache.put("k1", a)
+        assert cache.get("k1") is not None
+        cache.put("k2", a)
+        cache.put("k3", a)  # evicts the LRU entry (k1)
+        assert cache.get("k1") is None
+        assert cache.stats.evictions >= 1
+        assert 0.0 < cache.stats.hit_rate < 1.0
+
+    def test_store_write_through_and_fallback(self, tmp_path):
+        store = BlobStore(tmp_path / "blobs")
+        cache = GroupCache(max_bytes=1 << 20, store=store)
+        arrays = {"fp32": np.arange(4, dtype=np.float32)}
+        cache.put("k", arrays)
+        assert store.contains("k")  # write-through
+        cold = GroupCache(max_bytes=1 << 20, store=store)  # fresh process
+        got = cold.get("k")
+        np.testing.assert_array_equal(got["fp32"], arrays["fp32"])
+        assert cold.stats.store_hits == 1
+
+    def test_metadata_memo(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"payload")
+        cache = GroupCache()
+        calls = []
+
+        def loader(p):
+            calls.append(p)
+            return {"meta": 1}
+
+        meta1, fresh1 = cache.metadata(path, loader)
+        meta2, fresh2 = cache.metadata(path, loader)
+        assert fresh1 and not fresh2 and meta1 == meta2 and len(calls) == 1
+        path.write_bytes(b"payload-changed!")  # size changes -> memo invalid
+        _, fresh3 = cache.metadata(path, loader)
+        assert fresh3 and len(calls) == 2
+
+
+# ---------------------------------------------------------------------------
+# retention <-> blob store ownership (the dedup'd-group deletion fix)
+# ---------------------------------------------------------------------------
+
+class TestRetentionBlobOwnership:
+    def test_shared_group_survives_one_tenants_prune(self, run_dir, tmp_path):
+        # Two tenants with byte-identical runs (copied): their shard
+        # groups dedup to the same objects in the store.
+        run_a = tmp_path / "tenant-a"
+        run_b = tmp_path / "tenant-b"
+        shutil.copytree(run_dir, run_a)
+        shutil.copytree(run_dir, run_b)
+        store = BlobStore(tmp_path / "blobs")
+
+        from repro.serve.jobs import register_checkpoint_refs
+
+        timeline = JobTimeline()
+        key_count = 0
+        for run, tenant in ((run_a, "a"), (run_b, "b")):
+            for step in (8, 16, 24):
+                added = register_checkpoint_refs(
+                    store, tenant, run / f"checkpoint-{step}", timeline)
+                key_count += added
+        stats = store.stats()
+        assert stats["dedup_factor"] == 2.0  # every key claimed by both
+
+        # Seed one shared object so the sweep has something to protect.
+        from repro.serve.jobs import _shard_group_keys
+        from repro.io.layout import CheckpointPaths
+
+        keys = _shard_group_keys(CheckpointPaths(run_a / "checkpoint-8"))
+        store.put(keys[0], {"fp32": np.zeros(2, dtype=np.float32)})
+
+        # Tenant a's retention prunes checkpoint-8 (oldest).  The object
+        # is still owned by tenant b -> must survive.
+        removed = prune_checkpoints(run_a, keep_last=2, blob_store=store,
+                                    tenant="a")
+        assert removed == [8]
+        assert store.contains(keys[0])
+        # Tenant b prunes too: last owner gone -> object reclaimed.
+        prune_checkpoints(run_b, keep_last=2, blob_store=store, tenant="b")
+        assert not store.contains(keys[0])
+
+    def test_prune_without_store_unchanged(self, run_dir, tmp_path):
+        run = tmp_path / "plain"
+        shutil.copytree(run_dir, run)
+        assert prune_checkpoints(run, keep_last=2) == [8]
+
+
+# ---------------------------------------------------------------------------
+# job timeline + journal
+# ---------------------------------------------------------------------------
+
+class TestJobTimeline:
+    def test_mirrors_fault_timeline_api(self):
+        tl = JobTimeline()
+        tl.record("admitted", total_bytes=10)
+        tl.record("start", worker=0)
+        assert tl.kinds() == ["admitted", "start"]
+        doc = tl.to_dict()
+        assert [e["kind"] for e in doc["events"]] == ["admitted", "start"]
+        assert all(e["t"] >= 0 for e in doc["events"])
+        assert "2 event(s)" in tl.summary()
+
+    def test_counters_serialize(self):
+        tl = JobTimeline()
+        tl.cache_hits = 3
+        assert tl.to_dict()["cache_hits"] == 3
+
+
+class TestJournal:
+    def test_replay_pairs_submit_done(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = JobJournal(path)
+        spec = _plan_spec()
+        journal.submitted("job-1", spec)
+        journal.submitted("job-2", spec)
+        journal.finished("job-1", "done")
+        journal.close()
+        pending = replay_journal(path)
+        assert [job_id for job_id, _ in pending] == ["job-2"]
+        assert pending[0][1] == spec
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = JobJournal(path)
+        journal.submitted("job-1", _plan_spec())
+        journal.close()
+        with open(path, "a") as fh:
+            fh.write('{"event":"done","id":"jo')  # crash mid-append
+        assert [j for j, _ in replay_journal(path)] == ["job-1"]
+
+    def test_malformed_middle_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('not json\n{"event":"done","id":"x"}\n')
+        with pytest.raises(ConfigError):
+            replay_journal(path)
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        assert replay_journal(tmp_path / "absent.jsonl") == []
+
+
+# ---------------------------------------------------------------------------
+# the daemon, end to end
+# ---------------------------------------------------------------------------
+
+class TestServerEndToEnd:
+    def test_ping_status_stats_and_bad_ops(self):
+        sock = _short_socket()
+        with serve_in_thread(ServeConfig(socket_path=sock, workers=1)):
+            with ServeClient(sock) as client:
+                assert client.ping()
+                bad = client.request({"op": "nope"})
+                assert not bad["ok"] and "unknown op" in bad["error"]
+                missing = client.status("job-999999")
+                assert not missing["ok"]
+                # A malformed submit is rejected but the connection lives.
+                rejected = client.submit({"tenant": "t", "kind": "bogus"})
+                assert not rejected["ok"]
+                assert client.ping()
+                assert client.stats()["jobs"]["submitted"] == 0
+
+    def test_submit_cost_matches_offline_plan(self, run_dir, tmp_path):
+        from repro.strategies import plan_serve_cost
+
+        job_file = tmp_path / "jobs.json"
+        job_file.write_text(json.dumps({"jobs": [
+            {"tenant": "t", "kind": "diff", "params": {
+                "checkpoint_a": str(run_dir / "checkpoint-16"),
+                "checkpoint_b": str(run_dir / "checkpoint-24")}},
+            {"tenant": "t", "kind": "plan", "params": {
+                "model": "tiny-qwen", "strategy": "full"}},
+        ]}))
+        offline = plan_serve_cost(job_file)
+        sock = _short_socket()
+        with serve_in_thread(ServeConfig(socket_path=sock, workers=1)):
+            with ServeClient(sock) as client:
+                for spec, expected in zip(load_job_file(job_file),
+                                          offline.entries):
+                    response = client.submit(spec)
+                    assert response["ok"]
+                    # The live server charges exactly the offline estimate.
+                    assert response["cost"] == expected["cost"]
+
+    def test_quota_rejection_carries_retry_after(self, run_dir):
+        sock = _short_socket()
+        config = ServeConfig(socket_path=sock, workers=1,
+                             quota=TenantQuota(max_queued_bytes=1))
+        spec = {"tenant": "t", "kind": "diff", "params": {
+            "checkpoint_a": str(run_dir / "checkpoint-16"),
+            "checkpoint_b": str(run_dir / "checkpoint-24")}}
+        with serve_in_thread(config):
+            with ServeClient(sock) as client:
+                response = client.submit(spec)
+                assert not response["ok"]
+                assert response["retry_after"] >= 0.05
+                assert "max_queued_bytes" in response["error"]
+                assert client.stats()["jobs"]["rejected"] == 1
+
+    def test_unestimatable_job_rejected_at_submit(self, tmp_path):
+        # Admission estimates from disk state: a job over checkpoints
+        # that do not exist fails the submit, never reaching the queue.
+        sock = _short_socket()
+        with serve_in_thread(ServeConfig(socket_path=sock, workers=1)):
+            with ServeClient(sock) as client:
+                response = client.submit({"tenant": "t", "kind": "diff",
+                                          "params": {
+                                              "checkpoint_a": str(tmp_path / "a"),
+                                              "checkpoint_b": str(tmp_path / "b")}})
+                assert not response["ok"]
+                assert "not found" in response["error"]
+                assert client.stats()["jobs"]["submitted"] == 0
+
+    def test_failed_job_reports_error(self, run_dir, tmp_path):
+        # A job that passes admission but whose engine run fails turns
+        # into status=failed with the engine error, not a dead server.
+        doc = _recipe_doc(run_dir)
+        doc["slices"] = [{"slot": "layers.0",
+                          "source": str(tmp_path / "missing-ckpt")}]
+        sock = _short_socket()
+        with serve_in_thread(ServeConfig(socket_path=sock, workers=1)):
+            with ServeClient(sock) as client:
+                response = client.submit({
+                    "tenant": "t", "kind": "merge",
+                    "params": {"recipe_doc": doc,
+                               "output": str(tmp_path / "doomed")}})
+                assert response["ok"]
+                job = client.wait(response["id"], timeout=120)["job"]
+                assert job["status"] == "failed"
+                assert job["error"]
+                assert client.ping()  # service survived the failure
+
+    def test_job_timeline_in_response(self, run_dir, tmp_path):
+        sock = _short_socket()
+        blob_root = tmp_path / "blobs"
+        config = ServeConfig(socket_path=sock, workers=1,
+                             blob_root=str(blob_root))
+        with serve_in_thread(config):
+            with ServeClient(sock) as client:
+                job = client.submit_and_wait({
+                    "tenant": "t", "kind": "merge",
+                    "params": {"recipe_doc": _recipe_doc(run_dir),
+                               "output": str(tmp_path / "m1")}})
+                assert job["status"] == "done"
+                kinds = [e["kind"] for e in job["timeline"]["events"]]
+                assert kinds[0] == "admitted" and "merged" in kinds
+                assert job["timeline"]["blob_refs_added"] > 0
+
+    def test_journal_replay_completes_lost_job(self, run_dir, tmp_path):
+        journal_path = tmp_path / "j.jsonl"
+        out = tmp_path / "replayed-merge"
+        # Simulate a daemon that crashed after admitting a merge job.
+        journal = JobJournal(journal_path)
+        journal.submitted("job-000042", JobSpec(
+            tenant="t", kind="merge",
+            params={"recipe_doc": _recipe_doc(run_dir), "output": str(out)}))
+        journal.close()
+
+        sock = _short_socket()
+        config = ServeConfig(socket_path=sock, workers=1,
+                             journal_path=str(journal_path))
+        with serve_in_thread(config):
+            with ServeClient(sock) as client:
+                job = client.wait("job-000042", timeout=120)["job"]
+                assert job["status"] == "done"
+                assert client.stats()["jobs"]["replayed"] == 1
+        assert out.exists()
+        # The journal now records the replayed job as done.
+        assert replay_journal(journal_path) == []
+
+    def test_max_jobs_drains_and_exits(self):
+        sock = _short_socket()
+        handle = serve_in_thread(
+            ServeConfig(socket_path=sock, workers=1, max_jobs=2))
+        with ServeClient(sock) as client:
+            for _ in range(2):
+                job = client.submit_and_wait(_plan_spec())
+                assert job["status"] == "done"
+        handle.thread.join(timeout=30)
+        assert not handle.thread.is_alive()
+
+    def test_shutdown_op_drains(self):
+        sock = _short_socket()
+        handle = serve_in_thread(ServeConfig(socket_path=sock, workers=1))
+        with ServeClient(sock) as client:
+            response = client.submit(_plan_spec())
+            assert response["ok"]
+            assert client.shutdown()["ok"]
+        handle.thread.join(timeout=30)
+        assert not handle.thread.is_alive()
+        assert handle.service.jobs[response["id"]].status == "done"  # drained
+
+
+class TestSigterm:
+    def test_sigterm_drains_and_exits_cleanly(self, tmp_path):
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        sock = _short_socket()
+        journal = tmp_path / "j.jsonl"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--socket", sock,
+             "--workers", "1", "--journal", str(journal)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env={**os.environ,
+                 "PYTHONPATH": str(Path(__file__).parent.parent / "src")},
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not os.path.exists(sock):
+                assert time.monotonic() < deadline, "server never bound"
+                assert proc.poll() is None, proc.stdout.read()
+                time.sleep(0.05)
+            with ServeClient(sock) as client:
+                response = client.submit(_plan_spec())
+                assert response["ok"]
+                client.wait(response["id"], timeout=60)
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0, out
+        assert "served 1 job(s)" in out
+        # The drained job is journaled done: nothing replays next boot.
+        assert replay_journal(journal) == []
+
+
+class TestConcurrentClientsBitwise:
+    """N async clients, interleaved merge/reshard jobs, bitwise outputs."""
+
+    def test_concurrent_matches_serial_one_shot(self, run_dir, tmp_path):
+        tenants = ["alpha", "beta", "gamma", "delta"]
+        runs = {}
+        for tenant in tenants:
+            run = tmp_path / f"run-{tenant}"
+            shutil.copytree(run_dir, run)
+            runs[tenant] = run
+
+        # Serial one-shot references, one per unique job shape.
+        ref_merge = {}
+        ref_reshard = {}
+        for tenant, run in runs.items():
+            out = tmp_path / f"ref-merge-{tenant}"
+            LLMTailor.from_dict(_recipe_doc(run)).merge(out)
+            ref_merge[tenant] = _digest(out)
+            out = tmp_path / f"ref-reshard-{tenant}"
+            reshard_checkpoint(run / "checkpoint-24", out, 3)
+            ref_reshard[tenant] = _digest(out)
+
+        sock = _short_socket()
+        config = ServeConfig(
+            socket_path=sock, workers=2,
+            blob_root=str(tmp_path / "blobs"),
+            quota=TenantQuota(max_inflight=8, max_queued_bytes=1 << 32),
+        )
+        outputs: dict[str, tuple[str, Path]] = {}
+        errors: list[str] = []
+
+        def client_thread(tenant: str, run: Path) -> None:
+            try:
+                with ServeClient(sock) as client:
+                    jobs = []
+                    for i in range(2):  # interleave merge and reshard
+                        merge_out = tmp_path / f"srv-merge-{tenant}-{i}"
+                        r = client.submit(JobSpec(
+                            tenant=tenant, kind="merge",
+                            params={"recipe_doc": _recipe_doc(run),
+                                    "output": str(merge_out)}))
+                        assert r["ok"], r
+                        jobs.append((r["id"], "merge", merge_out))
+                        reshard_out = tmp_path / f"srv-reshard-{tenant}-{i}"
+                        r = client.submit(JobSpec(
+                            tenant=tenant, kind="reshard",
+                            params={"checkpoint": str(run / "checkpoint-24"),
+                                    "output": str(reshard_out),
+                                    "target_world_size": 3}))
+                        assert r["ok"], r
+                        jobs.append((r["id"], "reshard", reshard_out))
+                    for job_id, kind, out in jobs:
+                        result = client.wait(job_id, timeout=300)
+                        assert result["ok"] and result["job"]["status"] == "done", result
+                        outputs[f"{tenant}:{job_id}"] = (f"{tenant}:{kind}", out)
+            except Exception as exc:  # surfaced below: threads may not fail a test
+                errors.append(f"{tenant}: {exc!r}")
+
+        with serve_in_thread(config) as handle:
+            threads = [threading.Thread(target=client_thread, args=(t, runs[t]))
+                       for t in tenants]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=600)
+            assert not errors, errors
+            stats = handle.service.stats()
+
+        # Every served output is bitwise-identical to its one-shot twin.
+        assert len(outputs) == len(tenants) * 4
+        for tagged, (key, out) in outputs.items():
+            tenant, kind = key.split(":")
+            expected = (ref_merge if kind == "merge" else ref_reshard)[tenant]
+            assert _digest(out) == expected, f"{tagged} diverged from one-shot"
+
+        # Identical content across tenants dedup'd in the blob store.
+        assert stats["blob_store"]["dedup_factor"] >= 2.0
+        # Repeat merges were served from the cross-request cache.
+        assert stats["cache"]["hits"] > 0
