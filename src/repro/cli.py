@@ -203,6 +203,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "replay on restart)")
     p_serve.add_argument("--max-jobs", type=int, default=None, metavar="N",
                          help="soak flag: drain and exit after N jobs complete")
+    p_serve.add_argument("--keep-finished", type=int, default=1024, metavar="N",
+                         help="terminal jobs retained for status/wait before "
+                              "eviction (default 1024)")
 
     p_client = sub.add_parser(
         "client", help="submit jobs to a running merge service"
@@ -515,6 +518,7 @@ def _cmd_serve(args) -> int:
         blob_root=args.blob_root,
         journal_path=args.journal,
         max_jobs=args.max_jobs,
+        keep_finished=args.keep_finished,
     )
     service = MergeService(config)
     try:

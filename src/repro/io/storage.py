@@ -284,13 +284,22 @@ class BlobStore:
             return True
 
     def get(self, key: str) -> dict[str, np.ndarray] | None:
-        """Load one group's arrays, or ``None`` if the key has no payload."""
+        """Load one group's arrays, or ``None`` if the key has no payload.
+
+        A concurrent :meth:`sweep` (e.g. another tenant's retention
+        pass) may unlink the object between lookup and read; that race
+        degrades to a miss rather than failing the caller's job.
+        """
         from .blobfile import read_blob
+        from ..util.errors import CheckpointFormatError
 
         path = self._object_path(key)
         if not path.exists():
             return None
-        return read_blob(path)
+        try:
+            return read_blob(path)
+        except (OSError, CheckpointFormatError):
+            return None
 
     # -- ownership ------------------------------------------------------------
 

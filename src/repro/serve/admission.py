@@ -295,6 +295,22 @@ class AdmissionController:
             state.admitted += 1
             return Admission(accepted=True, cost=cost)
 
+    def force_admit(self, spec: JobSpec, cost: JobCost) -> None:
+        """Charge a tenant's budget without checking limits.
+
+        Journal replay uses this: a replayed job was already admitted
+        once, so re-checking quotas could wedge a tenant that crashed
+        at its inflight limit — but the budget must still be charged so
+        the :meth:`finish` on completion releases exactly what was
+        taken instead of draining budget newly admitted jobs hold.
+        """
+        with self._lock:
+            state = self._tenants.setdefault(spec.tenant, _TenantState())
+            state.inflight += 1
+            state.queued_bytes += cost.total_bytes
+            state.outstanding_seconds += cost.est_seconds
+            state.admitted += 1
+
     @staticmethod
     def _retry_after(state: _TenantState) -> float:
         # The time to drain what the tenant already has in flight — a

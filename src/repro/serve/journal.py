@@ -8,7 +8,8 @@ the final line — never interleave two.
 
 On restart, :func:`replay_journal` pairs the records: a job with a
 ``submit`` but no ``done`` was lost mid-flight (queued or running when
-the process died) and is re-submitted through normal admission.  Job
+the process died) and is re-queued with its tenant budget
+force-charged (quota limits are not re-checked on replay).  Job
 execution is idempotent — merge/reshard rewrite their output
 atomically, diff/plan are pure — so replaying a job that had actually
 *finished* its work but not its journal line is safe.

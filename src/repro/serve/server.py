@@ -13,8 +13,10 @@ which keeps the cross-request :class:`~repro.io.storage.GroupCache`
 worker.
 
 Durability: every admitted job is journaled before it is queued and
-marked done on completion; on restart, unfinished jobs replay through
-normal admission.  ``SIGTERM`` triggers a graceful drain — the queue
+marked done on completion; on restart, unfinished jobs replay with
+their tenant budget force-charged (quota limits are not re-checked, so
+a tenant that crashed at its inflight cap cannot wedge its own
+replay).  ``SIGTERM`` triggers a graceful drain — the queue
 closes, in-flight and queued jobs finish, then the sockets come down.
 """
 
@@ -23,8 +25,10 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import functools
+import re
 import signal
 import threading
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -58,6 +62,7 @@ class ServeConfig:
     blob_root: str | None = None
     journal_path: str | None = None
     max_jobs: int | None = None
+    keep_finished: int = 1024
     storage: StorageCostModel | None = None
 
     def __post_init__(self) -> None:
@@ -67,6 +72,10 @@ class ServeConfig:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
         if self.max_jobs is not None and self.max_jobs < 1:
             raise ConfigError(f"max_jobs must be >= 1, got {self.max_jobs}")
+        if self.keep_finished < 1:
+            raise ConfigError(
+                f"keep_finished must be >= 1, got {self.keep_finished}"
+            )
 
 
 class MergeService:
@@ -102,6 +111,7 @@ class MergeService:
         }
         self._job_seq = 0
         self._job_events: dict[str, asyncio.Event] = {}
+        self._finished_ids: deque[str] = deque()
         self._executor: ThreadPoolExecutor | None = None
         self._servers: list[asyncio.base_events.Server] = []
         self._worker_tasks: list[asyncio.Task] = []
@@ -124,13 +134,19 @@ class MergeService:
         self._prev_cache = set_group_cache(self.cache)
         if self.journal is not None:
             for job_id, spec in replay_journal(self.journal.path):
-                # Replay bypasses quotas deliberately: these jobs were
-                # already admitted once; double-charging could wedge a
-                # tenant that crashed at its inflight limit.
+                # Replay bypasses the quota *checks* deliberately —
+                # these jobs were already admitted once, and re-checking
+                # could wedge a tenant that crashed at its inflight
+                # limit — but still charges the budget, so the release
+                # in _finish stays symmetric.
                 cost = self._estimate(spec)
+                self.admission.force_admit(spec, cost)
                 job = Job(id=job_id, spec=spec, cost=cost)
                 job.timeline.record("replayed")
                 self._track(job)
+                match = re.fullmatch(r"job-(\d+)", job_id)
+                if match:
+                    self._job_seq = max(self._job_seq, int(match.group(1)))
                 await self.queue.put(job)
                 self.counters["replayed"] += 1
                 log.info("replayed journaled job %s (%s)", job_id, spec.kind)
@@ -233,6 +249,15 @@ class MergeService:
         event = self._job_events.get(job.id)
         if event is not None:
             event.set()
+        # Terminal jobs are kept for status/wait but bounded: a
+        # long-running daemon must not retain every spec and timeline
+        # forever.  Waiters blocked on an evicted job already hold
+        # references to it and its event, so eviction cannot strand them.
+        self._finished_ids.append(job.id)
+        while len(self._finished_ids) > self.config.keep_finished:
+            evicted = self._finished_ids.popleft()
+            self.jobs.pop(evicted, None)
+            self._job_events.pop(evicted, None)
         done = self.counters["completed"] + self.counters["failed"]
         if self.config.max_jobs is not None and done >= self.config.max_jobs:
             log.info("--max-jobs=%d reached, draining", self.config.max_jobs)
@@ -336,7 +361,21 @@ class MergeService:
         self._track(job)
         if self.journal is not None:
             self.journal.submitted(job.id, spec)
-        await self.queue.put(job)
+        try:
+            await self.queue.put(job)
+        except RuntimeError:
+            # Shutdown closed the queue after the drain check above
+            # (the cost estimate awaited in the executor meanwhile):
+            # release the admission charge, journal a terminal record
+            # so the job does not silently replay on restart, and give
+            # the client the normal draining response.
+            self.admission.finish(spec, cost)
+            if self.journal is not None:
+                self.journal.finished(job.id, "failed")
+            self.jobs.pop(job.id, None)
+            self._job_events.pop(job.id, None)
+            self.counters["rejected"] += 1
+            return {"ok": False, "error": "service is draining", "retry_after": 1.0}
         self.counters["submitted"] += 1
         return {"ok": True, "id": job.id, "status": job.status,
                 "cost": cost.describe()}

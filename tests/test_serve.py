@@ -168,6 +168,23 @@ def _plan_spec(tenant="t") -> JobSpec:
 
 
 class TestAdmission:
+    def test_force_admit_bypasses_checks_but_charges(self):
+        # Journal replay path: a tenant crashed at its inflight limit
+        # must replay (no quota re-check), yet the budget is charged so
+        # finish() releases exactly what was taken — finishing the
+        # replayed job must not free budget a live job still holds.
+        ctl = AdmissionController(TenantQuota(max_inflight=1))
+        spec = _plan_spec()
+        cost = estimate_job_cost(spec)
+        assert ctl.admit(spec, cost).accepted
+        ctl.force_admit(spec, cost)  # would be rejected by admit()
+        assert ctl.stats()["t"]["inflight"] == 2
+        ctl.finish(spec, cost)  # replayed job done
+        assert ctl.stats()["t"]["inflight"] == 1
+        assert not ctl.admit(spec, cost).accepted  # live job still charged
+        ctl.finish(spec, cost)
+        assert ctl.stats()["t"]["inflight"] == 0
+
     def test_inflight_quota(self):
         ctl = AdmissionController(TenantQuota(max_inflight=2))
         spec = _plan_spec()
@@ -276,6 +293,16 @@ class TestBlobStore:
         got = store.get(key)
         np.testing.assert_array_equal(got["fp32"], arrays["fp32"])
         assert store.get("ffffffff-1") is None
+
+    def test_get_races_sweep_as_miss(self, tmp_path):
+        # A concurrent sweep (another tenant's retention pass) may
+        # unlink the object between lookup and read; get() must degrade
+        # to a cache miss, not fail the reading job.
+        store = BlobStore(tmp_path / "blobs")
+        key = group_key(0x1234, 4)
+        store.put(key, {"fp32": np.arange(4, dtype=np.float32)})
+        store._object_path(key).unlink()  # sweep won the race
+        assert store.get(key) is None
 
     def test_refcount_lifecycle(self, tmp_path):
         store = BlobStore(tmp_path / "blobs")
@@ -583,6 +610,75 @@ class TestServerEndToEnd:
         assert out.exists()
         # The journal now records the replayed job as done.
         assert replay_journal(journal_path) == []
+
+    def test_replay_seeds_job_seq_and_charges_tenant(self, tmp_path):
+        # New ids must never collide with replayed ones, and a replayed
+        # job's budget must be charged/released symmetrically.
+        journal_path = tmp_path / "j.jsonl"
+        journal = JobJournal(journal_path)
+        journal.submitted("job-000042", _plan_spec())
+        journal.close()
+
+        sock = _short_socket()
+        config = ServeConfig(socket_path=sock, workers=1,
+                             journal_path=str(journal_path))
+        with serve_in_thread(config) as handle:
+            with ServeClient(sock) as client:
+                response = client.submit(_plan_spec())
+                assert response["ok"]
+                assert response["id"] == "job-000043"  # seeded past replay
+                assert client.wait(response["id"], timeout=60)["job"][
+                    "status"] == "done"
+                assert client.wait("job-000042", timeout=60)["job"][
+                    "status"] == "done"
+                stats = client.stats()
+                assert stats["jobs"]["replayed"] == 1
+                # force-admit charge fully released on finish
+                assert stats["tenants"]["t"]["inflight"] == 0
+            service = handle.service
+        assert set(service.jobs) == {"job-000042", "job-000043"}
+
+    def test_submit_during_queue_close_releases_charge(self, tmp_path):
+        # The drain race: shutdown closes the queue while a submit's
+        # cost estimate is off in the executor.  The client must get the
+        # normal draining response, the admission charge must be
+        # released, and the journaled submit must not replay.
+        journal_path = tmp_path / "j.jsonl"
+        sock = _short_socket()
+        config = ServeConfig(socket_path=sock, workers=1,
+                             journal_path=str(journal_path))
+        handle = serve_in_thread(config)
+        service = handle.service
+        original = service._estimate
+
+        def estimate_then_close(spec):
+            service.queue._closed = True  # shutdown wins the race
+            return original(spec)
+
+        service._estimate = estimate_then_close
+        with ServeClient(sock) as client:
+            response = client.submit(_plan_spec())
+        assert not response["ok"]
+        assert response["error"] == "service is draining"
+        assert response["retry_after"] == 1.0
+        assert service.admission.stats()["t"]["inflight"] == 0  # released
+        assert service.jobs == {}  # untracked
+        handle.stop()
+        assert replay_journal(journal_path) == []  # journaled terminal
+
+    def test_finished_jobs_evicted_beyond_keep(self):
+        sock = _short_socket()
+        config = ServeConfig(socket_path=sock, workers=1, keep_finished=2)
+        with serve_in_thread(config) as handle:
+            with ServeClient(sock) as client:
+                ids = []
+                for _ in range(4):
+                    job = client.submit_and_wait(_plan_spec(), timeout=60)
+                    assert job["status"] == "done"
+                    ids.append(job["id"])
+                assert not client.status(ids[0])["ok"]  # evicted
+                assert client.status(ids[-1])["ok"]  # retained
+            assert set(handle.service.jobs) == set(ids[-2:])
 
     def test_max_jobs_drains_and_exits(self):
         sock = _short_socket()
