@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validate relative links and anchors across README.md and docs/**/*.md.
+
+Stdlib only.  For every Markdown file it collects inline links
+(``[text](target)``), splits off any ``#fragment``, and checks:
+
+* relative link targets exist on disk (relative to the linking file);
+* fragments pointing into a Markdown file match a heading's GitHub-style
+  anchor slug in that file (lowercase, spaces to dashes, punctuation
+  dropped) — including self-links like ``[x](#section)``;
+* absolute URLs (``http://``, ``https://``, ``mailto:``) are skipped —
+  this checker gates repo-internal consistency, not the network.
+
+Exit status is the number of broken links (0 = all good), and every
+problem is printed as ``file:line: message`` so CI output is clickable.
+Run directly or via CI's ``docs-links`` step.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+# Inline Markdown links; deliberately simple — no reference-style links
+# in this repo, and code spans are stripped before matching.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor algorithm, close enough for ASCII docs."""
+    text = _CODE_SPAN.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"[*_~]", "", text)  # emphasis markers don't slug
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    """Every heading anchor in a Markdown file (with GitHub dedup suffixes)."""
+    seen: dict[str, int] = {}
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = _slugify(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def _doc_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").rglob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def check() -> int:
+    anchor_cache: dict[Path, set[str]] = {}
+    problems = 0
+    for doc in _doc_files():
+        rel_doc = doc.relative_to(REPO_ROOT)
+        in_fence = False
+        for lineno, line in enumerate(doc.read_text(encoding="utf-8").splitlines(), 1):
+            if _CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in _LINK.findall(_CODE_SPAN.sub("", line)):
+                if target.startswith(_EXTERNAL):
+                    continue
+                path_part, _, fragment = target.partition("#")
+                if path_part:
+                    resolved = (doc.parent / path_part).resolve()
+                    if not resolved.exists():
+                        print(f"{rel_doc}:{lineno}: broken link: {target}")
+                        problems += 1
+                        continue
+                else:
+                    resolved = doc
+                if fragment and resolved.suffix == ".md":
+                    if resolved not in anchor_cache:
+                        anchor_cache[resolved] = _anchors(resolved)
+                    if fragment not in anchor_cache[resolved]:
+                        print(f"{rel_doc}:{lineno}: broken anchor: {target}")
+                        problems += 1
+    if problems:
+        print(f"docs-links check FAILED ({problems} broken link(s))")
+    else:
+        print(f"docs-links check OK ({len(_doc_files())} file(s))")
+    return problems
+
+
+if __name__ == "__main__":
+    sys.exit(check())

@@ -201,7 +201,10 @@ class Collector:
             out.append("## Re-exports")
             out.append("")
             for name, origin in reexports:
-                out.append(f"- `{name}` — see [`{origin}`]({origin}.md)")
+                if origin.split(".")[0] == PACKAGE:
+                    out.append(f"- `{name}` — see [`{origin}`]({origin}.md)")
+                else:  # stdlib/third-party origin: no page to link to
+                    out.append(f"- `{name}` — see `{origin}`")
             out.append("")
         if constants:
             out.append("## Constants")
@@ -256,16 +259,31 @@ def _report_undocumented(undocumented: list[str]) -> None:
         print(f"  - {entry}", file=sys.stderr)
 
 
+def _pages_on_disk(out_dir: Path) -> set[str]:
+    """Every committed page, as a path relative to ``out_dir``.
+
+    Recursive on purpose: generated pages are flat (dotted module names),
+    so anything in a subdirectory is definitionally an orphan — e.g. a
+    page tree left behind by a package rename — and must be reported
+    (``--check``) or deleted (write mode), not silently ignored.
+    """
+    if not out_dir.is_dir():
+        return set()
+    return {p.relative_to(out_dir).as_posix() for p in out_dir.rglob("*.md")}
+
+
 def write_mode(out_dir: Path, collector: Collector) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
     expected = set(collector.pages)
     for name, content in sorted(collector.pages.items()):
         (out_dir / name).write_text(content, encoding="utf-8")
     removed = 0
-    for stale in sorted(out_dir.glob("*.md")):
-        if stale.name not in expected:
-            stale.unlink()
-            removed += 1
+    for rel in sorted(_pages_on_disk(out_dir) - expected):
+        stale = out_dir / rel
+        stale.unlink()
+        if stale.parent != out_dir and not any(stale.parent.iterdir()):
+            stale.parent.rmdir()
+        removed += 1
     print(f"wrote {len(collector.pages)} page(s) to {out_dir}"
           + (f", removed {removed} stale" if removed else ""))
     if collector.undocumented:
@@ -276,7 +294,7 @@ def write_mode(out_dir: Path, collector: Collector) -> int:
 
 def check_mode(out_dir: Path, collector: Collector) -> int:
     problems = 0
-    on_disk = {p.name for p in out_dir.glob("*.md")} if out_dir.is_dir() else set()
+    on_disk = _pages_on_disk(out_dir)
     for name, content in sorted(collector.pages.items()):
         path = out_dir / name
         if name not in on_disk:

@@ -1,5 +1,6 @@
 """Tape-based reverse-mode autograd over NumPy (the PyTorch substitute)."""
 
+from .compile import BackwardTape, TapeStats
 from .functional import (
     IGNORE_INDEX,
     apply_rope,
@@ -20,6 +21,8 @@ from .tensor import Tensor, cat, is_grad_enabled, no_grad, stack
 
 __all__ = [
     "IGNORE_INDEX",
+    "BackwardTape",
+    "TapeStats",
     "Tensor",
     "apply_rope",
     "cat",

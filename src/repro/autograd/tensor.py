@@ -29,6 +29,12 @@ __all__ = ["Tensor", "no_grad", "is_grad_enabled", "cat", "stack"]
 
 _grad_enabled: bool = True
 
+# When a BackwardTape capture is active (see repro.autograd.compile) this
+# is the tape's node list; _make appends every grad-bearing node it
+# creates, so creation order doubles as a valid topological order for
+# binding a recorded backward program to a freshly built graph.
+_tape_sink: list["Tensor"] | None = None
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -158,6 +164,8 @@ class Tensor:
         out._backward = backward if requires else None
         out._prev = tuple(parents) if requires else ()
         out.name = None
+        if _tape_sink is not None and out._backward is not None:
+            _tape_sink.append(out)
         return out
 
     def _accum(self, g: np.ndarray, owned: bool = False) -> None:

@@ -84,6 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "failures")
     p_train.add_argument("--resume", action="store_true",
                          help="resume from the run's latest checkpoint first")
+    p_train.add_argument("--compile", action="store_true",
+                         help="record the backward pass once and replay it "
+                              "(bitwise-identical; see docs/autograd.md)")
 
     p_merge = sub.add_parser("merge", help="merge checkpoints from a YAML recipe")
     p_merge.add_argument("-r", "--recipe", required=True, help="recipe YAML path")
@@ -243,6 +246,7 @@ def _cmd_train(args) -> int:
         checkpoint_strategy=args.strategy,
         checkpoint_interval=args.interval,
         max_checkpoints=args.max_checkpoints,
+        compile=args.compile,
     )
     if args.faults:
         if args.resume:

@@ -192,6 +192,9 @@ class ZeroStage3Engine:
         if self.fused:
             max_padded = max(m.partition.padded_numel for m in self.group_meta)
             self._quant_buf = np.zeros(max_padded, dtype=np.float32)
+        # id(param) -> grad staging slice, built on demand by
+        # grad_donation_views() (fused mode only).
+        self._donated: dict[int, np.ndarray] = {}
 
         # One AdamW per rank over that rank's shard of every group.
         self.optimizers: list[AdamW] = []
@@ -261,6 +264,31 @@ class ZeroStage3Engine:
 
     # -- training ----------------------------------------------------------
 
+    def grad_donation_views(self) -> dict[int, np.ndarray]:
+        """Per-parameter views into the grad staging buffers (fused only).
+
+        Maps ``id(param)`` to the parameter-shaped slice of the group's
+        persistent reduce-scatter staging buffer.  A caller (the backward
+        tape) that writes gradients straight into these views makes them
+        the collective's inputs with no flatten-copy: :meth:`step`
+        recognizes a donated ``p.grad`` by identity and skips the copy.
+        Reference (non-fused) mode has no persistent staging buffers and
+        returns an empty mapping, which disables donation cleanly.
+        """
+        if not self.fused:
+            return {}
+        if not self._donated:
+            for g, params in enumerate(self._params):
+                buf = self._grad_bufs[g]
+                offset = 0
+                for p in params:
+                    n = p.data.size
+                    self._donated[id(p)] = buf[offset : offset + n].reshape(
+                        p.data.shape
+                    )
+                    offset += n
+        return self._donated
+
     def zero_grad(self) -> None:
         """Clear gradients on every model parameter and every rank's shards."""
         for params, shards in zip(self._params, self._shard_params):
@@ -291,6 +319,8 @@ class ZeroStage3Engine:
                     n = p.data.size
                     if p.grad is None:
                         buf[offset : offset + n] = 0.0
+                    elif p.grad is self._donated.get(id(p)):
+                        pass  # tape-donated: already accumulated in place
                     else:
                         np.copyto(buf[offset : offset + n], p.grad.reshape(-1))
                     offset += n

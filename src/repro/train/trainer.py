@@ -31,6 +31,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..autograd.compile import BackwardTape
 from ..core.tailor import LLMTailor
 from ..data.datasets import Batch, CPTDataset, SFTDataset
 from ..data.facts import MedicalKB
@@ -167,6 +168,15 @@ class Trainer:
             total_steps=config.total_steps,
         )
 
+        # Opt-in backward-tape compiler: record the first micro-batch's
+        # backward, replay it for every later one (bitwise-identical).
+        # Gradients are donated straight into the engine's reduce-scatter
+        # staging buffers, so the tape's terminal writes are the
+        # collective's inputs.
+        self.tape: BackwardTape | None = None
+        if config.compile:
+            self.tape = BackwardTape(donate=self.engine.grad_donation_views())
+
         self.strategy = build_strategy(
             config.checkpoint_strategy,
             self.model_config,
@@ -233,8 +243,13 @@ class Trainer:
         for rank in range(cfg.world_size):
             for accum in range(cfg.grad_accum_steps):
                 batch = self._micro_batch(step, rank, accum)
-                loss = self.model.loss(batch.input_ids, batch.labels)
-                loss.backward()
+                if self.tape is not None:
+                    with self.tape.capture():
+                        loss = self.model.loss(batch.input_ids, batch.labels)
+                    self.tape.backward(loss)
+                else:
+                    loss = self.model.loss(batch.input_ids, batch.labels)
+                    loss.backward()
                 total_loss += loss.item()
         # Average accumulated gradients over all micro-batches.
         inv = 1.0 / n_micro
