@@ -1,0 +1,117 @@
+"""Process-pool comm backend: multi-core scaling of the training step.
+
+The mp backend exists for exactly one reason — the sequential backend
+burns ``world_size`` cores' worth of rank work on a single core.  This
+scenario times identical 12-step runs under both backends at ws 2 and 4
+and emits the speedup, while *always* asserting the two backends stayed
+bitwise-identical (the speedup is worthless if the bits drift).
+
+The ws-4 speedup floor (>= 1.5x) is only asserted on machines with at
+least 4 cores: on a 1-core CI runner the forked workers time-slice one
+core and mp legitimately runs at ~1x or below (fork + pipe overhead),
+which is an environment fact, not a regression.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+from _bench_common import ROUNDS, WARMUP_ROUNDS, emit
+
+import numpy as np
+import pytest
+
+from repro.dist import mp_available, mp_unavailable_reason
+from repro.train import TrainConfig, Trainer
+from repro.util.tables import Table
+
+pytestmark = pytest.mark.skipif(
+    not mp_available(), reason=f"mp backend unavailable: {mp_unavailable_reason()}"
+)
+
+STEPS = 12
+MIN_CORES_FOR_SPEEDUP = 4
+SPEEDUP_FLOOR = 1.5
+# {(world_size, backend): {"per_step": s, "digest": sha}}
+_CELLS: dict[tuple[int, str], dict] = {}
+
+
+def _train_config(tmp_path, *, world_size: int, backend: str) -> TrainConfig:
+    return TrainConfig(
+        model="llama3.2-1b-sim", task="cpt", total_steps=STEPS,
+        checkpoint_strategy="full", checkpoint_interval=10_000,
+        output_dir=str(tmp_path / f"run-{backend}-ws{world_size}"),
+        world_size=world_size, micro_batch_size=2, grad_accum_steps=1,
+        seq_len=48, log_every=10_000, compile=True, comm_backend=backend,
+    )
+
+
+def _digest(trainer: Trainer) -> str:
+    h = hashlib.sha256()
+    for name, arr in sorted(trainer.engine.master_state_dict().items()):
+        h.update(name.encode())
+        h.update(np.ascontiguousarray(arr).tobytes())
+    for name, arr in sorted(trainer.model.state_dict().items()):
+        h.update(name.encode())
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def _emit_if_complete() -> None:
+    if len(_CELLS) < 4:
+        return
+    cores = os.cpu_count() or 1
+    table = Table(
+        ["World size", "sim/step (ms)", "mp/step (ms)", "Speedup", "Bitwise"],
+        title=f"mp scaling, llama3.2-1b-sim, {STEPS} steps, {cores} cores",
+    )
+    for ws in (2, 4):
+        sim, mp = _CELLS[(ws, "sim")], _CELLS[(ws, "mp")]
+        speedup = sim["per_step"] / mp["per_step"]
+        table.add_row([
+            ws, round(sim["per_step"] * 1e3, 2), round(mp["per_step"] * 1e3, 2),
+            f"{speedup:.2f}x", "equal" if sim["digest"] == mp["digest"] else "DRIFT",
+        ])
+    emit("mp_scaling", table.render())
+    if cores >= MIN_CORES_FOR_SPEEDUP:
+        ws4 = _CELLS[(4, "sim")]["per_step"] / _CELLS[(4, "mp")]["per_step"]
+        assert ws4 >= SPEEDUP_FLOOR, (
+            f"ws=4 mp speedup {ws4:.2f}x below {SPEEDUP_FLOOR}x floor "
+            f"on a {cores}-core machine"
+        )
+
+
+def _bench_cell(benchmark, tmp_path, world_size: int, backend: str) -> None:
+    box: dict = {}
+
+    def run():
+        trainer = Trainer(_train_config(tmp_path, world_size=world_size, backend=backend))
+        try:
+            result = trainer.train()
+            assert result.final_step == STEPS
+            box["digest"] = _digest(trainer)
+        finally:
+            trainer.close()
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1, warmup_rounds=WARMUP_ROUNDS)
+    _CELLS[(world_size, backend)] = {
+        "per_step": benchmark.stats["min"] / STEPS,
+        "digest": box["digest"],
+    }
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark.extra_info["digest"] = box["digest"]
+
+    sibling = _CELLS.get((world_size, "sim" if backend == "mp" else "mp"))
+    if sibling is not None:
+        # The non-negotiable half of the scenario: identical bits.
+        assert sibling["digest"] == box["digest"], (
+            f"ws={world_size}: mp and sim backends diverged bitwise"
+        )
+    _emit_if_complete()
+
+
+@pytest.mark.parametrize("backend", ["sim", "mp"])
+@pytest.mark.parametrize("world_size", [2, 4])
+def test_mp_scaling(benchmark, tmp_path, world_size, backend):
+    _bench_cell(benchmark, tmp_path, world_size, backend)

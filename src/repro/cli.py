@@ -87,6 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--compile", action="store_true",
                          help="record the backward pass once and replay it "
                               "(bitwise-identical; see docs/autograd.md)")
+    p_train.add_argument("--comm-backend", choices=("auto", "sim", "mp"),
+                         default="auto",
+                         help="rank execution backend: 'sim' runs ranks "
+                              "sequentially in-process, 'mp' forks one worker "
+                              "per rank over shared memory (bitwise-identical, "
+                              "multi-core); 'auto' defers to $REPRO_COMM_BACKEND")
 
     p_merge = sub.add_parser("merge", help="merge checkpoints from a YAML recipe")
     p_merge.add_argument("-r", "--recipe", required=True, help="recipe YAML path")
@@ -247,6 +253,7 @@ def _cmd_train(args) -> int:
         checkpoint_interval=args.interval,
         max_checkpoints=args.max_checkpoints,
         compile=args.compile,
+        comm_backend=args.comm_backend,
     )
     if args.faults:
         if args.resume:
@@ -263,10 +270,13 @@ def _cmd_train(args) -> int:
             print(result.fault_timeline.summary())
     else:
         trainer = Trainer(config)
-        if args.resume:
-            step = trainer.resume_latest()
-            print(f"resumed from step {step}")
-        result = trainer.train()
+        try:
+            if args.resume:
+                step = trainer.resume_latest()
+                print(f"resumed from step {step}")
+            result = trainer.train()
+        finally:
+            trainer.close()
         print(result.summary())
     return 0 if result.interrupted_at is None else 1
 

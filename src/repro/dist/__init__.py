@@ -5,6 +5,9 @@ in a single process:
 
 * :class:`SimComm` — in-process collectives with ring-model byte
   accounting;
+* :class:`MpComm` — the same collectives over named shared-memory
+  segments with one long-lived forked worker process per rank (real
+  multi-core parallelism, bitwise-identical to :class:`SimComm`);
 * :class:`GroupPartition` (+ :func:`flatten_arrays` /
   :func:`unflatten_array`) — the flatten/pad/shard arithmetic;
 * :class:`ZeroStage3Engine` — per-rank AdamW over sharded fp32 masters,
@@ -17,6 +20,7 @@ in a single process:
 """
 
 from .comm import CommStats, SimComm
+from .mpcomm import MpComm, SharedArena, mp_available, mp_unavailable_reason
 from .partition import GroupPartition, flatten_arrays, unflatten_array
 from .zero import SHARD_FORMAT_VERSION, GroupMeta, ZeroStage3Engine
 
@@ -49,7 +53,9 @@ __all__ = [
     "FaultTimeline",
     "GroupMeta",
     "GroupPartition",
+    "MpComm",
     "ReshardReport",
+    "SharedArena",
     "SHARD_FORMAT_VERSION",
     "SimComm",
     "ZeroStage3Engine",
@@ -57,6 +63,8 @@ __all__ = [
     "degraded_link",
     "flatten_arrays",
     "inject_bitrot",
+    "mp_available",
+    "mp_unavailable_reason",
     "rank_failure",
     "repair_from_replicas",
     "reshard_checkpoint",

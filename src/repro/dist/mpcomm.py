@@ -1,0 +1,514 @@
+"""Shared-memory process-pool backend for the simulated ZeRO-3 ranks.
+
+:class:`MpComm` graduates the repo's ranks from *simulated* to *real*
+parallelism: each rank becomes a long-lived ``multiprocessing`` worker
+process (fork start method), and every tensor a collective touches —
+the engine's padded fp32 master buffers, the gradient staging buffers,
+the per-rank moment buffers and the model's storage-precision weights —
+lives in a named ``multiprocessing.shared_memory`` segment, carved out
+of a :class:`SharedArena`.  Because workers are *forked* after the
+arena is carved, parent and children address the very same pages
+through inherited mappings: a collective never serializes an array, it
+only synchronizes.
+
+Design contract (the reason this backend can exist at all):
+
+* **Bitwise identity with the sequential path.**  ``MpComm`` subclasses
+  :class:`~repro.dist.comm.SimComm` and *inherits its collectives
+  verbatim* — the engine's reduce-scatter/all-gather fast paths already
+  degenerate to slicing over the shared buffers, so the arithmetic (and
+  the ring-model byte accounting that ``plan_step_traffic`` and
+  ``ChaosComm`` price against) is exactly the sequential code, run on
+  shared pages.  What moves to the workers is the *per-rank compute*
+  (forward/backward, AdamW, re-quantize), dispatched over a per-step
+  command pipe; every cross-rank reduction is written in a fixed
+  fold-left order over the global micro-batch sequence, barrier-
+  synchronized, and chunked only *elementwise* across workers — which
+  keeps results bit-for-bit equal to the sequential fold no matter how
+  the OS schedules the workers.
+* **No segment outlives its run.**  Every arena is registered with a
+  PID-guarded ``atexit`` hook *and* a ``weakref.finalize`` on its
+  communicator, so crashed workers, :class:`ChaosSupervisor` shrinks
+  and ``KeyboardInterrupt`` all unlink the ``/dev/shm`` names.  Mapped
+  arrays stay valid after the unlink (the pages live until unmapped),
+  which is also what makes a closed communicator restartable: a new
+  fork re-inherits the same pages.
+* **Deadlocks fail loudly.**  Workers enable :mod:`faulthandler`, every
+  barrier wait and pipe poll carries a timeout (``REPRO_MP_TIMEOUT``
+  seconds, default 120), and a worker that dies mid-step surfaces as a
+  :class:`~repro.util.errors.DistError` naming the rank instead of a
+  silent hang.
+
+The engine-side attach logic lives in
+:class:`~repro.dist.zero.ZeroStage3Engine` (``comm_backend="mp"``); the
+per-step worker program for full training lives in
+:mod:`repro.train.trainer`.  This module is deliberately generic: a
+communicator, an arena allocator, a worker pool and a command pipe.
+"""
+
+from __future__ import annotations
+
+import atexit
+import faulthandler
+import os
+import time
+import traceback
+import weakref
+from multiprocessing import shared_memory
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..util.errors import DistError
+from .comm import SimComm
+
+__all__ = ["MpComm", "SharedArena", "mp_available", "mp_unavailable_reason"]
+
+# Shared-memory names are "<prefix>-<pid>-<counter>" so a leak-check can
+# attribute /dev/shm entries to this process, and parallel test sessions
+# never collide.
+SEGMENT_PREFIX = "repro-mp"
+
+# Worker pools spawned by this process, across every MpComm — the CI
+# mp leg asserts this moved so an env-gated run cannot silently fall
+# back to the sequential backend.
+WORKERS_SPAWNED = 0
+
+_DEFAULT_TIMEOUT = float(os.environ.get("REPRO_MP_TIMEOUT", "120"))
+_POLL_SECONDS = 0.25
+
+_segment_counter = 0
+_availability: tuple[bool, str | None] | None = None
+
+# Live cleanup states, keyed by id; the atexit hook drains whatever the
+# finalizers have not already released (KeyboardInterrupt path).
+_LIVE: dict[int, "_CleanupState"] = {}
+_OWNER_PID = os.getpid()
+
+
+def _probe_availability() -> tuple[bool, str | None]:
+    try:
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return False, "fork start method unavailable on this platform"
+        probe = shared_memory.SharedMemory(create=True, size=1)
+        try:
+            probe.close()
+        finally:
+            probe.unlink()
+    except (ImportError, OSError) as err:  # pragma: no cover - platform-dependent
+        return False, f"shared_memory unusable: {err}"
+    return True, None
+
+
+def mp_available() -> bool:
+    """Whether the process-pool backend can run on this platform.
+
+    Requires the ``fork`` start method (workers must inherit the arena
+    mappings and the fully-built trainer) and a working
+    ``multiprocessing.shared_memory`` (probed once with a 1-byte
+    segment).  Callers that cannot use the backend should fall back to
+    the sequential :class:`~repro.dist.comm.SimComm` — the two are
+    bitwise-identical, so the fallback changes wall-clock only.
+    """
+    global _availability
+    if _availability is None:
+        _availability = _probe_availability()
+    return _availability[0]
+
+
+def mp_unavailable_reason() -> str | None:
+    """Why :func:`mp_available` is ``False`` (``None`` when available)."""
+    mp_available()
+    assert _availability is not None
+    return _availability[1]
+
+
+def _next_segment_name(tag: str) -> str:
+    global _segment_counter
+    _segment_counter += 1
+    return f"{SEGMENT_PREFIX}-{os.getpid()}-{_segment_counter}-{tag}"
+
+
+class SharedArena:
+    """One named shared-memory segment, sub-allocated into aligned arrays.
+
+    The parent carves every array *before* forking workers; children
+    then see the same arrays through inherited mappings, so no
+    re-attachment (and no pickling) ever happens.  Allocation is a bump
+    pointer with 64-byte alignment; the segment is zero-initialized by
+    the OS, which doubles as the zero-fill of buffer padding tails.
+    """
+
+    __slots__ = ("_shm", "nbytes", "_offset", "_unlinked")
+
+    def __init__(self, nbytes: int, *, tag: str = "arena") -> None:
+        if nbytes < 1:
+            raise DistError(f"arena size must be >= 1 byte, got {nbytes}")
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=int(nbytes), name=_next_segment_name(tag)
+        )
+        self.nbytes = int(nbytes)
+        self._offset = 0
+        self._unlinked = False
+
+    @property
+    def name(self) -> str:
+        """The segment's name (its ``/dev/shm`` entry on Linux)."""
+        return self._shm.name
+
+    @property
+    def remaining(self) -> int:
+        """Bytes not yet carved out by :meth:`alloc`."""
+        return self.nbytes - self._offset
+
+    @staticmethod
+    def aligned_nbytes(shape: Sequence[int], dtype: Any = np.float32) -> int:
+        """Bytes :meth:`alloc` will consume for ``shape`` (with alignment)."""
+        numel = int(np.prod(shape)) if shape else 1
+        raw = numel * np.dtype(dtype).itemsize
+        return (raw + 63) // 64 * 64
+
+    def alloc(self, shape: Sequence[int], dtype: Any = np.float32) -> np.ndarray:
+        """Carve a zeroed, 64-byte-aligned ndarray out of the segment."""
+        shape = tuple(int(s) for s in shape)
+        nbytes = self.aligned_nbytes(shape, dtype)
+        if self._offset + nbytes > self.nbytes:
+            raise DistError(
+                f"shared arena {self.name} exhausted: need {nbytes} bytes, "
+                f"{self.remaining} remaining of {self.nbytes}"
+            )
+        view = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf, offset=self._offset)
+        self._offset += nbytes
+        return view
+
+    def unlink(self) -> None:
+        """Remove the segment's name (idempotent).
+
+        Live numpy views — parent *and* forked children — stay valid:
+        the pages are freed only when the last mapping goes away.  Only
+        the name dies, which is exactly the leak the ``/dev/shm``
+        leak-check test polices.
+        """
+        if self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already removed
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedArena(name={self.name!r}, nbytes={self.nbytes}, "
+            f"used={self._offset})"
+        )
+
+
+class _CleanupState:
+    """Everything one communicator must release: workers, pipes, arenas."""
+
+    __slots__ = ("pid", "procs", "pipes", "arenas", "released")
+
+    def __init__(self) -> None:
+        self.pid = os.getpid()
+        self.procs: list[Any] = []
+        self.pipes: list[Any] = []
+        self.arenas: list[SharedArena] = []
+        self.released = False
+
+
+def _stop_workers(state: _CleanupState, *, join_timeout: float = 5.0) -> None:
+    """Stop a generation of workers: ask nicely, then SIGTERM stragglers.
+
+    The graceful path (a ``__close__`` command, then closing the parent
+    pipe end so the worker's ``recv`` raises ``EOFError``) lets workers
+    run their normal shutdown — which is what lets ``coverage``'s
+    multiprocessing tracer save its data file.  SIGTERM (never SIGKILL)
+    is the fallback, and the ``sigterm`` coverage option catches that
+    path too.
+    """
+    for conn in state.pipes:
+        try:
+            conn.send(("__close__", ()))
+        except (OSError, ValueError):
+            pass
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    deadline = time.monotonic() + join_timeout
+    for proc in state.procs:
+        proc.join(timeout=max(0.0, deadline - time.monotonic()))
+    for proc in state.procs:
+        if proc.is_alive():  # pragma: no cover - deadlocked worker
+            proc.terminate()
+            proc.join(timeout=join_timeout)
+    state.procs.clear()
+    state.pipes.clear()
+
+
+def _release(state: _CleanupState) -> None:
+    """Finalizer/atexit body: stop workers and unlink every arena.
+
+    PID-guarded so a forked child that inherited the registry (or a
+    finalizer that fires inside one) can never unlink the parent's
+    segments out from under it; children exit via ``os._exit`` and do
+    not run ``atexit`` hooks anyway, but belt and suspenders.
+    """
+    if state.released or os.getpid() != state.pid:
+        return
+    state.released = True
+    _stop_workers(state)
+    for arena in state.arenas:
+        arena.unlink()
+    _LIVE.pop(id(state), None)
+
+
+@atexit.register
+def _atexit_release() -> None:
+    if os.getpid() != _OWNER_PID:  # pragma: no cover - forked child
+        return
+    for state in list(_LIVE.values()):
+        _release(state)
+
+
+def _worker_main(
+    rank: int,
+    conn: Any,
+    program_factory: Callable[[int], Any],
+    timeout: float,
+) -> None:
+    """Command loop run inside each forked worker process.
+
+    Builds the rank's program object (a plain instance whose methods are
+    the dispatchable commands), then serves ``(method, args)`` tuples
+    from the pipe until ``__close__`` or EOF.  Any exception — including
+    a broken barrier after a peer died — is reported back as an
+    ``("error", traceback)`` reply so the parent can raise a
+    :class:`~repro.util.errors.DistError` naming the rank, instead of
+    the parent hanging on a reply that never comes.
+    """
+    try:
+        # Best-effort: under pytest's output capture the inherited
+        # sys.stderr has no OS-level fd, and faulthandler refuses it.
+        # Losing crash stacks there is acceptable; dying at startup and
+        # resetting the command pipe is not.
+        faulthandler.enable()
+    except (ValueError, OSError, AttributeError):
+        pass
+    program = program_factory(rank)
+    while True:
+        try:
+            if not conn.poll(timeout):
+                # Parent went silent past the deadlock budget: dump our
+                # stack for the post-mortem and exit instead of hanging.
+                try:  # pragma: no cover - deadlock path
+                    faulthandler.dump_traceback()
+                except (ValueError, OSError, AttributeError):
+                    pass
+                return  # pragma: no cover
+            method, args = conn.recv()
+        except (EOFError, OSError):
+            return
+        if method == "__close__":
+            return
+        try:
+            result = getattr(program, method)(*args)
+        except BaseException:
+            try:
+                conn.send(("error", traceback.format_exc()))
+            except (OSError, ValueError):  # pragma: no cover - parent gone
+                return
+            continue
+        try:
+            conn.send(("ok", result))
+        except (OSError, ValueError):  # pragma: no cover - parent gone
+            return
+
+
+class MpComm(SimComm):
+    """A :class:`~repro.dist.comm.SimComm` whose ranks are real processes.
+
+    The collectives — and their ring-model byte accounting — are
+    inherited unchanged: the engine's buffers are shared pages, so the
+    sequential reduce-scatter/all-gather code *is* the shared-memory
+    implementation (the identity fast paths mean no bytes are copied,
+    only charged).  What this class adds is the worker pool: long-lived
+    forked processes, one per rank, driven by :meth:`dispatch` over a
+    per-step command pipe and synchronized by :meth:`barrier` inside
+    commands that reduce across ranks.
+
+    Lifecycle: :meth:`create_arena` carves shared buffers (parent,
+    pre-fork) → :meth:`start` forks the pool → :meth:`dispatch` drives
+    steps → :meth:`close` stops workers and unlinks segments.  ``close``
+    is idempotent, registered with ``atexit`` *and* a ``weakref``
+    finalizer, and a closed communicator can :meth:`start` again (the
+    unlinked pages survive through inherited mappings).
+    """
+
+    backend = "mp"
+
+    def __init__(self, world_size: int, *, timeout: float | None = None) -> None:
+        super().__init__(world_size)
+        if not mp_available():
+            raise DistError(f"mp backend unavailable: {mp_unavailable_reason()}")
+        import multiprocessing
+
+        self.timeout = float(timeout if timeout is not None else _DEFAULT_TIMEOUT)
+        self._ctx = multiprocessing.get_context("fork")
+        self._barrier = self._ctx.Barrier(self.world_size)
+        self._state = _CleanupState()
+        self._program_factory: Callable[[int, Any], Any] | None = None
+        self._dead_ranks: set[int] = set()
+        _LIVE[id(self._state)] = self._state
+        self._finalizer = weakref.finalize(self, _release, self._state)
+
+    # -- arena management ---------------------------------------------------
+
+    def create_arena(self, nbytes: int, *, tag: str = "arena") -> SharedArena:
+        """A new named shared segment, unlinked with this communicator.
+
+        Must be called (and fully carved via :meth:`SharedArena.alloc`)
+        before :meth:`start`: workers see arena arrays only through fork
+        inheritance.
+        """
+        if self.started:
+            raise DistError("create_arena after start(): workers would not see it")
+        arena = SharedArena(nbytes, tag=tag)
+        self._state.arenas.append(arena)
+        return arena
+
+    @property
+    def segment_names(self) -> list[str]:
+        """Names of every shared segment this communicator owns."""
+        return [a.name for a in self._state.arenas]
+
+    # -- worker pool --------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        """Whether a worker pool is currently running."""
+        return bool(self._state.procs)
+
+    def barrier(self) -> Any:
+        """The pool-wide barrier (``world_size`` parties, workers only).
+
+        Programs wait on it between the slot-write and fold phases of a
+        cross-rank reduction; waits must pass ``timeout=`` (use
+        :attr:`timeout`) so a dead peer breaks the barrier loudly.
+        """
+        return self._barrier
+
+    def start(self, program_factory: Callable[[int, Any], Any] | None = None) -> None:
+        """Fork one worker per rank running ``program_factory(rank, barrier)``.
+
+        The factory runs *inside the child*; because the start method is
+        ``fork``, it may close over arbitrarily heavy parent state (the
+        whole trainer) without pickling, and every ``id()``-keyed lookup
+        (optimizer state, donation views) stays valid.  Restarting a
+        closed communicator reuses the original factory unless a new one
+        is given.
+        """
+        if self.started:
+            return
+        if program_factory is not None:
+            self._program_factory = program_factory
+        if self._program_factory is None:
+            raise DistError("start() needs a program factory")
+        self._state.released = False
+        self._dead_ranks.clear()
+        self._barrier = self._ctx.Barrier(self.world_size)
+        _LIVE[id(self._state)] = self._state
+        factory, barrier = self._program_factory, self._barrier
+        for rank in range(self.world_size):
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(rank, child_conn, lambda r: factory(r, barrier), self.timeout),
+                name=f"repro-mp-rank{rank}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._state.procs.append(proc)
+            self._state.pipes.append(parent_conn)
+        global WORKERS_SPAWNED
+        WORKERS_SPAWNED += self.world_size
+
+    def dispatch(self, method: str, *args: Any) -> list[Any]:
+        """Run ``program.<method>(*args)`` on every live rank; gather replies.
+
+        Replies come back in rank order.  A rank that died (crash or
+        :meth:`kill_rank`) or exceeds the timeout raises
+        :class:`~repro.util.errors.DistError` — per-step commands are
+        collective, so a missing rank is a hard error, not a degraded
+        mode; elastic shrink happens by building a *new* smaller
+        communicator, never by limping on with holes.
+        """
+        if not self.started:
+            raise DistError("dispatch() before start(): no workers to command")
+        if self._dead_ranks:
+            raise DistError(
+                f"dispatch({method!r}): rank(s) {sorted(self._dead_ranks)} are dead"
+            )
+        for conn in self._state.pipes:
+            conn.send((method, args))
+        replies: list[Any] = []
+        deadline = time.monotonic() + self.timeout
+        for rank, conn in enumerate(self._state.pipes):
+            while not conn.poll(_POLL_SECONDS):
+                if not self._state.procs[rank].is_alive():
+                    self._dead_ranks.add(rank)
+                    raise DistError(
+                        f"rank {rank} worker died during {method!r} "
+                        f"(exitcode {self._state.procs[rank].exitcode})"
+                    )
+                if time.monotonic() > deadline:  # pragma: no cover - deadlock path
+                    faulthandler.dump_traceback()
+                    raise DistError(
+                        f"rank {rank} did not answer {method!r} within "
+                        f"{self.timeout:.0f}s (REPRO_MP_TIMEOUT) — likely a "
+                        "deadlocked barrier; worker stacks were dumped via "
+                        "faulthandler"
+                    )
+            status, payload = conn.recv()
+            if status != "ok":
+                raise DistError(f"rank {rank} failed in {method!r}:\n{payload}")
+            replies.append(payload)
+        return replies
+
+    def kill_rank(self, rank: int) -> None:
+        """Terminate one rank's worker (SIGTERM) — the rank-death fault.
+
+        Maps a :class:`~repro.dist.faults.FaultPlan` rank failure onto a
+        real process death.  SIGTERM rather than SIGKILL so a coverage
+        tracer configured with ``sigterm = true`` still saves the
+        worker's data.  Subsequent :meth:`dispatch` calls raise; the
+        supervisor's elastic shrink builds a fresh pool at N-1.
+        """
+        if not 0 <= rank < self.world_size:
+            raise DistError(f"rank {rank} out of range for world_size {self.world_size}")
+        self._dead_ranks.add(rank)
+        if rank < len(self._state.procs):
+            proc = self._state.procs[rank]
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=self.timeout)
+
+    def close(self) -> None:
+        """Stop the workers and unlink every shared segment (idempotent).
+
+        Parent-side arrays remain readable (checkpoint saves after a
+        finished run still work) and :meth:`start` may be called again —
+        a re-fork inherits the still-mapped pages even though the
+        ``/dev/shm`` names are gone.
+        """
+        _release(self._state)
+
+    def __repr__(self) -> str:
+        return (
+            f"MpComm(world_size={self.world_size}, started={self.started}, "
+            f"segments={len(self._state.arenas)})"
+        )
