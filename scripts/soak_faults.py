@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Long-horizon elasticity soak: thousands of steps of seeded preemption
+churn, cross-checked against the analytic planner.
+
+Runs ``llmtailor``'s chaos supervisor over a
+:meth:`FaultPlan.sample_preemption_trace` schedule (exponential
+interarrival + restore) for ``--steps`` steps, then asserts that the
+live goodput report agrees with the config-only
+:func:`repro.strategies.plan_fault_cost` prediction:
+
+* lost (replayed) steps — exact;
+* reshard loads — exact;
+* grow count — exact;
+* goodput (useful steps / busy sim-second) — to 1e-6 relative.
+
+Any disagreement means the live supervisor and the planner have drifted
+apart — the repo's goodput SLO numbers can no longer be trusted — so
+the script exits 1 and prints both sides.  Deterministic end to end:
+one seed pins the trace, the data order, and every recovery decision.
+
+Nightly CI runs ``--steps 2000`` on a tiny model (bounded minutes);
+locally the default 400-step soak finishes in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+REL_TOL = 1e-6
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--steps", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=20260808)
+    parser.add_argument("--world-size", type=int, default=3)
+    parser.add_argument("--interval", type=int, default=50)
+    parser.add_argument("--mean-interarrival", type=float, default=None,
+                        help="mean steps between preemptions "
+                        "(default: steps/20)")
+    parser.add_argument("--mean-restore", type=float, default=None,
+                        help="mean steps until capacity returns "
+                        "(default: interarrival/2)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="run directory (default: a temp dir)")
+    args = parser.parse_args(argv)
+
+    from repro.dist.faults import FaultPlan
+    from repro.strategies import plan_fault_cost
+    from repro.train import ChaosSupervisor, TrainConfig
+
+    interarrival = args.mean_interarrival or max(1.0, args.steps / 20.0)
+    plan = FaultPlan.sample_preemption_trace(
+        seed=args.seed, world_size=args.world_size, total_steps=args.steps,
+        mean_interarrival=interarrival,
+        mean_restore=args.mean_restore or max(1.0, interarrival / 2.0),
+        min_world_size=max(1, args.world_size - 2),
+    )
+    print(f"trace: {len(plan.preemptions)} preemption(s) over {args.steps} "
+          f"steps at world size {args.world_size} (seed {args.seed})")
+
+    output = args.output or tempfile.mkdtemp(prefix="soak-faults-")
+    config = TrainConfig(
+        model="tiny-untied", task="cpt", total_steps=args.steps,
+        checkpoint_strategy="full", checkpoint_interval=args.interval,
+        output_dir=output, world_size=args.world_size,
+        micro_batch_size=1, grad_accum_steps=1, seq_len=16,
+        log_every=max(1, args.steps // 10),
+    )
+    supervisor = ChaosSupervisor(config, plan)
+    result = supervisor.run()
+    if result.interrupted_at is not None:
+        print(f"FAIL: soak interrupted at step {result.interrupted_at}")
+        return 1
+    timeline = result.fault_timeline
+    live = result.goodput
+    print(timeline.summary().splitlines()[0])
+    print("live     :", live.summary())
+
+    cost = plan_fault_cost(
+        supervisor.trainer.model_config, plan, world_size=args.world_size,
+        total_steps=args.steps, checkpoint_interval=args.interval,
+    )
+    print("predicted:", cost.goodput_report().summary())
+
+    failures = []
+    if cost.lost_steps != timeline.lost_steps:
+        failures.append(
+            f"lost steps: planned {cost.lost_steps}, live {timeline.lost_steps}"
+        )
+    if cost.reshard_loads != timeline.reshard_loads:
+        failures.append(
+            f"reshard loads: planned {cost.reshard_loads}, "
+            f"live {timeline.reshard_loads}"
+        )
+    if cost.num_joins != timeline.grows:
+        failures.append(
+            f"grows: planned {cost.num_joins}, live {timeline.grows}"
+        )
+    if abs(cost.goodput - live.goodput) > REL_TOL * max(live.goodput, 1e-12):
+        failures.append(
+            f"goodput: planned {cost.goodput!r}, live {live.goodput!r} "
+            f"(rel tol {REL_TOL})"
+        )
+    if failures:
+        print("FAIL: live run and planner disagree:")
+        for line in failures:
+            print("  -", line)
+        return 1
+    print(f"OK: planner matches live goodput {live.goodput:.6f} "
+          f"({timeline.recoveries} recoveries, {timeline.grows} grows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

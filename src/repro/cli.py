@@ -4,7 +4,10 @@ Mirrors the paper artifact's workflow:
 
 * ``llmtailor train -o RUN_DIR [--faults plan.yaml]`` — run a simulated
   ZeRO-3 training experiment; with a fault plan, the chaos supervisor
-  injects the scheduled failures and recovers (shrink + elastic resume);
+  injects the scheduled failures and recovers (shrink/grow + elastic
+  resume), reporting goodput; add ``--resume`` to continue a soak;
+* ``llmtailor faults -o trace.yaml --seed S`` — sample a seeded
+  spot-instance preemption trace to feed ``train --faults``;
 * ``llmtailor merge -r recipe.yaml [-o OUT]`` — assemble a Frankenstein
   checkpoint from a YAML recipe;
 * ``llmtailor auto-merge RUN_DIR --failure-step N -o OUT`` — scan a
@@ -80,10 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="coverage-aware retention limit")
     p_train.add_argument("--faults", default=None, metavar="PLAN_YAML",
                          help="fault-injection plan (see docs/faults.md); the "
-                              "chaos supervisor shrinks and resumes on rank "
-                              "failures")
+                              "chaos supervisor shrinks on rank failures, grows "
+                              "on joins/preemption restores, and resumes "
+                              "elastically")
     p_train.add_argument("--resume", action="store_true",
-                         help="resume from the run's latest checkpoint first")
+                         help="resume from the run's latest checkpoint first; "
+                              "with --faults, continue a chaos soak from its "
+                              "last leg's checkpoint with the remaining "
+                              "fault schedule")
     p_train.add_argument("--compile", action="store_true",
                          help="record the backward pass once and replay it "
                               "(bitwise-identical; see docs/autograd.md)")
@@ -169,6 +176,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the admission-control cost estimate for a "
                              "serve job file (matches the live server's "
                              "accounting exactly); model/strategy optional")
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="generate a seeded fault plan (spot-instance preemption trace)",
+    )
+    p_faults.add_argument("-o", "--output", required=True, metavar="PLAN_YAML",
+                          help="where to write the plan (feed to train --faults)")
+    p_faults.add_argument("--seed", type=int, default=0)
+    p_faults.add_argument("--world-size", type=int, default=4,
+                          help="starting (and maximum) fleet size")
+    p_faults.add_argument("--steps", type=int, default=2000,
+                          help="run horizon the trace is sampled over")
+    p_faults.add_argument("--mean-interarrival", type=float, default=None,
+                          help="mean steps between preemptions "
+                               "(exponential; default steps/8)")
+    p_faults.add_argument("--mean-restore", type=float, default=None,
+                          help="mean steps until reclaimed capacity rejoins "
+                               "(exponential; default interarrival/2)")
+    p_faults.add_argument("--min-world-size", type=int, default=1,
+                          help="preemptions that would shrink below this floor "
+                               "are skipped")
 
     p_bench = sub.add_parser(
         "bench", help="benchmark runner (discover/run/compare BENCH_*.json artifacts)"
@@ -256,18 +284,18 @@ def _cmd_train(args) -> int:
         comm_backend=args.comm_backend,
     )
     if args.faults:
-        if args.resume:
-            raise SystemExit(
-                "--resume cannot be combined with --faults: the chaos "
-                "supervisor manages its own resume points (run the plan "
-                "in a fresh output directory)"
-            )
         plan = FaultPlan.from_yaml(args.faults)
-        supervisor = ChaosSupervisor(config, plan)
+        # With --resume this is a soak continuation: the supervisor
+        # restarts from the last leg's newest complete checkpoint with
+        # the remaining fault schedule (events at or before that step
+        # are treated as already applied by the previous run).
+        supervisor = ChaosSupervisor(config, plan, resume=args.resume)
         result = supervisor.run()
         print(result.summary())
         if result.fault_timeline is not None:
             print(result.fault_timeline.summary())
+        if result.goodput is not None:
+            print(result.goodput.summary())
     else:
         trainer = Trainer(config)
         try:
@@ -467,6 +495,7 @@ def _cmd_plan(args) -> int:
         )
         print(
             f"fault-plan estimate ({faults.num_failures} failure(s), "
+            f"{faults.num_joins} join(s), "
             f"world {faults.world_size} -> {faults.final_world_size}):"
         )
         print(f"  lost (replayed) steps  : {faults.lost_steps}")
@@ -477,9 +506,35 @@ def _cmd_plan(args) -> int:
         print(f"  straggler time         : {faults.straggler_seconds:.1f}s simulated")
         print(f"  collective time        : {faults.comm_seconds:.3f}s simulated")
         print(f"  recovery read time     : {faults.recovery_read_seconds:.3f}s simulated")
+        print(f"  join sync-write time   : {faults.sync_write_seconds:.3f}s simulated")
         print(f"  total fault overhead   : {faults.overhead_seconds:.1f}s simulated")
+        print(f"  predicted goodput      : {faults.goodput:.4f} useful steps/sim-s")
     if args.serve is not None:
         _print_serve_plan(args.serve)
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    from .dist.faults import FaultPlan
+
+    plan = FaultPlan.sample_preemption_trace(
+        seed=args.seed,
+        world_size=args.world_size,
+        total_steps=args.steps,
+        mean_interarrival=args.mean_interarrival,
+        mean_restore=args.mean_restore,
+        min_world_size=args.min_world_size,
+    )
+    plan.to_yaml(args.output)
+    n = len(plan.preemptions)
+    deferred = sum(1 for e in plan.rank_joins if e.step > args.steps)
+    print(
+        f"sampled preemption trace (seed {args.seed}): {n} preemption(s) over "
+        f"{args.steps} steps, world {args.world_size} "
+        f"(floor {args.min_world_size}); {deferred} restore(s) beyond the "
+        f"horizon never fire"
+    )
+    print(f"wrote {args.output}")
     return 0
 
 
@@ -604,6 +659,7 @@ def main(argv: list[str] | None = None) -> int:
         "describe": _cmd_describe,
         "groups": _cmd_groups,
         "plan": _cmd_plan,
+        "faults": _cmd_faults,
         "diff": _cmd_diff,
         "prune": _cmd_prune,
         "serve": _cmd_serve,

@@ -15,8 +15,9 @@ in a single process:
 * :func:`reshard_checkpoint` / :func:`reshard_state_dicts` — elastic
   N→M re-partitioning of those shard files (streaming, bounded memory);
 * :class:`FaultPlan` / :class:`ChaosComm` — deterministic fault
-  injection (rank failures, stragglers, degraded links, bitrot) over
-  the same machinery, with penalized time accounting.
+  injection (rank failures, joins, spot preemptions, stragglers,
+  degraded links, bitrot) over the same machinery, with penalized time
+  accounting and :class:`GoodputReport` goodput bookkeeping.
 """
 
 from .comm import CommStats, SimComm
@@ -37,10 +38,13 @@ from .faults import (  # noqa: E402
     FaultEvent,
     FaultPlan,
     FaultTimeline,
+    GoodputReport,
     bitrot,
     degraded_link,
     inject_bitrot,
+    preemption,
     rank_failure,
+    rank_join,
     repair_from_replicas,
     straggler,
 )
@@ -51,6 +55,7 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "FaultTimeline",
+    "GoodputReport",
     "GroupMeta",
     "GroupPartition",
     "MpComm",
@@ -65,7 +70,9 @@ __all__ = [
     "inject_bitrot",
     "mp_available",
     "mp_unavailable_reason",
+    "preemption",
     "rank_failure",
+    "rank_join",
     "repair_from_replicas",
     "reshard_checkpoint",
     "reshard_rank_state_dict",

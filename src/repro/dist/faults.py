@@ -22,7 +22,22 @@ fault-free reference run:
   corrupted on disk after it is written.  The per-group CRCs introduced
   with the streaming merge engine catch the corruption on the next read
   and recovery re-reads from the surviving replica instead of silently
-  resuming from garbage.
+  resuming from garbage;
+* ``rank_join(step)`` — a fresh rank becomes available after the step
+  completes; the supervisor *grows* the world N→N+1 through the same
+  elastic reshard path shrink uses (checkpoint at ws N → resume at
+  ws N+1);
+* ``preemption(step, rank, restore_after)`` — spot-instance semantics:
+  the rank is reclaimed after ``step`` (a ``rank_failure``) and
+  replacement capacity arrives ``restore_after`` steps later (a
+  ``rank_join``).  :meth:`FaultPlan.sample_preemption_trace` generates
+  seeded long-horizon preemption churn with exponential interarrival
+  and restore delays.
+
+Elasticity makes *goodput* — useful steps per simulated second — the
+SLO a chaos run reports: :class:`GoodputReport` splits the fleet's
+simulated time into useful, lost (replayed), and stalled (straggler +
+collective-penalty) seconds, with recovery I/O reported alongside.
 
 :class:`ChaosComm` wraps :class:`~repro.dist.comm.SimComm`: the ring
 byte accounting is unchanged (faults do not change how many bytes move)
@@ -38,6 +53,7 @@ attaches it to :class:`~repro.train.trainer.TrainResult`.
 
 from __future__ import annotations
 
+import math
 import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -57,10 +73,13 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "FaultTimeline",
+    "GoodputReport",
     "bitrot",
     "degraded_link",
     "inject_bitrot",
+    "preemption",
     "rank_failure",
+    "rank_join",
     "repair_from_replicas",
     "straggler",
 ]
@@ -73,7 +92,10 @@ DEFAULT_LINK_BANDWIDTH = 25e9  # bytes/s
 # simulated "second storage replica" recovery re-reads from.
 REPLICA_SUFFIX = ".replica"
 
-_KINDS = ("rank_failure", "straggler", "degraded_link", "bitrot")
+_KINDS = (
+    "rank_failure", "straggler", "degraded_link", "bitrot",
+    "rank_join", "preemption",
+)
 
 
 @dataclass(frozen=True)
@@ -98,6 +120,7 @@ class FaultEvent:
     slowdown: float | None = None
     bandwidth_scale: float | None = None
     duration: int | None = None
+    restore_after: int | None = None
 
     def active_at(self, step: int) -> bool:
         """Whether this event's window covers the given global step."""
@@ -109,7 +132,7 @@ class FaultEvent:
         """Serializable form: ``kind`` plus the fields that are set."""
         out: dict[str, Any] = {"kind": self.kind, "step": self.step}
         for key in ("rank", "group", "src", "dst", "slowdown",
-                    "bandwidth_scale", "duration"):
+                    "bandwidth_scale", "duration", "restore_after"):
             value = getattr(self, key)
             if value is not None:
                 out[key] = value
@@ -123,7 +146,7 @@ class FaultEvent:
         if kind not in _KINDS:
             raise ConfigError(f"fault event kind must be one of {_KINDS}, got {kind!r}")
         known = {"step", "rank", "group", "src", "dst", "slowdown",
-                 "bandwidth_scale", "duration"}
+                 "bandwidth_scale", "duration", "restore_after"}
         unknown = set(data) - known
         if unknown:
             raise ConfigError(f"unknown fault event keys: {sorted(unknown)}")
@@ -163,6 +186,26 @@ def bitrot(step: int, rank: int, group: int) -> FaultEvent:
     return FaultEvent(kind="bitrot", step=int(step), rank=int(rank), group=int(group))
 
 
+def rank_join(step: int) -> FaultEvent:
+    """A fresh rank becomes available after global step ``step``
+    completes.  The joining rank always enters as the highest rank of
+    the grown world (rank N when growing N→N+1), so the event carries
+    no rank of its own."""
+    return FaultEvent(kind="rank_join", step=int(step))
+
+
+def preemption(step: int, rank: int, restore_after: int) -> FaultEvent:
+    """Spot-instance preemption: rank ``rank`` is reclaimed after
+    ``step`` and replacement capacity joins ``restore_after`` steps
+    later.  Expands to ``rank_failure(step, rank)`` followed by
+    ``rank_join(step + restore_after)``; a restore landing beyond the
+    run's horizon simply never fires (capacity is not returned)."""
+    return FaultEvent(
+        kind="preemption", step=int(step), rank=int(rank),
+        restore_after=int(restore_after),
+    )
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A seeded, schedule-based fault-injection plan.
@@ -183,11 +226,56 @@ class FaultPlan:
 
     @property
     def rank_failures(self) -> list[FaultEvent]:
-        """Scheduled rank deaths, ordered by step."""
+        """Scheduled rank deaths, ordered by step.
+
+        Includes the death half of every ``preemption`` (which carries
+        the preemption's ``restore_after`` as provenance).
+        """
+        return [e for e in self.world_events() if e.kind == "rank_failure"]
+
+    @property
+    def rank_joins(self) -> list[FaultEvent]:
+        """Scheduled capacity arrivals, ordered by step.
+
+        Includes the restore half of every ``preemption``; a join
+        scheduled beyond the run's horizon is listed but never fires.
+        """
+        return [e for e in self.world_events() if e.kind == "rank_join"]
+
+    @property
+    def preemptions(self) -> list[FaultEvent]:
+        """Scheduled spot preemptions (unexpanded), ordered by step."""
         return sorted(
-            (e for e in self.events if e.kind == "rank_failure"),
+            (e for e in self.events if e.kind == "preemption"),
             key=lambda e: e.step,
         )
+
+    def world_events(self) -> list[FaultEvent]:
+        """The world-size schedule: every shrink and grow, in firing order.
+
+        Explicit ``rank_failure``/``rank_join`` events plus each
+        ``preemption`` expanded into its death and its restore join.
+        Ordered by step; ties preserve plan order, which also keeps a
+        preemption's join ahead of any later same-step death.  This is
+        the single schedule the supervisor's pending queue and
+        :func:`~repro.strategies.planner.plan_fault_cost`'s replay both
+        walk, so live and predicted trajectories cannot drift.
+        """
+        expanded: list[FaultEvent] = []
+        for ev in self.events:
+            if ev.kind in ("rank_failure", "rank_join"):
+                expanded.append(ev)
+            elif ev.kind == "preemption":
+                expanded.append(
+                    FaultEvent(
+                        kind="rank_failure", step=ev.step, rank=ev.rank,
+                        restore_after=ev.restore_after,
+                    )
+                )
+                expanded.append(
+                    FaultEvent(kind="rank_join", step=ev.step + int(ev.restore_after))
+                )
+        return sorted(expanded, key=lambda e: e.step)
 
     @property
     def stragglers(self) -> list[FaultEvent]:
@@ -256,9 +344,13 @@ class FaultPlan:
     def validate(self, world_size: int, total_steps: int) -> None:
         """Check the plan is executable for a run of this shape.
 
-        Rank failures shrink the world one rank at a time, so the i-th
-        failure must name a rank that still exists at that point and
-        must leave at least one survivor.
+        Failures and joins move the world size one rank at a time, so
+        the schedule is checked as a trajectory: each death must name a
+        rank that still exists *at that point in the walk* and must
+        leave at least one survivor; each join (explicit, or the
+        restore half of a preemption) grows the world back.  A
+        preemption restore scheduled beyond ``total_steps`` is legal —
+        the capacity simply never returns.
         """
         for ev in self.events:
             if ev.kind not in _KINDS:
@@ -269,19 +361,30 @@ class FaultPlan:
                 )
             if ev.duration is not None and ev.duration < 1:
                 raise ConfigError(f"{ev.kind} duration must be >= 1, got {ev.duration}")
-        failures = self.rank_failures
-        if len(failures) >= world_size:
-            raise ConfigError(
-                f"{len(failures)} rank failures would leave no survivors "
-                f"at world_size {world_size}"
-            )
-        for i, ev in enumerate(failures):
-            survivors = world_size - i
-            if ev.rank is None or not 0 <= ev.rank < survivors:
+        for ev in self.preemptions:
+            if ev.rank is None or ev.rank < 0:
+                raise ConfigError(f"preemption at step {ev.step}: rank must be >= 0")
+            if ev.restore_after is None or ev.restore_after < 1:
+                raise ConfigError(
+                    f"preemption at step {ev.step}: restore_after must be >= 1, "
+                    f"got {ev.restore_after}"
+                )
+        ws = world_size
+        for ev in self.world_events():
+            if ev.kind == "rank_join":
+                ws += 1
+                continue
+            if ws <= 1:
+                raise ConfigError(
+                    f"rank_failure at step {ev.step} would leave no survivors "
+                    f"(world is down to {ws} rank(s) at that point)"
+                )
+            if ev.rank is None or not 0 <= ev.rank < ws:
                 raise ConfigError(
                     f"rank_failure at step {ev.step}: rank {ev.rank} does not "
-                    f"exist in the surviving world of {survivors}"
+                    f"exist in the world of {ws} at that point"
                 )
+            ws -= 1
         for ev in self.stragglers:
             if ev.rank is None or not 0 <= ev.rank < world_size:
                 raise ConfigError(
@@ -364,10 +467,11 @@ class FaultPlan:
     ) -> "FaultPlan":
         """Generate a random but fully deterministic plan from a seed.
 
-        The generated plan always validates for ``(world_size,
-        total_steps)`` — failure ranks respect the shrinking world — so
-        seeded sweeps can fuzz the supervisor without hand-writing
-        schedules.  Bitrot group ids are drawn from ``[0, max_group)``;
+        The generated plan is :meth:`validate`-d against
+        ``(world_size, total_steps)`` before it is returned — sampling
+        and validation are one path, so a sampled plan can never be
+        rejected later by the trainer.  Bitrot group ids are drawn from
+        ``[0, max_group)``;
         the smallest model configs have 2L+2 ≥ 6 groups, and an id a
         particular checkpoint does not carry is skipped (recorded, not
         fatal) at injection time.
@@ -412,7 +516,77 @@ class FaultPlan:
                     int(rng.integers(max(1, max_group))),
                 )
             )
-        return cls(events=tuple(events), seed=int(seed))
+        plan = cls(events=tuple(events), seed=int(seed))
+        plan.validate(world_size, total_steps)
+        return plan
+
+    @classmethod
+    def sample_preemption_trace(
+        cls,
+        *,
+        seed: int,
+        world_size: int,
+        total_steps: int,
+        mean_interarrival: float | None = None,
+        mean_restore: float | None = None,
+        min_world_size: int = 1,
+    ) -> "FaultPlan":
+        """Generate a seeded spot-instance preemption trace.
+
+        Models a fleet under spot churn: preemptions arrive as a
+        Poisson-ish process (exponential interarrival, default mean
+        ``total_steps / 8``) and each reclaimed rank's replacement
+        arrives after an exponential restore delay (default mean half
+        the interarrival), rounded to at least one step.  The world
+        size stays bounded: it never exceeds the starting
+        ``world_size`` (joins only restore reclaimed capacity) and an
+        arrival that would drop it to ``min_world_size`` or below is
+        skipped — the fleet is already at its floor.  Restores landing
+        beyond ``total_steps`` are kept in the plan but never fire.
+
+        Like :meth:`sample`, the trace is :meth:`validate`-d before it
+        is returned, so a seeded soak can never be rejected by the
+        trainer.
+        """
+        if world_size < 1:
+            raise ConfigError(f"world_size must be >= 1, got {world_size}")
+        if not 1 <= min_world_size <= world_size:
+            raise ConfigError(
+                f"min_world_size must be in [1, {world_size}], got {min_world_size}"
+            )
+        if mean_interarrival is None:
+            mean_interarrival = max(1.0, total_steps / 8.0)
+        if mean_restore is None:
+            mean_restore = max(1.0, mean_interarrival / 2.0)
+        if mean_interarrival <= 0 or mean_restore <= 0:
+            raise ConfigError("interarrival and restore means must be > 0")
+        rng = np.random.default_rng(seed)
+        events: list[FaultEvent] = []
+        restores: list[int] = []  # scheduled join steps, possibly past horizon
+        t = 0.0
+        last_step = 0
+        while True:
+            t += float(rng.exponential(mean_interarrival))
+            step = max(int(math.ceil(t)), last_step + 1)
+            if step > total_steps:
+                break
+            last_step = step
+            # World size once everything scheduled at/before this step
+            # has fired (a restore tying with this arrival fires first).
+            ws_now = (
+                world_size
+                - len(events)
+                + sum(1 for r in restores if r <= step)
+            )
+            if ws_now <= min_world_size:
+                continue  # fleet at its floor; the arrival finds no spare rank
+            rank = int(rng.integers(ws_now))
+            restore_after = max(1, int(round(float(rng.exponential(mean_restore)))))
+            events.append(preemption(step, rank, restore_after))
+            restores.append(step + restore_after)
+        plan = cls(events=tuple(events), seed=int(seed))
+        plan.validate(world_size, total_steps)
+        return plan
 
 
 # ---------------------------------------------------------------------------
@@ -589,6 +763,77 @@ def repair_from_replicas(root: "str | Path") -> list[Path]:
 
 
 # ---------------------------------------------------------------------------
+# Goodput accounting
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GoodputReport:
+    """Where a chaos run's simulated seconds went, and the goodput SLO.
+
+    Splits the fleet's stepping time into three buckets measured off
+    the :class:`~repro.util.timer.SimClock`:
+
+    * **useful** — steps that survived into the final state
+      (``useful_steps × sim_step_seconds``, the ``compute`` category
+      minus replay);
+    * **lost** — steps replayed after failures rolled the run back to a
+      checkpoint (``lost_steps × sim_step_seconds``);
+    * **stall** — straggler tax plus penalized collective seconds (the
+      ``fault_straggler`` and ``comm`` clock categories).
+
+    ``goodput = useful_steps / (useful + lost + stall seconds)`` —
+    useful steps per simulated second the fleet spends stepping.
+    Recovery I/O (checkpoint reads, join sync writes, merges) is
+    reported in ``recovery_seconds`` but kept *out* of the goodput
+    denominator: the live storage tier prices actual compressed bytes,
+    which a config-only planner cannot reproduce, and goodput must obey
+    the same exactness contract as the rest of
+    :func:`~repro.strategies.planner.plan_fault_cost` (counts exact,
+    seconds to 1e-6).
+    """
+
+    useful_steps: int
+    lost_steps: int
+    useful_seconds: float
+    lost_seconds: float
+    stall_seconds: float
+    recovery_seconds: float
+
+    @property
+    def busy_seconds(self) -> float:
+        """The goodput denominator: useful + lost + stall seconds."""
+        return self.useful_seconds + self.lost_seconds + self.stall_seconds
+
+    @property
+    def goodput(self) -> float:
+        """Useful steps per simulated stepping second (0 if idle)."""
+        busy = self.busy_seconds
+        return self.useful_steps / busy if busy > 0 else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serializable form, including the derived goodput."""
+        return {
+            "useful_steps": self.useful_steps,
+            "lost_steps": self.lost_steps,
+            "useful_seconds": self.useful_seconds,
+            "lost_seconds": self.lost_seconds,
+            "stall_seconds": self.stall_seconds,
+            "recovery_seconds": self.recovery_seconds,
+            "goodput": self.goodput,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable recap."""
+        return (
+            f"goodput: {self.goodput:.4f} useful steps/sim-s "
+            f"({self.useful_steps} useful, {self.lost_steps} replayed; "
+            f"useful {self.useful_seconds:.1f}s, lost {self.lost_seconds:.1f}s, "
+            f"stall {self.stall_seconds:.3f}s; "
+            f"recovery I/O {self.recovery_seconds:.3f}s)"
+        )
+
+
+# ---------------------------------------------------------------------------
 # Flight recorder
 # ---------------------------------------------------------------------------
 
@@ -605,10 +850,12 @@ class FaultTimeline:
     events: list[dict] = field(default_factory=list)
     lost_steps: int = 0
     recoveries: int = 0
+    grows: int = 0
     reshard_loads: int = 0
     reshard_bytes: int = 0
     bitrot_detected: int = 0
     bitrot_repaired: int = 0
+    recovery_seconds: float = 0.0
 
     def record(self, step: int, kind: str, **detail: Any) -> None:
         """Append one timeline entry."""
@@ -626,17 +873,21 @@ class FaultTimeline:
             "events": [dict(e) for e in self.events],
             "lost_steps": self.lost_steps,
             "recoveries": self.recoveries,
+            "grows": self.grows,
             "reshard_loads": self.reshard_loads,
             "reshard_bytes": self.reshard_bytes,
             "bitrot_detected": self.bitrot_detected,
             "bitrot_repaired": self.bitrot_repaired,
+            "recovery_seconds": self.recovery_seconds,
         }
 
     def summary(self) -> str:
         """A short human-readable recap of the run's faults."""
         lines = [
             f"fault timeline: {len(self.events)} event(s), "
-            f"{self.recoveries} recovery(ies), {self.lost_steps} step(s) replayed"
+            f"{self.recoveries} recovery(ies) ({self.grows} grow(s)), "
+            f"{self.lost_steps} step(s) replayed, "
+            f"{self.recovery_seconds:.3f}s recovery I/O"
         ]
         for e in self.events:
             detail = ", ".join(

@@ -453,8 +453,14 @@ class MpComm(SimComm):
             raise DistError(
                 f"dispatch({method!r}): rank(s) {sorted(self._dead_ranks)} are dead"
             )
-        for conn in self._state.pipes:
-            conn.send((method, args))
+        for rank, conn in enumerate(self._state.pipes):
+            try:
+                conn.send((method, args))
+            except OSError as err:  # EPIPE: the worker died behind our back
+                self._dead_ranks.add(rank)
+                raise DistError(
+                    f"rank {rank} worker died before {method!r} dispatch ({err})"
+                ) from err
         replies: list[Any] = []
         deadline = time.monotonic() + self.timeout
         for rank, conn in enumerate(self._state.pipes):

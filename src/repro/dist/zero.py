@@ -661,7 +661,11 @@ class ZeroStage3Engine:
         order): the engine reshards them N→world_size in memory via
         :func:`repro.dist.reshard.reshard_state_dicts` and loads this
         rank's slice.  Without ``peers`` a mismatch is an error — one
-        mismatched shard alone cannot be re-partitioned.
+        mismatched shard alone cannot be re-partitioned.  This is also
+        how a freshly *joined* rank is born: growing N→N+1 the
+        supervisor resumes from a checkpoint written at N, and the new
+        highest rank's shard materializes here out of the resharded
+        source payloads.
 
         ``materialize=False`` skips rewriting the model weights from the
         masters — callers restoring every rank in a loop (the checkpoint
@@ -686,7 +690,8 @@ class ZeroStage3Engine:
 
             resharded = reshard_rank_state_dict(list(peers), self.world_size, rank)
             return self.load_rank_state_dict(
-                rank, resharded, require_full, materialize=materialize
+                rank, resharded, require_full,
+                materialize=materialize, verify_crc=verify_crc,
             )
         if int(state.get("rank", -1)) != rank:
             raise CheckpointError(

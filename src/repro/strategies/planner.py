@@ -345,14 +345,20 @@ class FaultCostPlan:
 
     The executable twin of a :class:`~repro.train.trainer.ChaosSupervisor`
     run over a *full*-strategy checkpoint cadence: the executed-step
-    trace (including replays after each failure) is reconstructed from
-    the schedule, so ``lost_steps``, ``reshard_loads``, and the
-    straggler/degraded-link clock charges match a live run exactly —
-    ``tests/test_faults.py`` validates them against the live
-    :class:`~repro.dist.faults.FaultTimeline` and simulated clock.
-    ``reshard_bytes`` is an *uncompressed* estimate (12 bytes/param per
-    elastic load); live shard files are compressed, so only the analytic
-    side is byte-exact.
+    trace (including replays after each failure and elastic grows at
+    each join) is reconstructed from the schedule, so ``lost_steps``,
+    ``reshard_loads``, and the straggler/degraded-link clock charges
+    match a live run exactly — ``tests/test_faults.py`` validates them
+    against the live :class:`~repro.dist.faults.FaultTimeline` and
+    simulated clock — and so does the predicted goodput
+    (:meth:`goodput_report`), whose denominator is built from those
+    exact quantities.  ``reshard_bytes`` is an *uncompressed* estimate
+    (12 bytes/param per elastic load); live shard files are compressed,
+    so only the analytic side is byte-exact.  The recovery I/O seconds
+    (``recovery_read_seconds``, ``sync_write_seconds``) are estimates
+    for the same reason, which is why :class:`GoodputReport
+    <repro.dist.faults.GoodputReport>` keeps them out of the goodput
+    denominator.
     """
 
     model: str
@@ -361,6 +367,7 @@ class FaultCostPlan:
     total_steps: int
     checkpoint_interval: int
     num_failures: int
+    num_joins: int
     executed_steps: int
     lost_steps: int
     reshard_loads: int
@@ -369,18 +376,54 @@ class FaultCostPlan:
     comm_seconds: float
     replay_seconds: float
     recovery_read_seconds: float
+    sync_write_seconds: float
+    sim_step_seconds: float
+
+    @property
+    def useful_steps(self) -> int:
+        """Executed steps that survive into the final state."""
+        return self.executed_steps - self.lost_steps
 
     @property
     def overhead_seconds(self) -> float:
         """Extra simulated time the faults cost vs a clean run."""
         return (
-            self.straggler_seconds + self.replay_seconds + self.recovery_read_seconds
+            self.straggler_seconds
+            + self.replay_seconds
+            + self.recovery_read_seconds
+            + self.sync_write_seconds
         )
+
+    def goodput_report(self):
+        """Predicted :class:`~repro.dist.faults.GoodputReport`.
+
+        Built from the replayed trace the same way the supervisor
+        builds the live one, so goodput inherits the exactness
+        contract: step counts exact, stall seconds to the comm model's
+        1e-6, recovery I/O an estimate kept out of the denominator.
+        """
+        from ..dist.faults import GoodputReport
+
+        return GoodputReport(
+            useful_steps=self.useful_steps,
+            lost_steps=self.lost_steps,
+            useful_seconds=self.useful_steps * self.sim_step_seconds,
+            lost_seconds=self.replay_seconds,
+            stall_seconds=self.straggler_seconds + self.comm_seconds,
+            recovery_seconds=self.recovery_read_seconds + self.sync_write_seconds,
+        )
+
+    @property
+    def goodput(self) -> float:
+        """Predicted useful steps per simulated stepping second."""
+        return self.goodput_report().goodput
 
     def describe(self) -> dict:
         """Flat dict form (for tables and JSON artifacts)."""
         out = dict(self.__dict__)
         out["overhead_seconds"] = self.overhead_seconds
+        out["useful_steps"] = self.useful_steps
+        out["goodput"] = self.goodput
         return out
 
 
@@ -397,11 +440,16 @@ def plan_fault_cost(
 ) -> FaultCostPlan:
     """Expected lost steps, reshard traffic, and slowdown cost of a plan.
 
-    Replays the fault schedule analytically over a full-strategy run:
+    Replays the fault schedule analytically over a full-strategy run
+    (failures, joins, and preemptions expanded via
+    :meth:`~repro.dist.faults.FaultPlan.world_events`):
 
-    * each ``rank_failure`` at step *k* loses ``k mod interval`` steps
-      (the supervisor resumes from the last checkpoint at or before
-      *k*) and shrinks the world by one;
+    * each ``rank_failure`` at step *k* rolls back to the newest
+      checkpoint at or before *k* — a cadence write or a join-sync —
+      replaying the difference and shrinking the world by one;
+    * each ``rank_join`` at step *k* syncs a complete checkpoint at *k*
+      (free when the cadence just wrote one), grows the world by one,
+      and resumes through the elastic reshard path losing no steps;
     * resuming a checkpoint written at a different world size charges
       one elastic-reshard load per source shard;
     * stragglers charge ``(slowdown - 1) * sim_step_seconds`` on every
@@ -427,24 +475,50 @@ def plan_fault_cost(
     weight_bytes = num_params * config.storage_dtype.itemsize
 
     # Reconstruct the executed-step trace: segments of (start, end, ws),
-    # end inclusive, with the on-disk world size of every checkpoint.
+    # end inclusive, with the on-disk world size of every checkpoint
+    # (cadence writes and join-sync writes alike).
     segments: list[tuple[int, int, int]] = []
     ckpt_ws: dict[int, int] = {}
     ws = world_size
     start = 1
     lost = 0
+    num_failures = 0
+    num_joins = 0
     reshard_loads = 0
     reshard_bytes = 0
     recovery_read_s = 0.0
-    for ev in plan.rank_failures:
-        # A pending failure whose slot was passed during a replay fires
-        # at the first step of the new leg, exactly as the callback does.
+    sync_write_s = 0.0
+    for ev in plan.world_events():
+        # A pending event whose slot was passed during a replay fires at
+        # the first step of the new leg, exactly as the callback does; an
+        # event pushed past the horizon (or a restore scheduled beyond
+        # it) never fires at all.
         k = max(ev.step, start)
+        if k > total_steps:
+            continue
         segments.append((start, k, ws))
         for s in range(-(-start // checkpoint_interval) * checkpoint_interval,
                        k + 1, checkpoint_interval):
             ckpt_ws[s] = ws
-        j = (k // checkpoint_interval) * checkpoint_interval
+        if ev.kind == "rank_join":
+            num_joins += 1
+            if ckpt_ws.get(k) != ws:
+                # The supervisor writes a full sync checkpoint at the
+                # join step unless the leg just wrote a complete one.
+                ckpt_ws[k] = ws
+                sync_write_s += storage.write_time(
+                    optim_bytes, files=ws, parallel=ws
+                ) + storage.write_time(weight_bytes, files=1)
+            recovery_read_s += storage.read_time(
+                optim_bytes, files=ws, parallel=ws, decompress=True
+            ) + storage.read_time(weight_bytes, files=1)
+            reshard_loads += ws
+            reshard_bytes += optim_bytes
+            ws += 1
+            start = k + 1
+            continue
+        num_failures += 1
+        j = max((s for s in ckpt_ws if s <= k), default=0)
         lost += k - j
         ws -= 1
         if j > 0:
@@ -484,7 +558,8 @@ def plan_fault_cost(
         final_world_size=ws,
         total_steps=total_steps,
         checkpoint_interval=checkpoint_interval,
-        num_failures=len(plan.rank_failures),
+        num_failures=num_failures,
+        num_joins=num_joins,
         executed_steps=executed,
         lost_steps=lost,
         reshard_loads=reshard_loads,
@@ -493,6 +568,8 @@ def plan_fault_cost(
         comm_seconds=comm_s,
         replay_seconds=lost * sim_step_seconds,
         recovery_read_seconds=recovery_read_s,
+        sync_write_seconds=sync_write_s,
+        sim_step_seconds=sim_step_seconds,
     )
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 import typing
 
 from ..strategies.base import CheckpointStrategy
-from ..util.errors import RankFailure, SimulatedFailure
+from ..util.errors import RankFailure, RankJoin, SimulatedFailure
 from ..util.logging import get_logger
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -108,12 +108,18 @@ class ChaosCallback(Callback):
     * **straggler**: window activations are recorded in the timeline
       (the time penalty itself is charged by the trainer's step);
     * **rank_failure**: raises :class:`~repro.util.errors.RankFailure`,
-      which the supervisor turns into an elastic world shrink.
+      which the supervisor turns into an elastic world shrink;
+    * **rank_join**: raises :class:`~repro.util.errors.RankJoin`, which
+      the supervisor turns into an elastic world *grow* (N→N+1).
+      Preemptions arrive here pre-expanded into their failure and
+      restore halves by :meth:`~repro.dist.faults.FaultPlan.world_events`.
 
     The ``pending_*`` lists are shared, mutable state: the supervisor
     passes the same lists into every leg so an event consumed before a
     failure is not re-applied when the replayed steps pass its schedule
-    slot again.
+    slot again.  A pending event whose step falls inside a replayed
+    segment fires at the first step of the new leg — the same clamp
+    (``max(event step, leg start)``) the cost planner replays.
     """
 
     def __init__(
@@ -121,13 +127,13 @@ class ChaosCallback(Callback):
         plan: "FaultPlan",
         timeline: "FaultTimeline",
         *,
-        pending_failures: list | None = None,
+        pending_world: list | None = None,
         pending_bitrot: list | None = None,
     ) -> None:
         self.plan = plan
         self.timeline = timeline
-        self.pending_failures = (
-            list(plan.rank_failures) if pending_failures is None else pending_failures
+        self.pending_world = (
+            list(plan.world_events()) if pending_world is None else pending_world
         )
         self.pending_bitrot = (
             list(plan.bitrot_events) if pending_bitrot is None else pending_bitrot
@@ -209,11 +215,19 @@ class ChaosCallback(Callback):
                     step, ev.rank, ev.group,
                 )
 
-        for ev in list(self.pending_failures):
+        for ev in list(self.pending_world):
             if ev.step <= step:
-                self.pending_failures.remove(ev)
-                self.timeline.record(
-                    step, "rank_failure", rank=ev.rank, world_size=world_size
-                )
+                self.pending_world.remove(ev)
+                if ev.kind == "rank_join":
+                    self.timeline.record(step, "rank_join", world_size=world_size)
+                    log.warning("rank join at step %d (world %d→%d)",
+                                step, world_size, world_size + 1)
+                    raise RankJoin(step)
+                detail: dict = {"rank": ev.rank, "world_size": world_size}
+                if ev.restore_after is not None:
+                    # The death half of a preemption; the restore join
+                    # is a separate pending event.
+                    detail["restore_after"] = ev.restore_after
+                self.timeline.record(step, "rank_failure", **detail)
                 log.warning("rank %d failed at step %d", ev.rank, step)
                 raise RankFailure(step, ev.rank)

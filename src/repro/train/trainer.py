@@ -38,7 +38,13 @@ from ..data.facts import MedicalKB
 from ..data.synthetic import medqa_like_pairs, pubmed_like_corpus
 from ..data.tokenizer import WordTokenizer
 from ..core.groups import tailored_param_groups
-from ..dist.faults import ChaosComm, FaultPlan, FaultTimeline, repair_from_replicas
+from ..dist.faults import (
+    ChaosComm,
+    FaultPlan,
+    FaultTimeline,
+    GoodputReport,
+    repair_from_replicas,
+)
 from ..dist.zero import ZeroStage3Engine, _EngineRankProgram
 from ..io.layout import CheckpointPaths, checkpoint_dir, list_checkpoint_steps, read_latest
 from ..io.reader import load_checkpoint
@@ -49,7 +55,13 @@ from ..nn.model import CausalLM, build_model
 from ..optim.lr_scheduler import build_scheduler
 from ..optim.optimizer import clip_grad_norm_
 from ..strategies.base import build_strategy
-from ..util.errors import CheckpointError, MergeError, SimulatedFailure, TrainingError
+from ..util.errors import (
+    CheckpointError,
+    MergeError,
+    RankJoin,
+    SimulatedFailure,
+    TrainingError,
+)
 from ..util.logging import get_logger
 from .callbacks import (
     Callback,
@@ -84,8 +96,13 @@ class TrainResult:
     # The rank whose scheduled death interrupted the leg (fault plans
     # only); the supervisor shrinks the world when this is set.
     failed_rank: int | None = None
+    # A scheduled capacity arrival interrupted the leg (fault plans
+    # only); the supervisor grows the world when this is set.
+    rank_joined: bool = False
     # Flight recorder of injected faults and recoveries (fault plans only).
     fault_timeline: FaultTimeline | None = None
+    # Goodput accounting across all legs (chaos supervisor runs only).
+    goodput: GoodputReport | None = None
 
     def summary(self) -> str:
         """One-line recap: status, losses, checkpoint-time fraction."""
@@ -218,11 +235,11 @@ class Trainer:
             self.engine.comm = ChaosComm(
                 self.engine.comm, fault_plan, clock=self.storage.clock
             )
-            pending_failures, pending_bitrot = _chaos_pending or (None, None)
+            pending_world, pending_bitrot = _chaos_pending or (None, None)
             self._chaos = ChaosCallback(
                 fault_plan,
                 self.fault_timeline,
-                pending_failures=pending_failures,
+                pending_world=pending_world,
                 pending_bitrot=pending_bitrot,
             )
             self.callbacks.append(self._chaos)
@@ -427,6 +444,7 @@ class Trainer:
             cb.on_train_start(self)
         interrupted: int | None = None
         failed_rank: int | None = None
+        rank_joined = False
         step = self.state.global_step
         try:
             while step < target:
@@ -438,6 +456,7 @@ class Trainer:
         except SimulatedFailure as failure:
             interrupted = failure.step
             failed_rank = getattr(failure, "rank", None)
+            rank_joined = isinstance(failure, RankJoin)
             if failed_rank is not None:
                 # Map the simulated death onto the backend: with the mp
                 # backend the rank's worker process is SIGTERMed; the
@@ -464,6 +483,7 @@ class Trainer:
                 "calls_by_op": dict(comm.calls_by_op),
             },
             failed_rank=failed_rank,
+            rank_joined=rank_joined,
             fault_timeline=self.fault_timeline,
         )
 
@@ -720,27 +740,52 @@ class ChaosSupervisor:
        corruption is structurally impossible,
     4. replays the lost steps and continues.
 
+    A scheduled ``rank_join`` (or the restore half of a ``preemption``)
+    runs the same machinery in the *grow* direction: the current world
+    is synced to a complete checkpoint at the join step (reusing the
+    step's own checkpoint when the leg just wrote one), the world grows
+    N→N+1, and the new leg resumes through the elastic reshard path —
+    no steps are lost, the newcomer enters as the highest rank, and mp
+    worker pools are rebuilt lazily at the grown size.
+
     Because training math is world-size invariant and the data order is
     a pure function of ``(seed, step, rank)``, a chaos run that fails at
-    step *k* and shrinks produces **bitwise-identical** final weights to
-    an uninterrupted run at the surviving world size resumed from the
-    same checkpoint — the invariant ``tests/test_faults.py`` pins.
+    step *k* and shrinks — or grows at a join — produces
+    **bitwise-identical** final weights to an uninterrupted run at the
+    final world size resumed from the same checkpoint — the invariant
+    ``tests/test_faults.py`` pins for trajectories like 2→3→2.
 
     The aggregated :class:`TrainResult` sums simulated clock and
-    collective traffic across legs and carries the
-    :class:`~repro.dist.faults.FaultTimeline`.
+    collective traffic across legs, carries the
+    :class:`~repro.dist.faults.FaultTimeline`, and reports goodput —
+    useful steps per simulated stepping second — via
+    :class:`~repro.dist.faults.GoodputReport`.
+
+    With ``resume=True`` the supervisor continues a previous chaos run
+    (soak continuation): it restarts from the newest complete
+    checkpoint under ``config.output_dir``, treats every scheduled
+    world event at or before that step as already applied (the world
+    size the surviving schedule implies is cross-checked against the
+    checkpoint's manifest), and runs the remaining legs.
     """
 
     def __init__(
-        self, config: TrainConfig, plan: FaultPlan, *, merge_workers: int = 1
+        self,
+        config: TrainConfig,
+        plan: FaultPlan,
+        *,
+        merge_workers: int = 1,
+        resume: bool = False,
     ) -> None:
         plan.validate(config.world_size, config.total_steps)
         self.config = config
         self.plan = plan
         self.merge_workers = merge_workers
+        self.resume = resume
         self.timeline = FaultTimeline()
-        self._pending_failures = list(plan.rank_failures)
+        self._pending_world = list(plan.world_events())
         self._pending_bitrot = list(plan.bitrot_events)
+        self._start_step = 0
         self.trainer: Trainer | None = None
 
     def _build(self, config: TrainConfig) -> Trainer:
@@ -748,39 +793,92 @@ class ChaosSupervisor:
             config,
             fault_plan=self.plan,
             fault_timeline=self.timeline,
-            _chaos_pending=(self._pending_failures, self._pending_bitrot),
+            _chaos_pending=(self._pending_world, self._pending_bitrot),
         )
+
+    @staticmethod
+    def _clock_total(trainer: Trainer) -> float:
+        return trainer.storage.clock.snapshot().get("__total__", 0.0)
 
     def run(self, until_step: int | None = None) -> TrainResult:
         """Execute every leg and return the aggregated result."""
         cfg = self.config
-        trainer = self._build(cfg)
-        results = [trainer.train(until_step)]
-        while results[-1].failed_rank is not None:
-            # The dead leg's backend resources go away with the leg: any
-            # surviving mp workers are stopped and its shared segments
-            # unlinked before the shrunk replacement carves its own.
-            trainer.close()
-            failed_step = results[-1].interrupted_at
-            survivors = cfg.world_size - 1
-            if survivors < 1:  # pragma: no cover - plan.validate() forbids it
-                raise TrainingError(
-                    f"rank failure at step {failed_step} left no survivors"
-                )
-            log.warning(
-                "supervisor: rank %d died at step %d; shrinking world %d -> %d",
-                results[-1].failed_rank, failed_step, cfg.world_size, survivors,
-            )
-            cfg = cfg.replace(world_size=survivors)
+        if self.resume:
+            cfg, start_step = self._continuation_config(cfg)
+            self._start_step = start_step
             trainer = self._build(cfg)
-            resume_step, resume_source = self._resume(trainer, failed_step)
-            lost = failed_step - resume_step
-            self.timeline.recoveries += 1
-            self.timeline.lost_steps += lost
+            source = checkpoint_dir(trainer.storage.root, start_step)
+            trainer.resume_from(source)
             self.timeline.record(
-                failed_step, "recovery", world_size=survivors,
-                resumed_from=resume_step, lost_steps=lost, source=resume_source,
+                start_step, "soak_resume", world_size=cfg.world_size,
+                source=source.dir.name,
             )
+        else:
+            trainer = self._build(cfg)
+        results = [trainer.train(until_step)]
+        while results[-1].failed_rank is not None or results[-1].rank_joined:
+            event_step = results[-1].interrupted_at
+            if results[-1].rank_joined:
+                grown = cfg.world_size + 1
+                # Sync the current world to a complete checkpoint before
+                # the leg's resources go away; its clock/byte deltas are
+                # folded back into the leg's already-snapshotted result.
+                source = self._join_checkpoint(trainer, event_step)
+                results[-1].clock = trainer.storage.clock.snapshot()
+                results[-1].total_checkpoint_bytes = (
+                    trainer.storage.stats.category_bytes("checkpoint_write")
+                )
+                results[-1].checkpoints = list(trainer.state.checkpoints_written)
+                trainer.close()
+                log.warning(
+                    "supervisor: rank joined at step %d; growing world %d -> %d",
+                    event_step, cfg.world_size, grown,
+                )
+                cfg = cfg.replace(world_size=grown)
+                trainer = self._build(cfg)
+                clock0 = self._clock_total(trainer)
+                resume_step = trainer.resume_from(source)
+                self.timeline.recovery_seconds += self._clock_total(trainer) - clock0
+                source_world = int(source.read_manifest()["world_size"])
+                if source_world != cfg.world_size:
+                    self.timeline.reshard_loads += source_world
+                    self.timeline.reshard_bytes += sum(
+                        source.shard(r).stat().st_size for r in range(source_world)
+                    )
+                self.timeline.recoveries += 1
+                self.timeline.grows += 1
+                self.timeline.record(
+                    event_step, "recovery", world_size=grown,
+                    resumed_from=resume_step, lost_steps=0,
+                    source=source.dir.name, grow=True,
+                )
+            else:
+                # The dead leg's backend resources go away with the leg:
+                # any surviving mp workers are stopped and its shared
+                # segments unlinked before the shrunk replacement carves
+                # its own.
+                trainer.close()
+                survivors = cfg.world_size - 1
+                if survivors < 1:  # pragma: no cover - plan.validate() forbids it
+                    raise TrainingError(
+                        f"rank failure at step {event_step} left no survivors"
+                    )
+                log.warning(
+                    "supervisor: rank %d died at step %d; shrinking world %d -> %d",
+                    results[-1].failed_rank, event_step, cfg.world_size, survivors,
+                )
+                cfg = cfg.replace(world_size=survivors)
+                trainer = self._build(cfg)
+                clock0 = self._clock_total(trainer)
+                resume_step, resume_source = self._resume(trainer, event_step)
+                self.timeline.recovery_seconds += self._clock_total(trainer) - clock0
+                lost = event_step - resume_step
+                self.timeline.recoveries += 1
+                self.timeline.lost_steps += lost
+                self.timeline.record(
+                    event_step, "recovery", world_size=survivors,
+                    resumed_from=resume_step, lost_steps=lost, source=resume_source,
+                )
             results.append(trainer.train(until_step))
         # Final leg: stop workers and unlink segments eagerly (the
         # /dev/shm leak check polices this).  Parent-side state stays
@@ -788,6 +886,67 @@ class ChaosSupervisor:
         trainer.close()
         self.trainer = trainer
         return self._aggregate(results)
+
+    def _continuation_config(self, cfg: TrainConfig) -> tuple[TrainConfig, int]:
+        """Resolve a soak continuation: adopt the newest complete
+        checkpoint's world size and drop already-applied schedule events.
+
+        Events (world-size changes and bitrot) scheduled at or before
+        the checkpoint step are treated as applied by the previous run;
+        the world size the surviving schedule implies is cross-checked
+        against the checkpoint manifest so a mismatched plan fails
+        loudly instead of resuming into an impossible trajectory.
+        """
+        root = Path(cfg.output_dir)
+        complete = [
+            s for s in list_checkpoint_steps(root)
+            if checkpoint_dir(root, s).read_manifest().get("complete", False)
+        ]
+        if not complete:
+            raise TrainingError(
+                f"soak continuation: no complete checkpoint under {root} "
+                f"to resume the chaos run from"
+            )
+        step = max(complete)
+        manifest_ws = int(checkpoint_dir(root, step).read_manifest()["world_size"])
+        implied_ws = cfg.world_size
+        for ev in list(self._pending_world):
+            if ev.step <= step:
+                self._pending_world.remove(ev)
+                implied_ws += 1 if ev.kind == "rank_join" else -1
+        self._pending_bitrot[:] = [e for e in self._pending_bitrot if e.step > step]
+        if manifest_ws != implied_ws:
+            raise TrainingError(
+                f"soak continuation mismatch: the fault schedule implies "
+                f"world_size {implied_ws} at step {step}, but checkpoint-{step} "
+                f"was written at world_size {manifest_ws} (was the original run "
+                f"started with a different --world-size?)"
+            )
+        return cfg.replace(world_size=manifest_ws), step
+
+    def _join_checkpoint(self, trainer: Trainer, step: int) -> CheckpointPaths:
+        """The complete checkpoint the grown world will resume from.
+
+        Reuses the join step's own checkpoint when the interrupted leg
+        just wrote a complete one; otherwise writes a full sync
+        checkpoint now (the "old" world is still live — under mp its
+        state is readable through the shared pages).  Sync-write time
+        is charged as recovery I/O: it exists only because the fleet is
+        growing.
+        """
+        root = trainer.storage.root
+        if step in list_checkpoint_steps(root):
+            paths = checkpoint_dir(root, step)
+            if paths.read_manifest().get("complete", False):
+                return paths
+        clock0 = self._clock_total(trainer)
+        paths = trainer.write_checkpoint(step, slots=None, strategy_name="join_sync")
+        self.timeline.recovery_seconds += self._clock_total(trainer) - clock0
+        self.timeline.record(
+            step, "join_sync", world_size=trainer.config.world_size,
+            checkpoint=paths.dir.name,
+        )
+        return paths
 
     def _resume(self, trainer: Trainer, failed_step: int) -> tuple[int, str | None]:
         """Position a fresh (shrunk) trainer after the last safe point.
@@ -817,7 +976,15 @@ class ChaosSupervisor:
             from ..core.autorecipe import latest_slot_coverage
 
             coverage, _ = latest_slot_coverage(root, failure_step=failed_step)
-            merge_base = max(coverage.values())
+            # A trail that straddles a grow mixes shard world sizes (a
+            # join-sync checkpoint at N next to partials at N+1) and
+            # cannot be merged; only a uniform trail is a candidate.
+            trail_ws = {
+                int(checkpoint_dir(root, s).read_manifest()["world_size"])
+                for s in set(coverage.values())
+            }
+            if len(trail_ws) == 1:
+                merge_base = max(coverage.values())
         except MergeError:
             pass  # incomplete coverage: the trail alone cannot recover
         use_complete = bool(complete) and (
@@ -885,6 +1052,22 @@ class ChaosSupervisor:
         ckpt_seconds = sum(
             v for k, v in clock.items() if k.startswith("checkpoint_write")
         )
+        # Goodput: useful steps per simulated second the fleet spends
+        # stepping (useful + replayed + stalled); recovery I/O is
+        # reported alongside but excluded from the denominator — see
+        # GoodputReport.  For soak continuations only the steps this
+        # invocation executed count as useful.
+        useful_steps = max(0, final.final_step - self._start_step)
+        goodput = GoodputReport(
+            useful_steps=useful_steps,
+            lost_steps=self.timeline.lost_steps,
+            useful_seconds=useful_steps * self.config.sim_step_seconds,
+            lost_seconds=self.timeline.lost_steps * self.config.sim_step_seconds,
+            stall_seconds=(
+                clock.get("fault_straggler", 0.0) + clock.get("comm", 0.0)
+            ),
+            recovery_seconds=self.timeline.recovery_seconds,
+        )
         return TrainResult(
             final_step=final.final_step,
             final_train_loss=final.final_train_loss,
@@ -898,7 +1081,9 @@ class ChaosSupervisor:
             total_checkpoint_bytes=total_ckpt_bytes,
             comm_traffic={"bytes_by_op": bytes_by_op, "calls_by_op": calls_by_op},
             failed_rank=final.failed_rank,
+            rank_joined=final.rank_joined,
             fault_timeline=self.timeline,
+            goodput=goodput,
         )
 
 

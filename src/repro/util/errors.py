@@ -80,3 +80,16 @@ class RankFailure(SimulatedFailure):
     def __init__(self, step: int, rank: int) -> None:
         self.rank = rank
         super().__init__(step, f"rank {rank} failed at global step {step}")
+
+
+class RankJoin(SimulatedFailure):
+    """A scheduled capacity arrival from a fault plan.
+
+    Interrupts the leg the same way a failure does — the step at which
+    it fires completes, then the loop unwinds — but no state is lost:
+    the chaos supervisor checkpoints the current world, grows N→N+1,
+    and resumes elastically with the newcomer as the highest rank.
+    """
+
+    def __init__(self, step: int) -> None:
+        super().__init__(step, f"rank joined after global step {step}")

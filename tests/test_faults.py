@@ -17,17 +17,25 @@ from repro.dist import SimComm
 from repro.dist.faults import (
     ChaosComm,
     FaultPlan,
+    GoodputReport,
     bitrot,
     degraded_link,
     inject_bitrot,
+    preemption,
     rank_failure,
+    rank_join,
     repair_from_replicas,
     straggler,
 )
 from repro.io import CheckpointPaths, checkpoint_dir, list_checkpoint_steps
 from repro.strategies import plan_fault_cost
 from repro.train import ChaosSupervisor, TrainConfig, Trainer, train_with_faults
-from repro.util.errors import CheckpointError, ConfigError, RankFailure
+from repro.util.errors import (
+    CheckpointError,
+    ConfigError,
+    RankFailure,
+    TrainingError,
+)
 
 
 def chaos_config(tmp_path, **overrides) -> TrainConfig:
@@ -127,6 +135,71 @@ class TestFaultPlan:
         assert plan.comm_slowdown(5, 2) == 3.0
         # Events referencing ranks outside a shrunk world are inert.
         assert plan.compute_slowdown(5, 0) == 1.0
+
+    def test_grow_events_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            events=(rank_join(4), preemption(6, 1, restore_after=3)), seed=5
+        )
+        plan.to_yaml(tmp_path / "plan.yaml")
+        assert FaultPlan.from_yaml(tmp_path / "plan.yaml") == plan
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_world_events_expands_preemptions(self):
+        plan = FaultPlan(events=(preemption(3, 1, restore_after=2),))
+        kinds = [(e.kind, e.step) for e in plan.world_events()]
+        assert kinds == [("rank_failure", 3), ("rank_join", 5)]
+        # The death half keeps restore_after as provenance.
+        assert plan.world_events()[0].restore_after == 2
+        assert [e.step for e in plan.rank_failures] == [3]
+        assert [e.step for e in plan.rank_joins] == [5]
+
+    def test_validate_tracks_grown_world(self):
+        # The joiner enters as rank 2; a later failure may name it.
+        FaultPlan(events=(rank_join(4), rank_failure(6, 2))).validate(2, 10)
+        # Without the join, rank 2 does not exist at world size 2.
+        with pytest.raises(ConfigError, match="does not exist"):
+            FaultPlan(events=(rank_failure(6, 2),)).validate(2, 10)
+        # A shrink-then-grow sequence walks through both transitions.
+        FaultPlan(events=(rank_failure(4, 1), rank_join(8))).validate(2, 10)
+
+    def test_validate_preemption_fields(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(events=(preemption(4, -1, restore_after=2),)).validate(2, 10)
+        with pytest.raises(ConfigError):
+            FaultPlan(events=(preemption(4, 0, restore_after=0),)).validate(2, 10)
+        # Preempting the only rank leaves no survivors.
+        with pytest.raises(ConfigError, match="survivor"):
+            FaultPlan(events=(preemption(4, 0, restore_after=2),)).validate(1, 10)
+
+    def test_preemption_restore_beyond_horizon_is_legal(self):
+        # Capacity never returns inside the run: the join clamps off the
+        # end of the schedule and simply never fires.
+        plan = FaultPlan(events=(preemption(8, 1, restore_after=100),))
+        plan.validate(2, 10)
+        assert plan.world_events()[-1].step == 108
+
+    def test_sample_preemption_trace_deterministic_and_valid(self):
+        kwargs = dict(seed=11, world_size=4, total_steps=200)
+        a = FaultPlan.sample_preemption_trace(**kwargs)
+        b = FaultPlan.sample_preemption_trace(**kwargs)
+        assert a == b
+        assert a.preemptions  # the horizon is long enough to draw events
+        a.validate(4, 200)  # sampler self-validates; explicit check too
+        assert a != FaultPlan.sample_preemption_trace(**{**kwargs, "seed": 12})
+
+    def test_sample_preemption_trace_respects_world_floor(self):
+        plan = FaultPlan.sample_preemption_trace(
+            seed=3, world_size=2, total_steps=400,
+            mean_interarrival=5.0, mean_restore=50.0, min_world_size=1,
+        )
+        # Walk the expanded schedule: the world never dips below the floor.
+        ws = 2
+        for ev in plan.world_events():
+            if ev.kind == "rank_join":
+                ws += 1
+            else:
+                ws -= 1
+            assert ws >= 1
 
 
 # ---------------------------------------------------------------------------
@@ -296,6 +369,32 @@ class TestChaosResumeInvariant:
             ref.engine.master_state_dict(),
         )
 
+    def test_tie_between_complete_and_merge_prefers_complete(self, tmp_path):
+        """At equality the complete checkpoint wins — it is merge-free.
+
+        Parity with its initial full snapshot and a failure before the
+        second event: the only recovery points are the complete step-4
+        checkpoint and a merge trail whose base is also 4.  The
+        supervisor must take the cheaper, merge-free path.
+        """
+        from repro.core.autorecipe import latest_slot_coverage
+
+        plan = FaultPlan(events=(rank_failure(6, 1),))
+        cfg = chaos_config(tmp_path, world_size=2, checkpoint_strategy="parity")
+        supervisor = ChaosSupervisor(cfg, plan)
+        result = supervisor.run()
+        # Prove this really is a tie: the merge trail anchors at 4 too.
+        coverage, _ = latest_slot_coverage(
+            supervisor.trainer.storage.root, failure_step=6
+        )
+        assert max(coverage.values()) == 4
+        recovery = [
+            e for e in result.fault_timeline.events if e["kind"] == "recovery"
+        ][0]
+        assert recovery["source"].startswith("checkpoint-")
+        assert recovery["resumed_from"] == 4
+        assert result.fault_timeline.lost_steps == 2
+
     def test_supervisor_prefers_freshest_recovery_point(self, tmp_path):
         """A newer partial trail beats an older complete checkpoint.
 
@@ -330,6 +429,287 @@ class TestChaosResumeInvariant:
         assert result.clock["checkpoint_read.optimizer"] > 0  # the resume
         assert result.checkpoints == [4, 8, 12]
         assert result.failed_rank is None
+
+
+# ---------------------------------------------------------------------------
+# The grow invariant (acceptance criterion): rejoin == clean run at N+1
+# ---------------------------------------------------------------------------
+
+GROW_TRAJECTORIES = {
+    # name: (initial ws, plan events, final ws)
+    "2-3-2": (2, (rank_join(6), rank_failure(10, 2)), 2),
+    "4-3-4": (4, (rank_failure(6, 3), rank_join(10)), 4),
+}
+
+
+def assert_rank_shards_equal(eng_a, eng_b) -> None:
+    """Per-rank optimizer shards (masters + Adam moments) are bitwise."""
+    assert eng_a.world_size == eng_b.world_size
+    for rank in range(eng_a.world_size):
+        a, b = eng_a.rank_state_dict(rank), eng_b.rank_state_dict(rank)
+        assert set(a["fp32_flat_groups"]) == set(b["fp32_flat_groups"])
+        for g, flat in a["fp32_flat_groups"].items():
+            np.testing.assert_array_equal(
+                flat, b["fp32_flat_groups"][g], err_msg=f"rank {rank} group {g}"
+            )
+            np.testing.assert_array_equal(
+                a["state"][g]["exp_avg"], b["state"][g]["exp_avg"]
+            )
+            np.testing.assert_array_equal(
+                a["state"][g]["exp_avg_sq"], b["state"][g]["exp_avg_sq"]
+            )
+
+
+class TestGrowInvariant:
+    """Grow-then-shrink chaos run == clean run at the final world size.
+
+    The trajectory 2→3→2 grows first (a cold join through a sync
+    checkpoint) and sheds the joiner later; 4→3→4 loses a rank first and
+    wins it back.  Either way the chaos run's final masters, Adam
+    moments, and bf16 weights must be bitwise equal to an uninterrupted
+    reference resumed from the last recovery point at the final world
+    size — interpreted and compiled.
+    """
+
+    @pytest.mark.parametrize("compile", [False, True])
+    @pytest.mark.parametrize("trajectory", sorted(GROW_TRAJECTORIES))
+    def test_grow_then_shrink_bitwise(self, tmp_path, trajectory, compile):
+        world_size, events, final_ws = GROW_TRAJECTORIES[trajectory]
+        plan = FaultPlan(events=events)
+        cfg = chaos_config(
+            tmp_path / "chaos", world_size=world_size, total_steps=14,
+            compile=compile,
+        )
+        supervisor = ChaosSupervisor(cfg, plan)
+        result = supervisor.run()
+        assert result.interrupted_at is None
+        assert result.final_step == 14
+        timeline = result.fault_timeline
+        assert timeline.recoveries == 2
+        assert timeline.grows == 1
+        assert "rank_join" in timeline.kinds()
+        assert supervisor.trainer.config.world_size == final_ws
+
+        recovery = [e for e in timeline.events if e["kind"] == "recovery"][-1]
+        ref = Trainer(
+            chaos_config(
+                tmp_path / "ref", world_size=final_ws, total_steps=14,
+                compile=compile,
+            )
+        )
+        source = supervisor.trainer.storage.root / recovery["source"]
+        assert ref.resume_from(CheckpointPaths(source)) == recovery["resumed_from"]
+        ref_result = ref.train()
+        assert ref_result.interrupted_at is None
+
+        assert_states_equal(
+            supervisor.trainer.engine.master_state_dict(),
+            ref.engine.master_state_dict(),
+        )
+        assert_states_equal(
+            supervisor.trainer.model.state_dict(), ref.model.state_dict()
+        )
+        assert_rank_shards_equal(supervisor.trainer.engine, ref.engine)
+
+    def test_grow_final_merged_weights_bitwise(self, tmp_path):
+        """The on-disk merged artifacts agree after a grow-then-shrink."""
+        from repro.core import LLMTailor
+        from repro.io.tensorfile import TensorFile
+
+        plan = FaultPlan(events=(rank_join(6), rank_failure(10, 2)))
+        kwargs = {"initial_full": False}
+        cfg = chaos_config(
+            tmp_path / "chaos", world_size=2, total_steps=20,
+            checkpoint_strategy="parity", strategy_kwargs=kwargs,
+        )
+        supervisor = ChaosSupervisor(cfg, plan)
+        result = supervisor.run()
+        assert result.final_step == 20
+        recovery = [
+            e for e in supervisor.timeline.events if e["kind"] == "recovery"
+        ][-1]
+        ref = Trainer(
+            chaos_config(tmp_path / "ref", world_size=2, total_steps=20,
+                         checkpoint_strategy="parity", strategy_kwargs=kwargs)
+        )
+        ref.resume_from(
+            CheckpointPaths(supervisor.trainer.storage.root / recovery["source"])
+        )
+        ref.train()
+
+        weights = {}
+        for name, trainer in (("chaos", supervisor.trainer), ("ref", ref)):
+            tailor = LLMTailor.from_checkpoints(
+                trainer.storage.root, failure_step=cfg.total_steps
+            )
+            out = trainer.storage.root / "final-merged"
+            tailor.merge(output=out)
+            weights[name] = TensorFile(CheckpointPaths(out).weights).read_all()
+        assert_states_equal(weights["chaos"], weights["ref"])
+
+    def test_grow_leg_accounting(self, tmp_path):
+        """A join loses no steps; it costs a sync write plus a reshard read."""
+        plan = FaultPlan(events=(rank_join(6),))
+        cfg = chaos_config(tmp_path, world_size=2, total_steps=12)
+        supervisor = ChaosSupervisor(cfg, plan)
+        result = supervisor.run()
+        timeline = result.fault_timeline
+        assert timeline.grows == 1 and timeline.recoveries == 1
+        assert timeline.lost_steps == 0
+        # Step 6 is off the checkpoint cadence: the join forces a sync
+        # write, and the grown world reshards from the 2 source shards.
+        assert "join_sync" in timeline.kinds()
+        assert timeline.reshard_loads == 2
+        assert timeline.reshard_bytes > 0
+        assert timeline.recovery_seconds > 0
+        recovery = [e for e in timeline.events if e["kind"] == "recovery"][0]
+        assert recovery["grow"] is True
+        assert recovery["lost_steps"] == 0
+        assert recovery["world_size"] == 3
+
+    def test_preemption_is_failure_plus_deferred_join(self, tmp_path):
+        """One preemption event drives the whole shrink-then-rejoin arc."""
+        plan = FaultPlan(events=(preemption(5, 1, restore_after=4),))
+        cfg = chaos_config(tmp_path / "chaos", world_size=2, total_steps=14)
+        supervisor = ChaosSupervisor(cfg, plan)
+        result = supervisor.run()
+        assert result.interrupted_at is None
+        timeline = result.fault_timeline
+        assert timeline.recoveries == 2 and timeline.grows == 1
+        assert supervisor.trainer.config.world_size == 2
+        kinds = timeline.kinds()
+        assert kinds.index("rank_failure") < kinds.index("rank_join")
+
+        recovery = [e for e in timeline.events if e["kind"] == "recovery"][-1]
+        ref = Trainer(chaos_config(tmp_path / "ref", world_size=2, total_steps=14))
+        ref.resume_from(
+            CheckpointPaths(supervisor.trainer.storage.root / recovery["source"])
+        )
+        ref.train()
+        assert_states_equal(
+            supervisor.trainer.engine.master_state_dict(),
+            ref.engine.master_state_dict(),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Goodput accounting: live runs, soak continuation, planner prediction
+# ---------------------------------------------------------------------------
+
+class TestGoodput:
+    def test_report_arithmetic(self):
+        report = GoodputReport(
+            useful_steps=10, lost_steps=2, useful_seconds=10.0,
+            lost_seconds=2.0, stall_seconds=0.5, recovery_seconds=9.0,
+        )
+        assert report.busy_seconds == pytest.approx(12.5)
+        # Recovery I/O is reported but excluded from the denominator.
+        assert report.goodput == pytest.approx(10 / 12.5)
+        assert report.to_dict()["goodput"] == report.goodput
+        assert "goodput" in report.summary()
+        empty = GoodputReport(
+            useful_steps=0, lost_steps=0, useful_seconds=0.0,
+            lost_seconds=0.0, stall_seconds=0.0, recovery_seconds=0.0,
+        )
+        assert empty.goodput == 0.0
+
+    def test_clean_run_has_unit_step_goodput(self, tmp_path):
+        result = train_with_faults(chaos_config(tmp_path), FaultPlan())
+        report = result.goodput
+        assert report.useful_steps == 12 and report.lost_steps == 0
+        assert report.lost_seconds == 0.0
+        assert report.goodput == pytest.approx(
+            12 / (report.useful_seconds + report.stall_seconds)
+        )
+
+    def test_chaos_run_accounts_lost_and_stall(self, tmp_path):
+        plan = FaultPlan(
+            events=(preemption(5, 1, restore_after=4), straggler(3, 0, 2.0, duration=2))
+        )
+        result = train_with_faults(
+            chaos_config(tmp_path, total_steps=14), plan
+        )
+        report = result.goodput
+        timeline = result.fault_timeline
+        assert report.useful_steps == 14
+        assert report.lost_steps == timeline.lost_steps > 0
+        assert report.stall_seconds == pytest.approx(
+            result.clock["fault_straggler"] + result.clock["comm"]
+        )
+        assert report.recovery_seconds == pytest.approx(timeline.recovery_seconds)
+        assert 0 < report.goodput < 1.0
+
+    def test_planner_predicts_live_goodput(self, tmp_path):
+        """plan_fault_cost replays grow events and lands on the same
+        goodput as the live run: lost steps and reshard loads exactly,
+        comm-driven stall to 1e-6."""
+        plan = FaultPlan(
+            events=(
+                preemption(5, 1, restore_after=4),
+                straggler(7, 0, 2.5, duration=3),
+                degraded_link(0, 1, 0.5),
+            )
+        )
+        cfg = chaos_config(tmp_path, world_size=3, total_steps=16)
+        supervisor = ChaosSupervisor(cfg, plan)
+        result = supervisor.run()
+        cost = plan_fault_cost(
+            supervisor.trainer.model_config, plan, world_size=3,
+            total_steps=cfg.total_steps,
+            checkpoint_interval=cfg.checkpoint_interval,
+        )
+        timeline = result.fault_timeline
+        assert cost.lost_steps == timeline.lost_steps
+        assert cost.reshard_loads == timeline.reshard_loads
+        assert cost.num_joins == timeline.grows == 1
+        assert cost.sync_write_seconds > 0
+        assert cost.useful_steps == result.goodput.useful_steps
+        assert cost.straggler_seconds == pytest.approx(
+            result.clock["fault_straggler"], rel=1e-12
+        )
+        assert cost.comm_seconds == pytest.approx(result.clock["comm"], rel=1e-6)
+        assert cost.goodput == pytest.approx(result.goodput.goodput, rel=1e-6)
+        # The planner's own report mirrors the live layout.
+        planned = cost.goodput_report()
+        assert planned.useful_steps == result.goodput.useful_steps
+        assert planned.lost_steps == result.goodput.lost_steps
+
+    def test_soak_continuation_resumes_schedule(self, tmp_path):
+        """resume=True restarts a finished soak from its newest complete
+        checkpoint and treats already-fired events as applied."""
+        out = chaos_config(tmp_path, total_steps=12).output_dir
+        plan_a = FaultPlan(events=(preemption(5, 1, restore_after=4),))
+        cfg_a = chaos_config(tmp_path, total_steps=12)
+        assert cfg_a.output_dir == out
+        ChaosSupervisor(cfg_a, plan_a).run()
+
+        plan_b = FaultPlan(
+            events=(preemption(5, 1, restore_after=4), rank_failure(18, 0))
+        )
+        cfg_b = chaos_config(tmp_path, total_steps=24)
+        supervisor = ChaosSupervisor(cfg_b, plan_b, resume=True)
+        result = supervisor.run()
+        assert result.final_step == 24
+        timeline = result.fault_timeline
+        assert "soak_resume" in timeline.kinds()
+        assert timeline.recoveries == 1  # only the part-B failure
+        # Continuation goodput counts only this invocation's steps.
+        assert result.goodput.useful_steps == 12
+
+    def test_soak_continuation_world_size_mismatch_is_loud(self, tmp_path):
+        cfg_a = chaos_config(tmp_path, total_steps=12)
+        ChaosSupervisor(cfg_a, FaultPlan()).run()
+        # Part B claims a join already happened before step 12, implying
+        # world size 3 — but checkpoint-12 was written at 2.
+        plan_b = FaultPlan(events=(rank_join(6),))
+        cfg_b = chaos_config(tmp_path, total_steps=24)
+        with pytest.raises(TrainingError, match="soak continuation mismatch"):
+            ChaosSupervisor(cfg_b, plan_b, resume=True).run()
+
+    def test_soak_continuation_requires_checkpoint(self, tmp_path):
+        cfg = chaos_config(tmp_path, total_steps=12)
+        with pytest.raises(TrainingError, match="no complete checkpoint"):
+            ChaosSupervisor(cfg, FaultPlan(), resume=True).run()
 
 
 # ---------------------------------------------------------------------------
@@ -583,16 +963,68 @@ class TestCli:
         # The run survived the shrink: checkpoints exist and latest loads.
         assert list_checkpoint_steps(tmp_path / "run") == [4, 8]
 
-    def test_train_resume_with_faults_rejected(self, tmp_path):
+    SOAK_PART_A = (
+        "events:\n"
+        "  - kind: preemption\n"
+        "    step: 5\n"
+        "    rank: 1\n"
+        "    restore_after: 4\n"
+    )
+    SOAK_PART_B = SOAK_PART_A + (
+        "  - kind: rank_failure\n"
+        "    step: 18\n"
+        "    rank: 0\n"
+    )
+
+    def test_train_resume_continues_soak(self, tmp_path, capsys):
+        """--resume --faults is a supported soak continuation: part B
+        extends the horizon with the same schedule prefix plus later
+        events, restarting from part A's newest complete checkpoint."""
         from repro.cli import main
 
-        plan_path = tmp_path / "plan.yaml"
-        plan_path.write_text(self.PLAN_YAML)
-        with pytest.raises(SystemExit, match="--resume"):
-            main([
-                "train", "-o", str(tmp_path / "run"), "--steps", "8",
-                "--faults", str(plan_path), "--resume",
-            ])
+        (tmp_path / "a.yaml").write_text(self.SOAK_PART_A)
+        (tmp_path / "b.yaml").write_text(self.SOAK_PART_B)
+        base = [
+            "train", "-o", str(tmp_path / "run"), "--interval", "4",
+            "--world-size", "2", "--seq-len", "32",
+        ]
+        rc = main(base + ["--steps", "12", "--faults", str(tmp_path / "a.yaml")])
+        assert rc == 0
+        out_a = capsys.readouterr().out
+        assert "completed at step 12" in out_a
+        assert "rank_join" in out_a and "goodput" in out_a
+
+        rc = main(
+            base
+            + ["--steps", "24", "--faults", str(tmp_path / "b.yaml"), "--resume"]
+        )
+        out_b = capsys.readouterr().out
+        assert rc == 0
+        assert "completed at step 24" in out_b
+        assert "soak_resume" in out_b
+        assert list_checkpoint_steps(tmp_path / "run")[-1] == 24
+
+    def test_faults_subcommand_writes_valid_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "trace.yaml"
+        rc = main([
+            "faults", "-o", str(trace), "--seed", "11",
+            "--world-size", "4", "--steps", "200",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "preemption" in out
+        plan = FaultPlan.from_yaml(trace)
+        assert plan.preemptions
+        plan.validate(4, 200)
+        # Same seed, same trace.
+        rc = main([
+            "faults", "-o", str(tmp_path / "again.yaml"), "--seed", "11",
+            "--world-size", "4", "--steps", "200",
+        ])
+        assert rc == 0
+        assert FaultPlan.from_yaml(tmp_path / "again.yaml") == plan
 
     def test_train_without_faults(self, tmp_path, capsys):
         from repro.cli import main

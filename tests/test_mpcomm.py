@@ -25,7 +25,7 @@ from repro.dist import (
     mp_unavailable_reason,
     mpcomm,
 )
-from repro.dist.faults import FaultPlan, rank_failure
+from repro.dist.faults import FaultPlan, rank_failure, rank_join
 from repro.nn import build_model
 from repro.train import ChaosSupervisor, TrainConfig, Trainer
 from repro.util.errors import ConfigError, DistError
@@ -200,6 +200,94 @@ class TestChaosParity:
         # pre-shrink world whose worker was SIGKILLed mid-step — must be
         # unlinked by now.  Pre-existing segments (e.g. a still-open
         # session fixture under the mp CI leg) are excluded.
+        assert shm_segments() - before == set()
+
+    @pytest.mark.parametrize("compile", [False, True])
+    @pytest.mark.parametrize(
+        "trajectory",
+        [
+            ("2-3-2", 2, (rank_join(3), rank_failure(6, 2))),
+            ("4-3-4", 4, (rank_failure(3, 3), rank_join(6))),
+        ],
+        ids=lambda t: t[0] if isinstance(t, tuple) else t,
+    )
+    def test_grow_matches_sequential(self, tmp_path, trajectory, compile):
+        """Grow-then-shrink (and shrink-then-grow) parity: the mp pools
+        torn down and rebuilt at each world-size change land bitwise on
+        the sequential backend — and unlink every segment, including the
+        larger grown world's arena."""
+        before = shm_segments()
+        _, world_size, events = trajectory
+        plan = FaultPlan(events=events)
+        overrides = dict(
+            world_size=world_size, total_steps=8, checkpoint_interval=2,
+            compile=compile,
+        )
+        sim_sup = ChaosSupervisor(mp_config(tmp_path, "sim", "sim", **overrides), plan)
+        sim_result = sim_sup.run()
+        mp_sup = ChaosSupervisor(mp_config(tmp_path, "mp", "mp", **overrides), plan)
+        try:
+            mp_result = mp_sup.run()
+            assert mp_result.final_step == sim_result.final_step == 8
+            assert mp_result.fault_timeline.recoveries == 2
+            assert mp_result.fault_timeline.grows == 1
+            assert mp_sup.trainer.config.world_size == world_size
+            assert mp_result.final_train_loss == sim_result.final_train_loss
+            assert mp_result.comm_traffic == sim_result.comm_traffic
+            # Step/stall accounting is bitwise; recovery I/O seconds sum
+            # storage charges in backend-dependent order, so approx.
+            sim_gp, mp_gp = sim_result.goodput, mp_result.goodput
+            assert mp_gp.useful_steps == sim_gp.useful_steps
+            assert mp_gp.lost_steps == sim_gp.lost_steps
+            assert mp_gp.stall_seconds == sim_gp.stall_seconds
+            assert mp_gp.recovery_seconds == pytest.approx(
+                sim_gp.recovery_seconds, rel=1e-6
+            )
+            assert_states_equal(
+                sim_sup.trainer.engine.master_state_dict(),
+                mp_sup.trainer.engine.master_state_dict(),
+            )
+            assert_states_equal(
+                sim_sup.trainer.model.state_dict(), mp_sup.trainer.model.state_dict()
+            )
+        finally:
+            mp_sup.trainer.close()
+        assert shm_segments() - before == set()
+
+    def test_rank_death_mid_dispatch_then_rejoin(self, tmp_path):
+        """A worker SIGKILLed outside the supervisor's schedule surfaces
+        as a DistError from the next fwd_bwd dispatch; rebuilding the
+        pool and resuming recovers bitwise and leaks no segments."""
+        import os
+        import signal
+
+        before = shm_segments()
+        sim = Trainer(mp_config(tmp_path, "sim", "sim"))
+        sim.train()
+
+        crashed = Trainer(mp_config(tmp_path, "mp", "mp"))
+        try:
+            crashed.train(until_step=3)
+            # Hard-kill rank 1's worker behind the comm's back: the next
+            # collective step must fail loudly mid-dispatch, not hang.
+            proc = crashed.engine._mp._state.procs[1]
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join(timeout=30)
+            # Depending on when the kill lands relative to the pipe
+            # buffer, the death surfaces at send time or at reply time —
+            # both must be the typed error, never a raw BrokenPipeError.
+            with pytest.raises(DistError, match="rank 1 worker died"):
+                crashed.train()
+        finally:
+            crashed.close()
+
+        rejoined = Trainer(mp_config(tmp_path, "mp", "mp"))
+        try:
+            assert rejoined.resume_latest() == 3
+            rejoined.train()
+            assert_trainers_equal(sim, rejoined)
+        finally:
+            rejoined.close()
         assert shm_segments() - before == set()
 
 
