@@ -43,6 +43,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--mean-restore", type=float, default=None,
                         help="mean steps until capacity returns "
                         "(default: interarrival/2)")
+    parser.add_argument("--topology", default=None, metavar="NxR",
+                        help="cluster shape, e.g. 2x2: soak under the "
+                        "hierarchical communicator and hold the planner to "
+                        "the same parity bar per link class")
     parser.add_argument("-o", "--output", default=None,
                         help="run directory (default: a temp dir)")
     args = parser.parse_args(argv)
@@ -50,6 +54,17 @@ def main(argv: list[str] | None = None) -> int:
     from repro.dist.faults import FaultPlan
     from repro.strategies import plan_fault_cost
     from repro.train import ChaosSupervisor, TrainConfig
+
+    topology = None
+    if args.topology is not None:
+        from repro.dist.topology import Topology
+
+        topology = Topology.from_shape(args.topology)
+        if args.world_size > topology.world_size:
+            parser.error(
+                f"--world-size {args.world_size} exceeds topology "
+                f"{topology.shape} capacity {topology.world_size}"
+            )
 
     interarrival = args.mean_interarrival or max(1.0, args.steps / 20.0)
     plan = FaultPlan.sample_preemption_trace(
@@ -68,6 +83,7 @@ def main(argv: list[str] | None = None) -> int:
         output_dir=output, world_size=args.world_size,
         micro_batch_size=1, grad_accum_steps=1, seq_len=16,
         log_every=max(1, args.steps // 10),
+        topology=None if topology is None else topology.to_dict(),
     )
     supervisor = ChaosSupervisor(config, plan)
     result = supervisor.run()
@@ -82,6 +98,7 @@ def main(argv: list[str] | None = None) -> int:
     cost = plan_fault_cost(
         supervisor.trainer.model_config, plan, world_size=args.world_size,
         total_steps=args.steps, checkpoint_interval=args.interval,
+        topology=topology,
     )
     print("predicted:", cost.goodput_report().summary())
 

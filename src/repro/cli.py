@@ -94,6 +94,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--compile", action="store_true",
                          help="record the backward pass once and replay it "
                               "(bitwise-identical; see docs/autograd.md)")
+    p_train.add_argument("--topology", default=None, metavar="CLUSTER_YAML",
+                         help="cluster topology YAML (see docs/topology.md); "
+                              "runs the hierarchical communicator with "
+                              "per-link-class byte accounting — results are "
+                              "bitwise-identical to the flat ring")
     p_train.add_argument("--comm-backend", choices=("auto", "sim", "mp"),
                          default="auto",
                          help="rank execution backend: 'sim' runs ranks "
@@ -172,6 +177,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--faults", default=None, metavar="PLAN_YAML",
                         help="also estimate the cost of a fault-injection plan "
                              "(expected lost steps, reshard traffic, slowdown)")
+    p_plan.add_argument("--topology", default=None, metavar="CLUSTER_YAML",
+                        help="cluster topology YAML: split the traffic, "
+                             "reshard, and fault estimates into intra-node "
+                             "and inter-node link classes (docs/topology.md)")
     p_plan.add_argument("--serve", default=None, metavar="JOB_YAML",
                         help="print the admission-control cost estimate for a "
                              "serve job file (matches the live server's "
@@ -269,6 +278,11 @@ def _cmd_train(args) -> int:
     from .dist.faults import FaultPlan
     from .train import ChaosSupervisor, TrainConfig, Trainer
 
+    topology = None
+    if args.topology:
+        from .dist.topology import Topology
+
+        topology = Topology.from_yaml(args.topology).to_dict()
     config = TrainConfig(
         model=args.model,
         task=args.task,
@@ -282,6 +296,7 @@ def _cmd_train(args) -> int:
         max_checkpoints=args.max_checkpoints,
         compile=args.compile,
         comm_backend=args.comm_backend,
+        topology=topology,
     )
     if args.faults:
         plan = FaultPlan.from_yaml(args.faults)
@@ -418,6 +433,11 @@ def _cmd_plan(args) -> int:
         return 0
     config = get_config(args.model)
     strategy = build_strategy(args.strategy, config, args.interval)
+    topology = None
+    if args.topology is not None:
+        from .dist.topology import Topology
+
+        topology = Topology.from_yaml(args.topology)
     if args.async_writer:
         from .strategies import plan_strategy_async
 
@@ -435,14 +455,18 @@ def _cmd_plan(args) -> int:
     print(f"  ckpt time proportion   : {format_pct(plan.checkpoint_time_fraction)}%")
     from .strategies import plan_step_traffic
 
-    traffic = plan_step_traffic(config, world_size=args.world_size)
+    traffic = plan_step_traffic(config, world_size=args.world_size, topology=topology)
+    model_name = "ring model" if topology is None else f"topology {topology.shape}"
     print(
-        f"step traffic (ring model, {traffic.num_groups} groups, "
+        f"step traffic ({model_name}, {traffic.num_groups} groups, "
         f"world size {traffic.world_size}):"
     )
     print(f"  reduce-scatter / step  : {format_bytes(traffic.reduce_scatter_bytes)}")
     print(f"  all-gather / step      : {format_bytes(traffic.all_gather_bytes)}")
     print(f"  total / step           : {format_bytes(traffic.total_bytes)}")
+    if topology is not None:
+        print(f"  intra-node / step      : {format_bytes(traffic.class_bytes('intra'))}")
+        print(f"  inter-node / step      : {format_bytes(traffic.class_bytes('inter'))}")
     print(f"  {f'over {args.steps} steps':<23s}: {format_bytes(traffic.total_bytes * args.steps)}")
     if args.merge_checkpoints is not None:
         from .strategies import plan_merge_cost
@@ -473,6 +497,7 @@ def _cmd_plan(args) -> int:
             target_world_size=args.reshard_to,
             workers=args.workers,
             stream=args.stream if args.stream is not None else True,
+            topology=topology,
         )
         mode = "stream" if reshard.stream else "materialize"
         print(
@@ -484,6 +509,11 @@ def _cmd_plan(args) -> int:
         print(f"  bytes written          : {format_bytes(reshard.bytes_written)}")
         print(f"  peak memory            : {format_bytes(reshard.peak_bytes)}")
         print(f"  reshard time           : {reshard.seconds:.1f}s simulated")
+        if topology is not None:
+            print(f"  intra-node moves       : {format_bytes(reshard.intra_bytes)} "
+                  f"({reshard.intra_seconds:.3f}s)")
+            print(f"  inter-node moves       : {format_bytes(reshard.inter_bytes)} "
+                  f"({reshard.inter_seconds:.3f}s)")
     if args.faults is not None:
         from .dist.faults import FaultPlan
         from .strategies import plan_fault_cost
@@ -492,6 +522,7 @@ def _cmd_plan(args) -> int:
         faults = plan_fault_cost(
             config, fault_plan, world_size=args.world_size,
             total_steps=args.steps, checkpoint_interval=args.interval,
+            topology=topology,
         )
         print(
             f"fault-plan estimate ({faults.num_failures} failure(s), "

@@ -15,13 +15,18 @@ in a single process:
 * :func:`reshard_checkpoint` / :func:`reshard_state_dicts` — elastic
   N→M re-partitioning of those shard files (streaming, bounded memory);
 * :class:`FaultPlan` / :class:`ChaosComm` — deterministic fault
-  injection (rank failures, joins, spot preemptions, stragglers,
-  degraded links, bitrot) over the same machinery, with penalized time
-  accounting and :class:`GoodputReport` goodput bookkeeping.
+  injection (rank failures, node failures, joins, spot preemptions,
+  stragglers, degraded links, bitrot) over the same machinery, with
+  penalized time accounting and :class:`GoodputReport` goodput
+  bookkeeping;
+* :class:`Topology` / :class:`HierComm` / :class:`HierMpComm` —
+  hierarchical (nodes × ranks-per-node) process groups with per-link-
+  class byte accounting, bitwise-identical to the flat ring.
 """
 
 from .comm import CommStats, SimComm
-from .mpcomm import MpComm, SharedArena, mp_available, mp_unavailable_reason
+from .topology import HierComm, Topology
+from .mpcomm import HierMpComm, MpComm, SharedArena, mp_available, mp_unavailable_reason
 from .partition import GroupPartition, flatten_arrays, unflatten_array
 from .zero import SHARD_FORMAT_VERSION, GroupMeta, ZeroStage3Engine
 
@@ -42,6 +47,7 @@ from .faults import (  # noqa: E402
     bitrot,
     degraded_link,
     inject_bitrot,
+    node_failure,
     preemption,
     rank_failure,
     rank_join,
@@ -58,11 +64,14 @@ __all__ = [
     "GoodputReport",
     "GroupMeta",
     "GroupPartition",
+    "HierComm",
+    "HierMpComm",
     "MpComm",
     "ReshardReport",
     "SharedArena",
     "SHARD_FORMAT_VERSION",
     "SimComm",
+    "Topology",
     "ZeroStage3Engine",
     "bitrot",
     "degraded_link",
@@ -70,6 +79,7 @@ __all__ = [
     "inject_bitrot",
     "mp_available",
     "mp_unavailable_reason",
+    "node_failure",
     "preemption",
     "rank_failure",
     "rank_join",

@@ -98,6 +98,22 @@ class SimComm:
     def _ring_fraction(self) -> float:
         return (self.world_size - 1) / self.world_size
 
+    def _charge_collective(self, op: str, nbytes: float) -> None:
+        """Charge one collective over ``nbytes`` of raw payload.
+
+        ``nbytes`` is the *logical* buffer size (the full gradient /
+        gathered tensor), not the wire traffic: this hook applies the
+        cost model.  The flat-ring base implementation charges
+        ``(n-1)/n * nbytes`` (doubled for all-reduce, which is a
+        reduce-scatter phase plus an all-gather phase).  The
+        topology-aware subclasses (:class:`~repro.dist.topology.HierComm`)
+        override it to split the same payload across intra-node and
+        inter-node link classes — the *arithmetic* of every collective is
+        shared and stays bitwise-identical; only this accounting differs.
+        """
+        multiplier = 2.0 if op == "all_reduce" else 1.0
+        self.stats.charge(op, multiplier * self._ring_fraction() * nbytes)
+
     def _mean(self, bufs: list[np.ndarray]) -> np.ndarray:
         """Element-wise mean at O(numel) peak memory.
 
@@ -119,7 +135,7 @@ class SimComm:
     def all_reduce_mean(self, buffers: Sequence[np.ndarray]) -> np.ndarray:
         """Element-wise mean over all ranks' buffers; every rank gets it."""
         bufs = self._check_buffers(buffers, "all_reduce")
-        self.stats.charge("all_reduce", 2.0 * self._ring_fraction() * bufs[0].nbytes)
+        self._charge_collective("all_reduce", bufs[0].nbytes)
         return self._mean(bufs)
 
     def reduce_scatter_mean(self, buffers: Sequence[np.ndarray]) -> list[np.ndarray]:
@@ -138,7 +154,7 @@ class SimComm:
                 f"reduce_scatter: buffer length {flat.size} not divisible by "
                 f"world_size {self.world_size}"
             )
-        self.stats.charge("reduce_scatter", self._ring_fraction() * flat.nbytes)
+        self._charge_collective("reduce_scatter", flat.nbytes)
         mean = self._mean(bufs)
         if self.world_size == 1:
             return [mean]
@@ -171,7 +187,7 @@ class SimComm:
                 f"reduce_scatter: out buffer shape/dtype {out.shape}/{out.dtype} "
                 f"!= input {flat.shape}/{flat.dtype}"
             )
-        self.stats.charge("reduce_scatter", self._ring_fraction() * flat.nbytes)
+        self._charge_collective("reduce_scatter", flat.nbytes)
         if out is not flat:
             np.copyto(out, flat)
         if not all(b is flat for b in bufs[1:]):
@@ -185,7 +201,7 @@ class SimComm:
         """Concatenate every rank's shard; every rank gets the whole."""
         bufs = self._check_buffers(shards, "all_gather")
         total_nbytes = sum(b.nbytes for b in bufs)
-        self.stats.charge("all_gather", self._ring_fraction() * total_nbytes)
+        self._charge_collective("all_gather", total_nbytes)
         if self.world_size == 1:
             return bufs[0].copy()
         return np.concatenate(bufs, axis=0)
@@ -210,7 +226,7 @@ class SimComm:
                 f"all_gather: out buffer shape/dtype {out.shape}/{out.dtype} cannot "
                 f"hold {self.world_size} x {bufs[0].shape}/{bufs[0].dtype} shards"
             )
-        self.stats.charge("all_gather", self._ring_fraction() * total_nbytes)
+        self._charge_collective("all_gather", total_nbytes)
         for rank, buf in enumerate(bufs):
             dest = out[rank * shard : (rank + 1) * shard]
             if buf.ctypes.data != dest.ctypes.data:
@@ -232,7 +248,7 @@ class SimComm:
                 f"broadcast: root {root} out of range for world_size {self.world_size}"
             )
         src = np.asarray(buffer)
-        self.stats.charge("broadcast", self._ring_fraction() * src.nbytes)
+        self._charge_collective("broadcast", src.nbytes)
         return [src.copy() for _ in range(self.world_size)]
 
     def __repr__(self) -> str:

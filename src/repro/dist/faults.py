@@ -32,7 +32,17 @@ fault-free reference run:
   replacement capacity arrives ``restore_after`` steps later (a
   ``rank_join``).  :meth:`FaultPlan.sample_preemption_trace` generates
   seeded long-horizon preemption churn with exponential interarrival
-  and restore delays.
+  and restore delays;
+* ``node_failure(step, node)`` — a whole node is lost: under a
+  :class:`~repro.dist.topology.Topology` the event expands to one
+  ``rank_failure`` per rank the node hosts, all at the same step, and
+  the supervisor shrinks through them one elastic recovery at a time.
+
+Faults compose with cluster topology (:mod:`repro.dist.topology`):
+``degraded_link`` targets topology edges (validated at
+:meth:`FaultPlan.validate` time) and is priced only against the
+hierarchical phase — intra-node or inter-node — that actually crosses
+the degraded link.
 
 Elasticity makes *goodput* — useful steps per simulated second — the
 SLO a chaos run reports: :class:`GoodputReport` splits the fleet's
@@ -77,6 +87,7 @@ __all__ = [
     "bitrot",
     "degraded_link",
     "inject_bitrot",
+    "node_failure",
     "preemption",
     "rank_failure",
     "rank_join",
@@ -94,7 +105,7 @@ REPLICA_SUFFIX = ".replica"
 
 _KINDS = (
     "rank_failure", "straggler", "degraded_link", "bitrot",
-    "rank_join", "preemption",
+    "rank_join", "preemption", "node_failure",
 )
 
 
@@ -121,6 +132,7 @@ class FaultEvent:
     bandwidth_scale: float | None = None
     duration: int | None = None
     restore_after: int | None = None
+    node: int | None = None
 
     def active_at(self, step: int) -> bool:
         """Whether this event's window covers the given global step."""
@@ -132,7 +144,7 @@ class FaultEvent:
         """Serializable form: ``kind`` plus the fields that are set."""
         out: dict[str, Any] = {"kind": self.kind, "step": self.step}
         for key in ("rank", "group", "src", "dst", "slowdown",
-                    "bandwidth_scale", "duration", "restore_after"):
+                    "bandwidth_scale", "duration", "restore_after", "node"):
             value = getattr(self, key)
             if value is not None:
                 out[key] = value
@@ -146,7 +158,7 @@ class FaultEvent:
         if kind not in _KINDS:
             raise ConfigError(f"fault event kind must be one of {_KINDS}, got {kind!r}")
         known = {"step", "rank", "group", "src", "dst", "slowdown",
-                 "bandwidth_scale", "duration", "restore_after"}
+                 "bandwidth_scale", "duration", "restore_after", "node"}
         unknown = set(data) - known
         if unknown:
             raise ConfigError(f"unknown fault event keys: {sorted(unknown)}")
@@ -184,6 +196,20 @@ def bitrot(step: int, rank: int, group: int) -> FaultEvent:
     """The first checkpoint written at/after ``step`` gets group
     ``group`` of rank ``rank``'s optimizer shard corrupted on disk."""
     return FaultEvent(kind="bitrot", step=int(step), rank=int(rank), group=int(group))
+
+
+def node_failure(step: int, node: int) -> FaultEvent:
+    """Every rank on node ``node`` dies after global step ``step`` completes.
+
+    Requires a :class:`~repro.dist.topology.Topology` to resolve which
+    ranks live on the node: :meth:`FaultPlan.world_events` expands the
+    event into one ``rank_failure`` per hosted rank, all at the same
+    step, each targeting the node's *first* rank — under block placement
+    the contiguous renumbering after each single-rank shrink keeps the
+    node's remaining ranks at that same index, so the expansion removes
+    exactly the node's block.
+    """
+    return FaultEvent(kind="node_failure", step=int(step), node=int(node))
 
 
 def rank_join(step: int) -> FaultEvent:
@@ -250,14 +276,21 @@ class FaultPlan:
             key=lambda e: e.step,
         )
 
-    def world_events(self) -> list[FaultEvent]:
+    def world_events(self, topology=None) -> list[FaultEvent]:
         """The world-size schedule: every shrink and grow, in firing order.
 
         Explicit ``rank_failure``/``rank_join`` events plus each
-        ``preemption`` expanded into its death and its restore join.
-        Ordered by step; ties preserve plan order, which also keeps a
-        preemption's join ahead of any later same-step death.  This is
-        the single schedule the supervisor's pending queue and
+        ``preemption`` expanded into its death and its restore join, and
+        each ``node_failure`` expanded into one ``rank_failure`` per rank
+        the named node hosts (all at the same step, all targeting the
+        node's first rank — contiguous renumbering after each shrink
+        walks the block out; each carries ``node`` as provenance).
+        Expanding a ``node_failure`` requires ``topology``
+        (a :class:`~repro.dist.topology.Topology`); plans without node
+        faults never need one.  Ordered by step; ties preserve plan
+        order, which also keeps a preemption's join ahead of any later
+        same-step death.  This is the single schedule the supervisor's
+        pending queue and
         :func:`~repro.strategies.planner.plan_fault_cost`'s replay both
         walk, so live and predicted trajectories cannot drift.
         """
@@ -274,6 +307,19 @@ class FaultPlan:
                 )
                 expanded.append(
                     FaultEvent(kind="rank_join", step=ev.step + int(ev.restore_after))
+                )
+            elif ev.kind == "node_failure":
+                if topology is None:
+                    raise ConfigError(
+                        f"node_failure at step {ev.step} requires a topology to "
+                        f"resolve node {ev.node}'s ranks (pass topology=...)"
+                    )
+                first = topology.node_ranks(int(ev.node))[0]
+                expanded.extend(
+                    FaultEvent(
+                        kind="rank_failure", step=ev.step, rank=first, node=ev.node,
+                    )
+                    for _ in range(topology.ranks_per_node)
                 )
         return sorted(expanded, key=lambda e: e.step)
 
@@ -318,13 +364,31 @@ class FaultPlan:
                 factor = max(factor, float(ev.slowdown))
         return factor
 
-    def comm_slowdown(self, step: int, world_size: int) -> float:
+    def comm_slowdown(
+        self,
+        step: int,
+        world_size: int,
+        *,
+        topology=None,
+        link_class: str | None = None,
+    ) -> float:
         """Collective-time multiplier at ``step``.
 
         Ring collectives are paced by the slowest participant *and* the
         slowest link, so this is the max of active straggler slowdowns
         and ``1 / bandwidth_scale`` over active degraded links whose
         endpoints are both in the (possibly shrunk) world.
+
+        Under a topology the hierarchical phases are independent: a
+        degraded NVLink slows only the node-local phase, a degraded
+        fabric link only the cross-node phase.  Passing ``topology`` and
+        ``link_class`` (``"intra"`` or ``"inter"``) therefore restricts
+        the link penalty to degradations whose endpoints fall in that
+        class; stragglers always apply (a slow rank paces every phase it
+        participates in).  This is exactly how
+        :class:`ChaosComm` prices a hierarchical communicator's
+        ``<op>/<link_class>`` charges, and how
+        :func:`~repro.strategies.planner.plan_fault_cost` predicts them.
         """
         factor = self.compute_slowdown(step, world_size)
         for ev in self.events:
@@ -336,12 +400,18 @@ class FaultPlan:
                 and ev.src < world_size
                 and ev.dst < world_size
             ):
+                if (
+                    topology is not None
+                    and link_class is not None
+                    and topology.link_class(ev.src, ev.dst) != link_class
+                ):
+                    continue
                 factor = max(factor, 1.0 / float(ev.bandwidth_scale))
         return factor
 
     # -- validation ---------------------------------------------------------
 
-    def validate(self, world_size: int, total_steps: int) -> None:
+    def validate(self, world_size: int, total_steps: int, *, topology=None) -> None:
         """Check the plan is executable for a run of this shape.
 
         Failures and joins move the world size one rank at a time, so
@@ -351,6 +421,19 @@ class FaultPlan:
         restore half of a preemption) grows the world back.  A
         preemption restore scheduled beyond ``total_steps`` is legal —
         the capacity simply never returns.
+
+        With ``topology`` (a :class:`~repro.dist.topology.Topology`) the
+        checks extend to the cluster shape: ``node_failure`` events need
+        one (and must name a real, fully occupied node), the trajectory
+        may never grow past the cluster's rank capacity, and every
+        ``degraded_link`` must target an actual topology edge — an
+        intra-node pair or a leader-to-leader pair — whose endpoints
+        still exist at the step the degradation begins (nominal
+        schedule, ignoring replay).  The last rule closes a latent gap:
+        a link that never matches the active world is silently ignored
+        by :meth:`comm_slowdown`, so a plan relying on it was a no-op
+        fault — with a topology that is now a loud validation error,
+        including dangling links left behind by earlier shrinks.
         """
         for ev in self.events:
             if ev.kind not in _KINDS:
@@ -361,6 +444,17 @@ class FaultPlan:
                 )
             if ev.duration is not None and ev.duration < 1:
                 raise ConfigError(f"{ev.kind} duration must be >= 1, got {ev.duration}")
+            if ev.kind == "node_failure":
+                if topology is None:
+                    raise ConfigError(
+                        f"node_failure at step {ev.step} requires a topology "
+                        f"(run with --topology / TrainConfig(topology=...))"
+                    )
+                if ev.node is None or not 0 <= ev.node < topology.nodes:
+                    raise ConfigError(
+                        f"node_failure at step {ev.step}: node {ev.node} out of "
+                        f"range for topology {topology.shape}"
+                    )
         for ev in self.preemptions:
             if ev.rank is None or ev.rank < 0:
                 raise ConfigError(f"preemption at step {ev.step}: rank must be >= 0")
@@ -369,10 +463,21 @@ class FaultPlan:
                     f"preemption at step {ev.step}: restore_after must be >= 1, "
                     f"got {ev.restore_after}"
                 )
+        if topology is not None and world_size > topology.world_size:
+            raise ConfigError(
+                f"world_size {world_size} exceeds topology {topology.shape} "
+                f"capacity {topology.world_size}"
+            )
         ws = world_size
-        for ev in self.world_events():
+        for ev in self.world_events(topology):
             if ev.kind == "rank_join":
                 ws += 1
+                if topology is not None and ws > topology.world_size:
+                    raise ConfigError(
+                        f"rank_join at step {ev.step} would grow the world to "
+                        f"{ws}, beyond topology {topology.shape} capacity "
+                        f"{topology.world_size}"
+                    )
                 continue
             if ws <= 1:
                 raise ConfigError(
@@ -380,8 +485,12 @@ class FaultPlan:
                     f"(world is down to {ws} rank(s) at that point)"
                 )
             if ev.rank is None or not 0 <= ev.rank < ws:
+                detail = (
+                    f"node_failure of node {ev.node}"
+                    if ev.node is not None else "rank_failure"
+                )
                 raise ConfigError(
-                    f"rank_failure at step {ev.step}: rank {ev.rank} does not "
+                    f"{detail} at step {ev.step}: rank {ev.rank} does not "
                     f"exist in the world of {ws} at that point"
                 )
             ws -= 1
@@ -396,6 +505,16 @@ class FaultPlan:
                     f"straggler at step {ev.step}: slowdown must be >= 1.0, "
                     f"got {ev.slowdown}"
                 )
+        world_deltas = [
+            (ev.step, 1 if ev.kind == "rank_join" else -1)
+            for ev in self.world_events(topology)
+        ]
+
+        def ws_at(step: int) -> int:
+            # Nominal world size while executing ``step``: world events
+            # take effect after their own step completes.
+            return world_size + sum(d for s, d in world_deltas if s < step)
+
         for ev in self.degraded_links:
             if (
                 ev.src is None or ev.dst is None
@@ -407,6 +526,21 @@ class FaultPlan:
                     f"degraded_link: ({ev.src}, {ev.dst}) is not a ring link "
                     f"at world_size {world_size}"
                 )
+            if topology is not None:
+                if not topology.has_link(ev.src, ev.dst):
+                    raise ConfigError(
+                        f"degraded_link: ({ev.src}, {ev.dst}) is not an edge of "
+                        f"topology {topology.shape} (intra-node pairs and "
+                        f"leader-to-leader pairs only)"
+                    )
+                alive = ws_at(ev.step)
+                if ev.src >= alive or ev.dst >= alive:
+                    raise ConfigError(
+                        f"degraded_link at step {ev.step}: ({ev.src}, {ev.dst}) "
+                        f"dangles — the world is down to {alive} rank(s) when "
+                        f"the degradation begins, so it would be silently "
+                        f"ignored"
+                    )
             if ev.bandwidth_scale is None or not 0.0 < ev.bandwidth_scale <= 1.0:
                 raise ConfigError(
                     f"degraded_link: bandwidth_scale must be in (0, 1], "
@@ -608,10 +742,15 @@ class ChaosCommStats(CommStats):
         self._seconds_fn = seconds_fn
 
     def charge(self, op: str, nbytes: float) -> None:
-        """Record one collective's bytes and its penalized seconds."""
+        """Record one collective's bytes and its penalized seconds.
+
+        The op name is forwarded to the pricing function so hierarchical
+        charges (``"<op>/intra"`` / ``"<op>/inter"``) can be priced at
+        their link class's bandwidth.
+        """
         super().charge(op, nbytes)
         self.seconds_by_op[op] = self.seconds_by_op.get(op, 0.0) + self._seconds_fn(
-            float(nbytes)
+            float(nbytes), op
         )
 
     def total_seconds(self) -> float:
@@ -649,6 +788,7 @@ class ChaosComm:
         *,
         clock=None,
         link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
+        topology=None,
     ) -> None:
         if link_bandwidth <= 0:
             raise ConfigError(f"link_bandwidth must be > 0, got {link_bandwidth}")
@@ -656,6 +796,12 @@ class ChaosComm:
         self.plan = plan
         self.clock = clock
         self.link_bandwidth = float(link_bandwidth)
+        # A hierarchical communicator carries its Topology; adopt it so
+        # per-link-class charges are priced at that class's bandwidth
+        # and only penalized by faults on links of the same class.
+        self.topology = topology if topology is not None else getattr(
+            comm, "topology", None
+        )
         self.current_step = 1
         comm.stats = ChaosCommStats(self._collective_seconds)
 
@@ -673,12 +819,25 @@ class ChaosComm:
         """Position the fault schedule at a global step."""
         self.current_step = int(step)
 
-    def slowdown(self) -> float:
-        """The collective-time multiplier active at the current step."""
-        return self.plan.comm_slowdown(self.current_step, self.world_size)
+    def slowdown(self, link_class: str | None = None) -> float:
+        """The collective-time multiplier active at the current step.
 
-    def _collective_seconds(self, nbytes: float) -> float:
-        dt = nbytes / self.link_bandwidth * self.slowdown()
+        With a topology and a ``link_class``, only degradations on links
+        of that class apply (stragglers always do) — see
+        :meth:`FaultPlan.comm_slowdown`.
+        """
+        return self.plan.comm_slowdown(
+            self.current_step, self.world_size,
+            topology=self.topology, link_class=link_class,
+        )
+
+    def _collective_seconds(self, nbytes: float, op: str = "") -> float:
+        link_class = op.rsplit("/", 1)[1] if "/" in op else None
+        if self.topology is not None and link_class is not None:
+            bandwidth = self.topology.bandwidth(link_class)
+        else:
+            bandwidth = self.link_bandwidth
+        dt = nbytes / bandwidth * self.slowdown(link_class)
         if self.clock is not None and dt > 0.0:
             self.clock.advance(dt, "comm")
         return dt

@@ -61,8 +61,9 @@ import numpy as np
 
 from ..util.errors import DistError
 from .comm import SimComm
+from .topology import Topology, _HierAccounting
 
-__all__ = ["MpComm", "SharedArena", "mp_available", "mp_unavailable_reason"]
+__all__ = ["HierMpComm", "MpComm", "SharedArena", "mp_available", "mp_unavailable_reason"]
 
 # Shared-memory names are "<prefix>-<pid>-<counter>" so a leak-check can
 # attribute /dev/shm entries to this process, and parallel test sessions
@@ -517,4 +518,34 @@ class MpComm(SimComm):
         return (
             f"MpComm(world_size={self.world_size}, started={self.started}, "
             f"segments={len(self._state.arenas)})"
+        )
+
+
+class HierMpComm(_HierAccounting, MpComm):
+    """Topology-aware :class:`MpComm`: real process-pool ranks, 2D accounting.
+
+    Inherits the shared-memory collectives (and therefore bitwise parity
+    with the sim backend) verbatim from :class:`MpComm`; only the charge
+    hook changes, splitting each collective's bytes across ``intra`` /
+    ``inter`` link classes exactly like
+    :class:`~repro.dist.topology.HierComm` — the two hierarchical
+    backends account identically, just as the flat ones do.
+    """
+
+    backend = "mp"
+
+    def __init__(
+        self,
+        world_size: int,
+        topology: Topology,
+        *,
+        timeout: float | None = None,
+    ) -> None:
+        super().__init__(world_size, timeout=timeout)
+        self._bind_topology(topology)
+
+    def __repr__(self) -> str:
+        return (
+            f"HierMpComm(world_size={self.world_size}, "
+            f"topology={self.topology.shape}, started={self.started})"
         )

@@ -50,6 +50,7 @@ from .zero import SHARD_FORMAT_VERSION, group_payload_crc
 
 __all__ = [
     "ReshardReport",
+    "placement_transfer_bytes",
     "reshard_checkpoint",
     "reshard_rank_state_dict",
     "reshard_state_dicts",
@@ -88,23 +89,79 @@ class ReshardReport:
     bytes_written: int = 0
     total_seconds: float = 0.0
     rank_seconds: list[float] = field(default_factory=list)
+    #: Topology shape string (e.g. ``"2x4"``) when the reshard was
+    #: placement-aware, else ``None``.
+    topology: str | None = None
+    #: Logical bytes moved between ranks on the same node / different
+    #: nodes (fp32 + both moments per overlapped element; uncompressed,
+    #: so :func:`repro.strategies.plan_reshard_cost` predicts them
+    #: exactly).  Zero when no topology was given.
+    intra_bytes: int = 0
+    inter_bytes: int = 0
 
     def summary(self) -> str:
         """Multi-line human-readable recap (world sizes, loads, bytes, time)."""
         mode = "stream" if self.stream else "materialize"
-        return "\n".join(
-            [
-                f"resharded checkpoint: {self.output}",
-                f"  world size           : {self.source_world_size} -> "
-                f"{self.target_world_size}",
-                f"  engine               : {mode}, workers={self.workers}",
-                f"  groups per shard     : {self.num_groups}",
-                f"  shard files loaded   : {self.files_loaded} "
-                f"({self.bytes_loaded} bytes)",
-                f"  shard bytes written  : {self.bytes_written}",
-                f"  total time           : {self.total_seconds:.3f}s",
-            ]
+        lines = [
+            f"resharded checkpoint: {self.output}",
+            f"  world size           : {self.source_world_size} -> "
+            f"{self.target_world_size}",
+            f"  engine               : {mode}, workers={self.workers}",
+            f"  groups per shard     : {self.num_groups}",
+            f"  shard files loaded   : {self.files_loaded} "
+            f"({self.bytes_loaded} bytes)",
+            f"  shard bytes written  : {self.bytes_written}",
+            f"  total time           : {self.total_seconds:.3f}s",
+        ]
+        if self.topology is not None:
+            lines.insert(
+                3,
+                f"  topology             : {self.topology} "
+                f"(intra {self.intra_bytes} B, inter {self.inter_bytes} B)",
+            )
+        return "\n".join(lines)
+
+
+def placement_transfer_bytes(
+    numels: Sequence[int], source_world: int, target_world: int, topology
+) -> tuple[int, int]:
+    """Per-link-class logical bytes an N→M reshard moves under a topology.
+
+    For every parameter group (given by its master numel) and every
+    (target rank, source rank) pair with overlapping master intervals,
+    the overlap moves ``12`` bytes per element (fp32 master + both Adam
+    moments); the pair's bytes are classed ``intra`` or ``inter`` by
+    block placement on ``topology``.  Returns
+    ``(intra_bytes, inter_bytes)``.
+
+    This one function is both the live accounting
+    (:func:`reshard_checkpoint` with ``topology=``) and the prediction
+    (:func:`repro.strategies.plan_reshard_cost` with ``topology=``) —
+    shared, like :meth:`~repro.dist.faults.FaultPlan.world_events`, so
+    the two sides cannot drift.
+    """
+    if max(source_world, target_world) > topology.world_size:
+        raise ReshardError(
+            f"world sizes {source_world}->{target_world} exceed topology "
+            f"capacity {topology.world_size}"
         )
+    intra = inter = 0
+    for numel in numels:
+        src = GroupPartition(int(numel), source_world)
+        dst = GroupPartition(int(numel), target_world)
+        for m in range(target_world):
+            dst_lo, dst_hi = dst.master_bounds(m)
+            for r in dst.overlapping_ranks(m, src):
+                src_lo, src_hi = src.master_bounds(r)
+                lo, hi = max(src_lo, dst_lo), min(src_hi, dst_hi)
+                if lo >= hi:
+                    continue
+                moved = 12 * (hi - lo)
+                if topology.link_class(r, m) == "intra":
+                    intra += moved
+                else:
+                    inter += moved
+    return intra, inter
 
 
 # ---------------------------------------------------------------------------
@@ -442,6 +499,7 @@ def _reshard_one_rank(
     source_world: int,
     target_world: int,
     m: int,
+    topology=None,
 ) -> dict[str, Any]:
     """Stream-build and write target rank ``m``'s shard; returns stats."""
     headers: dict[int, dict] = meta["headers"]
@@ -470,10 +528,18 @@ def _reshard_one_rank(
             "exp_avg_sq": np.zeros(dst.shard_numel, dtype=np.float32),
         }
 
+    # Placement-aware read order: pull same-node source shards first so
+    # the slow inter-node links are touched last (and, on a saturated
+    # fabric, overlap with intra-node work).  Each source fills disjoint
+    # target intervals, so any order is bitwise-identical.
+    read_order = sorted(wanted_by_source)
+    if topology is not None:
+        read_order.sort(key=lambda r: topology.link_class(r, m) != "intra")
+
     timer = WallTimer()
     stats = {"rank": m, "files_loaded": 0, "bytes_loaded": 0, "bytes_written": 0}
     with timer:
-        for r in sorted(wanted_by_source):
+        for r in read_order:
             wanted = wanted_by_source[r]
             shard_path = paths.shard(r)
             shard = _selective_group_read(shard_path, source_world, r, wanted)
@@ -536,6 +602,7 @@ def reshard_checkpoint(
     *,
     stream: bool = True,
     workers: int = 1,
+    topology=None,
 ) -> ReshardReport:
     """Convert a complete checkpoint from world size N to M on disk.
 
@@ -553,6 +620,14 @@ def reshard_checkpoint(
     engine's worker budget.  ``stream=False`` materializes everything
     through :func:`reshard_state_dicts` (the reference path; bitwise-
     identical output).
+
+    With ``topology`` (a :class:`~repro.dist.topology.Topology`) the
+    streaming reads become placement-aware — each target rank pulls
+    same-node source shards before cross-node ones (bitwise-identical
+    output: sources fill disjoint intervals) — and the report carries
+    per-link-class logical byte totals
+    (:func:`placement_transfer_bytes`, matched exactly by
+    :func:`repro.strategies.plan_reshard_cost`).
     """
     paths = source if isinstance(source, CheckpointPaths) else CheckpointPaths(source)
     if not paths.exists():
@@ -571,6 +646,11 @@ def reshard_checkpoint(
     M = int(target_world_size)
     if M < 1:
         raise ReshardError(f"target world_size must be >= 1, got {target_world_size}")
+    if topology is not None and max(N, M) > topology.world_size:
+        raise ReshardError(
+            f"reshard {N}->{M} does not fit topology {topology.shape} "
+            f"(capacity {topology.world_size})"
+        )
 
     step = int(manifest["step"])
     out_paths = CheckpointPaths(output)
@@ -607,6 +687,7 @@ def reshard_checkpoint(
         stream=bool(stream),
         workers=int(workers),
         num_groups=0,
+        topology=None if topology is None else topology.shape,
     )
 
     if stream:
@@ -628,19 +709,27 @@ def reshard_checkpoint(
             with ThreadPoolExecutor(max_workers=pool_size) as pool:
                 results = list(
                     pool.map(
-                        lambda m: _reshard_one_rank(paths, out_optim_dir, meta, N, M, m),
+                        lambda m: _reshard_one_rank(
+                            paths, out_optim_dir, meta, N, M, m, topology
+                        ),
                         jobs,
                     )
                 )
         else:
             results = [
-                _reshard_one_rank(paths, out_optim_dir, meta, N, M, m) for m in jobs
+                _reshard_one_rank(paths, out_optim_dir, meta, N, M, m, topology)
+                for m in jobs
             ]
         for stats in results:
             report.files_loaded += stats["files_loaded"]
             report.bytes_loaded += stats["bytes_loaded"]
             report.bytes_written += stats["bytes_written"]
             report.rank_seconds.append(stats["seconds"])
+        if topology is not None:
+            numels = [int(h["numel"]) for _, h in sorted(meta["headers"].items())]
+            report.intra_bytes, report.inter_bytes = placement_transfer_bytes(
+                numels, N, M, topology
+            )
     else:
         sources = []
         for r in range(N):
@@ -650,6 +739,14 @@ def reshard_checkpoint(
             sources.append(read_blob(shard_path))
             report.files_loaded += 1
             report.bytes_loaded += shard_path.stat().st_size
+        if topology is not None:
+            numels = [
+                int(h["numel"])
+                for h in sorted(sources[0]["groups"], key=lambda h: int(h["index"]))
+            ]
+            report.intra_bytes, report.inter_bytes = placement_transfer_bytes(
+                numels, N, M, topology
+            )
         payloads = reshard_state_dicts(sources, M, consume=True)
         report.num_groups = int(payloads[0]["num_total_groups"]) if payloads else 0
         for m, payload in enumerate(payloads):

@@ -131,6 +131,7 @@ class ZeroStage3Engine:
         eps: float = 1e-8,
         fused: bool = True,
         comm_backend: str = "sim",
+        topology=None,
     ) -> None:
         groups = list(groups)
         if not groups:
@@ -147,18 +148,30 @@ class ZeroStage3Engine:
         # self.comm in a ChaosComm, but worker management (dispatch, rank
         # kills, shutdown) must bypass the fault-pricing layer.
         self._mp = None
+        # With a topology the hierarchical communicator variants swap in;
+        # they inherit the flat collectives' arithmetic verbatim, so the
+        # choice only changes byte accounting, never results.
+        self.topology = topology
         if self.comm_backend == "mp":
             if not fused:
                 raise ConfigError(
                     "comm_backend='mp' requires fused=True: the process-pool "
                     "backend shares the fused engine's persistent buffers"
                 )
-            from .mpcomm import MpComm
+            from .mpcomm import HierMpComm, MpComm
 
-            self.comm: SimComm = MpComm(world_size)  # validates world_size
+            if topology is None:
+                self.comm: SimComm = MpComm(world_size)  # validates world_size
+            else:
+                self.comm = HierMpComm(world_size, topology)
             self._mp = self.comm
         elif self.comm_backend == "sim":
-            self.comm = SimComm(world_size)  # validates world_size
+            if topology is None:
+                self.comm = SimComm(world_size)  # validates world_size
+            else:
+                from .topology import HierComm
+
+                self.comm = HierComm(world_size, topology)
         else:
             raise ConfigError(
                 f"unknown comm_backend {comm_backend!r} (expected 'sim' or 'mp')"

@@ -119,15 +119,27 @@ class StepTrafficPlan:
     padded_numel: int  # sum of per-group padded group sizes
     reduce_scatter_bytes: float  # per step, per rank
     all_gather_bytes: float  # per step, per rank
+    #: Topology shape (e.g. ``"2x4"``) for a hierarchical plan, else None.
+    topology: str | None = None
+    #: ``{op: {"intra": bytes, "inter": bytes}}`` under a topology — the
+    #: analytic twin of HierComm's ``<op>/<link_class>`` charges; the
+    #: headline per-op fields above are then the class sums.
+    link_bytes: dict | None = None
 
     @property
     def total_bytes(self) -> float:
         """Reduce-scatter plus all-gather bytes per step, per rank."""
         return self.reduce_scatter_bytes + self.all_gather_bytes
 
+    def class_bytes(self, link_class: str) -> float:
+        """Per-step bytes on one link class (0.0 for a flat plan)."""
+        if not self.link_bytes:
+            return 0.0
+        return float(sum(split[link_class] for split in self.link_bytes.values()))
+
     def describe(self) -> dict:
         """Flat dict form (for tables and JSON artifacts)."""
-        return {
+        out = {
             "world_size": self.world_size,
             "num_groups": self.num_groups,
             "padded_numel": self.padded_numel,
@@ -135,10 +147,20 @@ class StepTrafficPlan:
             "all_gather_bytes": self.all_gather_bytes,
             "total_bytes": self.total_bytes,
         }
+        if self.topology is not None:
+            out["topology"] = self.topology
+            for op, split in (self.link_bytes or {}).items():
+                for link_class, value in split.items():
+                    out[f"{op}_{link_class}_bytes"] = value
+        return out
 
 
 def plan_step_traffic(
-    config: ModelConfig, *, world_size: int, weight_decay: float = 0.01
+    config: ModelConfig,
+    *,
+    world_size: int,
+    weight_decay: float = 0.01,
+    topology=None,
 ) -> StepTrafficPlan:
     """Ring-model bytes one optimizer step moves at the given world size.
 
@@ -148,23 +170,42 @@ def plan_step_traffic(
     all-gathered — ``2 * (n-1)/n * 4 * padded_numel`` bytes per step in
     total.  At ``world_size == 1`` every collective is local and the
     traffic is zero, matching :class:`repro.dist.comm.SimComm`.
+
+    With ``topology`` (a :class:`~repro.dist.topology.Topology`) the
+    same payload is split per link class through
+    :meth:`~repro.dist.topology.Topology.collective_bytes` — the exact
+    formulas :class:`~repro.dist.topology.HierComm` charges live — and
+    the per-op fields become class sums (``link_bytes`` carries the
+    breakdown).
     """
     from ..core.groups import tailored_group_specs  # lazy: avoids a cycle
 
     shapes = parameter_shapes(config)
     specs = tailored_group_specs(config, weight_decay)
-    fraction = (world_size - 1) / world_size
     padded_total = 0
     for spec in specs:
         numel = sum(math.prod(shapes[name]) for name in spec.param_names)
         padded_total += -(-numel // world_size) * world_size
-    per_collective = fraction * 4.0 * padded_total  # fp32 buffers
+    payload = 4.0 * padded_total  # fp32 buffers
+    if topology is None:
+        per_collective = (world_size - 1) / world_size * payload
+        return StepTrafficPlan(
+            world_size=world_size,
+            num_groups=len(specs),
+            padded_numel=padded_total,
+            reduce_scatter_bytes=per_collective,
+            all_gather_bytes=per_collective,
+        )
+    scatter = topology.collective_bytes("reduce_scatter", payload, world_size)
+    gather = topology.collective_bytes("all_gather", payload, world_size)
     return StepTrafficPlan(
         world_size=world_size,
         num_groups=len(specs),
         padded_numel=padded_total,
-        reduce_scatter_bytes=per_collective,
-        all_gather_bytes=per_collective,
+        reduce_scatter_bytes=scatter["intra"] + scatter["inter"],
+        all_gather_bytes=gather["intra"] + gather["inter"],
+        topology=topology.shape,
+        link_bytes={"reduce_scatter": scatter, "all_gather": gather},
     )
 
 
@@ -277,6 +318,17 @@ class ReshardCostPlan:
     bytes_written: int
     peak_bytes: int
     seconds: float
+    #: Topology shape (e.g. ``"2x4"``) for a placement-aware plan, else None.
+    topology: str | None = None
+    #: Logical shard-move bytes per link class (12 bytes per overlapped
+    #: element; exactly the live ``ReshardReport`` counters).
+    intra_bytes: int = 0
+    inter_bytes: int = 0
+    #: Network-transfer seconds per link class at the topology's
+    #: bandwidths (a fabric view of the same move; the storage-model
+    #: ``seconds`` above remains the wall-time estimate).
+    intra_seconds: float = 0.0
+    inter_seconds: float = 0.0
 
     def describe(self) -> dict:
         """Flat dict form (for tables and JSON artifacts)."""
@@ -291,6 +343,8 @@ def plan_reshard_cost(
     workers: int = 1,
     stream: bool = True,
     storage: StorageCostModel | None = None,
+    topology=None,
+    weight_decay: float = 0.01,
 ) -> ReshardCostPlan:
     """Estimate the wall time and peak memory of an N→M reshard.
 
@@ -298,6 +352,14 @@ def plan_reshard_cost(
     so published-model scales can be planned without instantiating
     anything.  Weights are not charged: the consolidated weight file is
     world-size independent and carried over verbatim.
+
+    With ``topology`` (a :class:`~repro.dist.topology.Topology`) the plan
+    gains per-link-class byte and transfer-second breakdowns, computed by
+    the same :func:`repro.dist.reshard.placement_transfer_bytes` the live
+    :class:`~repro.dist.reshard.ReshardReport` counts — the two match
+    exactly, byte for byte.  ``weight_decay`` only affects the tailored
+    group split the interval math runs over (pass the training run's
+    value; the default matches :class:`~repro.train.config.TrainConfig`).
     """
     if source_world_size < 1 or target_world_size < 1:
         raise ValueError("world sizes must be >= 1")
@@ -325,6 +387,21 @@ def plan_reshard_cost(
         bytes_loaded, files=loads, parallel=parallel, decompress=True
     )
     write_s = storage.write_time(optim_bytes, files=M, parallel=parallel)
+    intra_bytes = inter_bytes = 0
+    intra_s = inter_s = 0.0
+    if topology is not None:
+        # Lazy: repro.dist.reshard pulls in repro.io at import time.
+        from ..core.groups import tailored_group_specs
+        from ..dist.reshard import placement_transfer_bytes
+
+        shapes = parameter_shapes(config)
+        numels = [
+            sum(math.prod(shapes[name]) for name in spec.param_names)
+            for spec in tailored_group_specs(config, weight_decay)
+        ]
+        intra_bytes, inter_bytes = placement_transfer_bytes(numels, N, M, topology)
+        intra_s = intra_bytes / topology.intra_bandwidth
+        inter_s = inter_bytes / topology.inter_bandwidth
     return ReshardCostPlan(
         model=config.name,
         source_world_size=N,
@@ -336,6 +413,11 @@ def plan_reshard_cost(
         bytes_written=dst_shard * M,
         peak_bytes=peak_bytes,
         seconds=read_s + write_s,
+        topology=None if topology is None else topology.shape,
+        intra_bytes=intra_bytes,
+        inter_bytes=inter_bytes,
+        intra_seconds=intra_s,
+        inter_seconds=inter_s,
     )
 
 
@@ -378,6 +460,8 @@ class FaultCostPlan:
     recovery_read_seconds: float
     sync_write_seconds: float
     sim_step_seconds: float
+    #: Topology shape (e.g. ``"2x4"``) for a hierarchical plan, else None.
+    topology: str | None = None
 
     @property
     def useful_steps(self) -> int:
@@ -437,6 +521,7 @@ def plan_fault_cost(
     sim_step_seconds: float = 1.0,
     link_bandwidth: float | None = None,
     storage: StorageCostModel | None = None,
+    topology=None,
 ) -> FaultCostPlan:
     """Expected lost steps, reshard traffic, and slowdown cost of a plan.
 
@@ -458,6 +543,18 @@ def plan_fault_cost(
     * collectives charge ring-model bytes over ``link_bandwidth``,
       scaled by the worst active straggler/degraded-link factor.
 
+    With ``topology`` (a :class:`~repro.dist.topology.Topology`) the
+    replay prices the hierarchical model instead: per-link-class step
+    bytes (:func:`plan_step_traffic` with ``topology=``) over that
+    class's bandwidth, each scaled by only the faults that touch links
+    of that class — exactly how a live
+    :class:`~repro.dist.faults.ChaosComm` over a hierarchical
+    communicator advances the clock, so predicted and live comm seconds
+    agree to 1e-6.  ``node_failure`` events expand through the same
+    :meth:`~repro.dist.faults.FaultPlan.world_events` the supervisor
+    consumes; ``link_bandwidth`` is ignored when a topology is given
+    (the topology's per-class bandwidths take over).
+
     Works from the config alone, like the other planners, so paper-scale
     fleets can be planned without instantiating anything.
     """
@@ -465,7 +562,7 @@ def plan_fault_cost(
 
     if checkpoint_interval < 1:
         raise ValueError(f"checkpoint_interval must be >= 1, got {checkpoint_interval}")
-    plan.validate(world_size, total_steps)
+    plan.validate(world_size, total_steps, topology=topology)
     storage = storage or StorageCostModel()
     bandwidth = link_bandwidth if link_bandwidth is not None else DEFAULT_LINK_BANDWIDTH
 
@@ -488,7 +585,7 @@ def plan_fault_cost(
     reshard_bytes = 0
     recovery_read_s = 0.0
     sync_write_s = 0.0
-    for ev in plan.world_events():
+    for ev in plan.world_events(topology):
         # A pending event whose slot was passed during a replay fires at
         # the first step of the new leg, exactly as the callback does; an
         # event pushed past the horizon (or a restore scheduled beyond
@@ -538,19 +635,33 @@ def plan_fault_cost(
     executed = 0
     straggler_s = 0.0
     comm_s = 0.0
-    traffic_by_ws: dict[int, float] = {}
+    traffic_by_ws: dict[int, StepTrafficPlan] = {}
     for seg_start, seg_end, seg_ws in segments:
         if seg_ws not in traffic_by_ws:
             traffic_by_ws[seg_ws] = plan_step_traffic(
-                config, world_size=seg_ws
-            ).total_bytes
-        step_bytes = traffic_by_ws[seg_ws]
+                config, world_size=seg_ws, topology=topology
+            )
+        traffic = traffic_by_ws[seg_ws]
         for step in range(seg_start, seg_end + 1):
             executed += 1
             slowdown = plan.compute_slowdown(step, seg_ws)
             if slowdown > 1.0:
                 straggler_s += (slowdown - 1.0) * sim_step_seconds
-            comm_s += step_bytes / bandwidth * plan.comm_slowdown(step, seg_ws)
+            if topology is None:
+                comm_s += (
+                    traffic.total_bytes / bandwidth
+                    * plan.comm_slowdown(step, seg_ws)
+                )
+            else:
+                for link_class in ("intra", "inter"):
+                    comm_s += (
+                        traffic.class_bytes(link_class)
+                        / topology.bandwidth(link_class)
+                        * plan.comm_slowdown(
+                            step, seg_ws,
+                            topology=topology, link_class=link_class,
+                        )
+                    )
 
     return FaultCostPlan(
         model=config.name,
@@ -570,6 +681,7 @@ def plan_fault_cost(
         recovery_read_seconds=recovery_read_s,
         sync_write_seconds=sync_write_s,
         sim_step_seconds=sim_step_seconds,
+        topology=None if topology is None else topology.shape,
     )
 
 

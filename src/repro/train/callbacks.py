@@ -129,11 +129,13 @@ class ChaosCallback(Callback):
         *,
         pending_world: list | None = None,
         pending_bitrot: list | None = None,
+        topology=None,
     ) -> None:
         self.plan = plan
         self.timeline = timeline
         self.pending_world = (
-            list(plan.world_events()) if pending_world is None else pending_world
+            list(plan.world_events(topology))
+            if pending_world is None else pending_world
         )
         self.pending_bitrot = (
             list(plan.bitrot_events) if pending_bitrot is None else pending_bitrot

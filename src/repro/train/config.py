@@ -39,6 +39,12 @@ class TrainConfig:
     # — which is how CI's mp leg flips the whole suite without touching
     # configs.
     comm_backend: str = "auto"
+    # Cluster topology (repro.dist.topology.Topology.to_dict() form, or
+    # None for the flat ring).  With a topology the engine runs the
+    # hierarchical communicator — bitwise-identical results, per-link-
+    # class byte/seconds accounting — and world_size may be anything up
+    # to the cluster's rank capacity (elastic runs shrink below it).
+    topology: dict[str, Any] | None = None
 
     # Sequences / data.
     seq_len: int = 48
@@ -95,6 +101,13 @@ class TrainConfig:
             raise ConfigError(
                 f"failure_step {self.failure_step} outside (0, {self.total_steps}]"
             )
+        if self.topology is not None:
+            topo = self.resolved_topology  # validates the mapping itself
+            if self.world_size > topo.world_size:
+                raise ConfigError(
+                    f"world_size {self.world_size} exceeds topology "
+                    f"{topo.shape} capacity {topo.world_size}"
+                )
 
     @property
     def resolved_comm_backend(self) -> str:
@@ -113,6 +126,21 @@ class TrainConfig:
                 f"REPRO_COMM_BACKEND must be 'sim' or 'mp', got {env!r}"
             )
         return env
+
+    @property
+    def resolved_topology(self):
+        """The :class:`~repro.dist.topology.Topology`, or ``None`` when flat.
+
+        The config stores the plain-dict form (JSON-serializable into
+        ``training_args.json``); this materializes it.  Raises
+        :class:`~repro.util.errors.DistError` via ``Topology.from_dict``
+        on a malformed mapping.
+        """
+        if self.topology is None:
+            return None
+        from ..dist.topology import Topology
+
+        return Topology.from_dict(self.topology)
 
     @property
     def global_batch_size(self) -> int:

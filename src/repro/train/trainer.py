@@ -178,6 +178,7 @@ class Trainer:
             betas=config.betas,
             eps=config.eps,
             comm_backend=config.resolved_comm_backend,
+            topology=config.resolved_topology,
         )
         # mp-backend lazy state: the gradient slot arena and the worker
         # pool are built by _mp_setup() on the first training step, so a
@@ -230,8 +231,13 @@ class Trainer:
                 # Standalone use: the supervisor validates once up front,
                 # legs after a shrink would fail re-validation (events may
                 # reference ranks the smaller world no longer has).
-                fault_plan.validate(config.world_size, config.total_steps)
+                fault_plan.validate(
+                    config.world_size, config.total_steps,
+                    topology=config.resolved_topology,
+                )
             self.fault_timeline = fault_timeline or FaultTimeline()
+            # ChaosComm adopts the engine communicator's topology (if
+            # hierarchical), pricing each link class at its bandwidth.
             self.engine.comm = ChaosComm(
                 self.engine.comm, fault_plan, clock=self.storage.clock
             )
@@ -241,6 +247,7 @@ class Trainer:
                 self.fault_timeline,
                 pending_world=pending_world,
                 pending_bitrot=pending_bitrot,
+                topology=config.resolved_topology,
             )
             self.callbacks.append(self._chaos)
 
@@ -777,13 +784,16 @@ class ChaosSupervisor:
         merge_workers: int = 1,
         resume: bool = False,
     ) -> None:
-        plan.validate(config.world_size, config.total_steps)
+        plan.validate(
+            config.world_size, config.total_steps,
+            topology=config.resolved_topology,
+        )
         self.config = config
         self.plan = plan
         self.merge_workers = merge_workers
         self.resume = resume
         self.timeline = FaultTimeline()
-        self._pending_world = list(plan.world_events())
+        self._pending_world = list(plan.world_events(config.resolved_topology))
         self._pending_bitrot = list(plan.bitrot_events)
         self._start_step = 0
         self.trainer: Trainer | None = None

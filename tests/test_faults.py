@@ -86,7 +86,7 @@ class TestFaultPlan:
             FaultPlan.from_dict({"events": [], "gpu_count": 8})
         with pytest.raises(ConfigError):
             FaultPlan.from_dict(
-                {"events": [{"kind": "rank_failure", "step": 1, "node": 3}]}
+                {"events": [{"kind": "rank_failure", "step": 1, "gpu": 3}]}
             )
 
     def test_validate_step_range(self):
